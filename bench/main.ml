@@ -1,0 +1,129 @@
+(* The benchmark harness.
+
+   1. Regenerates every table and figure of the paper's evaluation
+      (Table 1, Figs 9-13, and the §5.3 summary numbers), printing the
+      same rows/series the paper reports.
+   2. Registers one Bechamel micro-benchmark per pipeline stage /
+      experiment so the cost of each component is measurable.
+
+   Usage:
+     bench/main.exe                 -- everything
+     bench/main.exe table1 fig9 ... -- selected experiments
+     bench/main.exe micro           -- only the Bechamel micro-benchmarks *)
+
+open Bechamel
+open Toolkit
+
+(* ------------------------------------------------------------------ *)
+(* Micro-benchmarks: one per experiment's dominant pipeline stage. *)
+
+let bug = Bugbase.Pbzip2.bug
+
+let failure =
+  lazy (snd (Option.get (Bugbase.Common.find_target_failure bug)))
+
+let slice = lazy (Slicing.Slicer.compute bug.program (Lazy.force failure))
+
+let micro_tests () =
+  let failure = Lazy.force failure in
+  let slice = Lazy.force slice in
+  let tracked = Slicing.Slicer.take slice 8 in
+  let plan = Instrument.Place.compute bug.program tracked in
+  let workload = bug.workload_of 0 in
+  (* A pre-recorded PT stream for the decode benchmark. *)
+  let counters = Exec.Cost.create () in
+  let pt = Hw.Pt.create counters in
+  let wp = Hw.Watchpoint.create counters in
+  let hooks = Instrument.Runtime.hooks ~data_via_pt:false ~plan ~pt ~wp ~wp_allowed:[] in
+  let _ = Exec.Interp.run ~hooks ~counters bug.program workload in
+  Hw.Pt.finish pt;
+  let packets = Hw.Pt.packets_of pt 1 in
+  (* A set of client observations for the ranking benchmark. *)
+  let observations =
+    List.init 20 (fun c ->
+        let report =
+          Gist.Client.run_one ~plan ~wp_allowed:plan.Instrument.Plan.wp_targets
+            ~preempt_prob:bug.preempt_prob bug.program (bug.workload_of c)
+        in
+        Predict.Stats.
+          {
+            predictors =
+              Predict.Predictor.of_run ~tracked
+                ~branch_outcomes:report.r_branches ~traps:report.r_traps ();
+            failing = Gist.Client.failing report;
+          })
+  in
+  [
+    Test.make ~name:"table1/interpreter-run (one production run)"
+      (Staged.stage (fun () -> Exec.Interp.run bug.program workload));
+    Test.make ~name:"table1/static-slice (Algorithm 1)"
+      (Staged.stage (fun () -> Slicing.Slicer.compute bug.program failure));
+    Test.make ~name:"table1/instrumentation-plan (Fig 4 placement)"
+      (Staged.stage (fun () -> Instrument.Place.compute bug.program tracked));
+    Test.make ~name:"fig13/pt-decode (trace reconstruction)"
+      (Staged.stage (fun () -> Hw.Pt.decode bug.program packets));
+    Test.make ~name:"fig9/predictor-ranking (F-measure)"
+      (Staged.stage (fun () -> Predict.Stats.rank observations));
+    Test.make ~name:"fig11/monitored-client (one Gist-tracked run)"
+      (Staged.stage (fun () ->
+           Gist.Client.run_one ~plan
+             ~wp_allowed:plan.Instrument.Plan.wp_targets
+             ~preempt_prob:bug.preempt_prob bug.program workload));
+    Test.make ~name:"fig13/rr-record (record/replay baseline)"
+      (Staged.stage (fun () ->
+           Baseline.Rr.record ~preempt_prob:bug.preempt_prob bug.program
+             workload));
+  ]
+
+let run_micro () =
+  print_endline "Micro-benchmarks (Bechamel, monotonic clock):";
+  let tests = Test.make_grouped ~name:"gist" (micro_tests ()) in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:200 ~quota:(Time.second 0.5) ~kde:(Some 100) ()
+  in
+  let raw = Benchmark.all cfg instances tests in
+  let ols =
+    Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  Hashtbl.fold (fun name ols acc -> (name, ols) :: acc) results []
+  |> List.sort compare
+  |> List.iter (fun (name, ols) ->
+      let ns =
+        match Analyze.OLS.estimates ols with
+        | Some (x :: _) -> x
+        | _ -> nan
+      in
+      Printf.printf "  %-55s %12.0f ns/run\n" name ns);
+  print_newline ()
+
+(* ------------------------------------------------------------------ *)
+
+let experiments =
+  [
+    ("table1", Experiments.Table1.print);
+    ("fig9", Experiments.Fig9.print);
+    ("fig10", Experiments.Fig10.print);
+    ("fig11", Experiments.Fig11.print);
+    ("fig12", Experiments.Fig12.print);
+    ("fig13", Experiments.Fig13.print);
+    ("summary", Experiments.Summary.print);
+    ("extensions", Experiments.Extensions.print);
+    ("micro", run_micro);
+  ]
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  let selected = if args = [] then List.map fst experiments else args in
+  List.iter
+    (fun name ->
+      match List.assoc_opt name experiments with
+      | Some f ->
+        Printf.printf "=== %s ===\n%!" name;
+        f ()
+      | None ->
+        Printf.eprintf "unknown experiment %s (known: %s)\n" name
+          (String.concat ", " (List.map fst experiments));
+        exit 1)
+    selected

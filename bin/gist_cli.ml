@@ -1,0 +1,274 @@
+(* The Gist command-line interface.
+
+     gist list                      -- the Bugbase inventory (Table 1 bugs)
+     gist diagnose <bug> [options]  -- run the full pipeline, print the sketch
+     gist slice <bug>               -- print the static backward slice
+     gist baseline <bug>            -- rr vs Intel PT full-tracing comparison
+     gist experiments [names...]    -- regenerate paper tables/figures *)
+
+open Cmdliner
+
+let find_bug name =
+  match Bugbase.Registry.find name with
+  | Some b -> Ok b
+  | None ->
+    Error
+      (Printf.sprintf "unknown bug %S (known: %s)" name
+         (String.concat ", " Bugbase.Registry.names))
+
+let bug_arg =
+  let doc = "Bugbase entry to operate on (see $(b,gist list))." in
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"BUG" ~doc)
+
+(* ------------------------------------------------------------------ *)
+
+let list_cmd =
+  let run () =
+    Printf.printf "%-13s %-14s %-8s %-9s %s\n" "Name" "Software" "Version"
+      "Bug id" "Failure";
+    List.iter
+      (fun (b : Bugbase.Common.t) ->
+        Printf.printf "%-13s %-14s %-8s %-9s %s\n" b.name b.software b.version
+          b.bug_id b.failure_type)
+      Bugbase.Registry.all;
+    0
+  in
+  Cmd.v (Cmd.info "list" ~doc:"List the Bugbase entries (the Table 1 bugs)")
+    Term.(const run $ const ())
+
+(* ------------------------------------------------------------------ *)
+
+let sigma0_arg =
+  let doc = "Initial tracked slice size sigma_0 (paper default: 2)." in
+  Arg.(value & opt int 2 & info [ "sigma0" ] ~doc)
+
+let no_cf_arg =
+  let doc = "Disable control-flow tracking (Intel PT) -- Fig. 10 ablation." in
+  Arg.(value & flag & info [ "no-control-flow" ] ~doc)
+
+let no_df_arg =
+  let doc = "Disable data-flow tracking (watchpoints) -- Fig. 10 ablation." in
+  Arg.(value & flag & info [ "no-data-flow" ] ~doc)
+
+let verbose_arg =
+  let doc = "Also print the static slice and per-iteration progress." in
+  Arg.(value & flag & info [ "v"; "verbose" ] ~doc)
+
+let json_arg =
+  let doc = "Emit the sketch as JSON instead of the ASCII rendering." in
+  Arg.(value & flag & info [ "json" ] ~doc)
+
+let diagnose_run name sigma0 no_cf no_df verbose json =
+  match find_bug name with
+  | Error e -> prerr_endline e; 1
+  | Ok bug -> (
+    match Bugbase.Common.find_target_failure bug with
+    | None ->
+      prerr_endline "the target failure did not manifest in production";
+      1
+    | Some (_, failure) ->
+      Printf.printf "failure report: %s\n\n"
+        (Exec.Failure.report_to_string failure);
+      let config =
+        {
+          Gist.Config.default with
+          Gist.Config.sigma0;
+          enable_cf = not no_cf;
+          enable_df = not no_df;
+          preempt_prob = bug.preempt_prob;
+        }
+      in
+      let d =
+        Gist.Server.diagnose ~config
+          ~oracle:(Experiments.Oracle.for_bug bug)
+          ~bug_name:(Printf.sprintf "%s bug #%s" bug.name bug.bug_id)
+          ~failure_type:bug.failure_type ~program:bug.program
+          ~workload_of:bug.workload_of ~failure ()
+      in
+      if verbose then begin
+        Fmt.pr "%a@." Slicing.Slicer.pp d.slice;
+        List.iter
+          (fun (it : Gist.Server.iteration_info) ->
+            Printf.printf
+              "iteration: sigma=%d tracked=%d fails=%d succs=%d overhead=%.2f%%\n"
+              it.it_sigma it.it_tracked it.it_fails it.it_succs
+              it.it_avg_overhead)
+          d.trace;
+        print_newline ()
+      end;
+      if json then print_endline (Fsketch.Export.to_json d.sketch)
+      else begin
+        Printf.printf
+          "diagnosis: %d iterations, %d failure recurrences, %d monitored \
+           runs, %.2f%% fleet overhead\n\n"
+          d.iterations d.recurrences d.total_runs d.avg_overhead_pct;
+        Fsketch.Render.print d.sketch;
+        let acc =
+          Fsketch.Accuracy.of_sketch d.sketch ~ideal:(Bugbase.Common.ideal bug)
+        in
+        Printf.printf
+          "\naccuracy vs hand-built ideal sketch: relevance %.1f%%, ordering \
+           %.1f%%, overall %.1f%%\n"
+          acc.relevance acc.ordering acc.overall
+      end;
+      0)
+
+let diagnose_cmd =
+  Cmd.v
+    (Cmd.info "diagnose"
+       ~doc:"Diagnose a Bugbase failure end-to-end and print its sketch")
+    Term.(
+      const diagnose_run $ bug_arg $ sigma0_arg $ no_cf_arg $ no_df_arg
+      $ verbose_arg $ json_arg)
+
+(* ------------------------------------------------------------------ *)
+
+let slice_run name =
+  match find_bug name with
+  | Error e -> prerr_endline e; 1
+  | Ok bug -> (
+    match Bugbase.Common.find_target_failure bug with
+    | None -> prerr_endline "no target failure"; 1
+    | Some (_, failure) ->
+      let slice = Slicing.Slicer.compute bug.program failure in
+      Printf.printf "static backward slice: %d IR instructions / %d lines\n"
+        (Slicing.Slicer.instr_count slice)
+        (Slicing.Slicer.source_loc_count slice);
+      Fmt.pr "%a@." Slicing.Slicer.pp slice;
+      0)
+
+let slice_cmd =
+  Cmd.v
+    (Cmd.info "slice" ~doc:"Print the static backward slice for a bug")
+    Term.(const slice_run $ bug_arg)
+
+(* ------------------------------------------------------------------ *)
+
+let baseline_run name =
+  match find_bug name with
+  | Error e -> prerr_endline e; 1
+  | Ok bug ->
+    let row = Experiments.Fig13.row_for bug in
+    Printf.printf "%s full-tracing overhead:\n" bug.name;
+    Printf.printf "  record/replay (rr-style): %8.1f%%\n" row.rr_pct;
+    Printf.printf "  Intel PT (hardware):      %8.2f%%\n" row.pt_pct;
+    Printf.printf "  ratio:                    %8s\n"
+      (if row.ratio = infinity then "inf"
+       else Printf.sprintf "%.0fx" row.ratio);
+    0
+
+let baseline_cmd =
+  Cmd.v
+    (Cmd.info "baseline"
+       ~doc:"Compare record/replay vs Intel PT full tracing on one bug")
+    Term.(const baseline_run $ bug_arg)
+
+(* ------------------------------------------------------------------ *)
+
+(* Programs from .gir files: the textual IR format of [Ir.Text]. *)
+
+let gir_arg =
+  let doc = "Path to a .gir program (see Ir.Text for the format)." in
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc)
+
+let run_run path args seed =
+  match Ir.Text.load path with
+  | Error e -> prerr_endline e; 1
+  | Ok program ->
+    let values =
+      List.map
+        (fun a ->
+          match int_of_string_opt a with
+          | Some n -> Exec.Value.VInt n
+          | None -> Exec.Value.VStr a)
+        args
+    in
+    let res =
+      Exec.Interp.run program (Exec.Interp.workload ~args:values seed)
+    in
+    List.iter print_endline res.output;
+    (match res.outcome with
+     | Exec.Interp.Success ->
+       Printf.printf "success after %d steps
+" res.steps;
+       0
+     | Exec.Interp.Failed rep ->
+       Printf.printf "FAILURE after %d steps: %s
+" res.steps
+         (Exec.Failure.report_to_string rep);
+       (match (Ir.Program.loc_of program rep.pc).line with
+        | 0 -> ()
+        | line -> Printf.printf "  at source line %d
+" line);
+       2)
+
+let run_cmd =
+  let args =
+    Arg.(value & pos_right 0 string [] & info [] ~docv:"ARG"
+           ~doc:"Arguments bound to main's parameters (ints or strings).")
+  in
+  let seed =
+    Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Scheduling seed.")
+  in
+  Cmd.v
+    (Cmd.info "run" ~doc:"Execute a .gir program under the interpreter")
+    Term.(const run_run $ gir_arg $ args $ seed)
+
+let show_run path =
+  match Ir.Text.load path with
+  | Error e -> prerr_endline e; 1
+  | Ok program ->
+    Fmt.pr "%a@." Ir.Pp.pp_program program;
+    0
+
+let show_cmd =
+  Cmd.v
+    (Cmd.info "show" ~doc:"Parse a .gir program and print its IR")
+    Term.(const show_run $ gir_arg)
+
+(* ------------------------------------------------------------------ *)
+
+let experiments_run names =
+  let known =
+    [
+      ("table1", Experiments.Table1.print);
+      ("fig9", Experiments.Fig9.print);
+      ("fig10", Experiments.Fig10.print);
+      ("fig11", Experiments.Fig11.print);
+      ("fig12", Experiments.Fig12.print);
+      ("fig13", Experiments.Fig13.print);
+      ("summary", Experiments.Summary.print);
+    ("extensions", Experiments.Extensions.print);
+    ]
+  in
+  let selected = if names = [] then List.map fst known else names in
+  List.fold_left
+    (fun rc name ->
+      match List.assoc_opt name known with
+      | Some f -> f (); rc
+      | None ->
+        Printf.eprintf "unknown experiment %s\n" name;
+        1)
+    0 selected
+
+let experiments_cmd =
+  let names =
+    Arg.(value & pos_all string [] & info [] ~docv:"EXPERIMENT")
+  in
+  Cmd.v
+    (Cmd.info "experiments"
+       ~doc:"Regenerate the paper's tables and figures (all by default)")
+    Term.(const experiments_run $ names)
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  let doc = "failure sketching for automated root cause diagnosis" in
+  let info = Cmd.info "gist" ~version:"1.0.0" ~doc in
+  exit
+    (Cmd.eval'
+       (Cmd.group info
+          [
+            list_cmd; diagnose_cmd; slice_cmd; baseline_cmd; experiments_cmd;
+            run_cmd; show_cmd;
+          ]))

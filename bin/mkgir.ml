@@ -1,0 +1,5 @@
+(* One-shot helper to ship example .gir files (run via dune exec). *)
+let () =
+  Ir.Text.save "examples/programs/pbzip2.gir" Bugbase.Pbzip2.program;
+  Ir.Text.save "examples/programs/curl.gir" Bugbase.Curl.program;
+  print_endline "wrote examples/programs/{pbzip2,curl}.gir"

@@ -1,0 +1,83 @@
+(* Development probe: outcome distribution of each bug across client
+   workloads, plus an end-to-end Gist diagnosis dump.  Not part of the
+   evaluation harness; useful for calibrating bug trigger rates. *)
+
+let probe_bug (bug : Bugbase.Common.t) n =
+  Printf.printf "=== %s (%s %s, bug %s) ===\n" bug.name bug.software
+    bug.version bug.bug_id;
+  let tally = Hashtbl.create 8 in
+  for c = 0 to n - 1 do
+    let r =
+      Exec.Interp.run ~preempt_prob:bug.preempt_prob bug.program
+        (bug.workload_of c)
+    in
+    let key =
+      match r.outcome with
+      | Exec.Interp.Success -> "success"
+      | Exec.Interp.Failed rep ->
+        Printf.sprintf "%s@%d(%s)" (Exec.Failure.kind_tag rep.kind) rep.pc
+          (String.concat "<" rep.stack)
+    in
+    Hashtbl.replace tally key
+      (1 + Option.value ~default:0 (Hashtbl.find_opt tally key))
+  done;
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) tally []
+  |> List.sort compare
+  |> List.iter (fun (k, v) -> Printf.printf "  %-50s %4d / %d\n" k v n)
+
+let diagnose_bug (bug : Bugbase.Common.t) =
+  match Bugbase.Common.find_target_failure bug with
+  | None -> Printf.printf "no target failure found for %s\n" bug.name
+  | Some (_, failure) ->
+    Printf.printf "\nInitial failure: %s\n" (Exec.Failure.report_to_string failure);
+    let ideal = Bugbase.Common.ideal bug in
+    let oracle = Experiments.Oracle.for_bug bug in
+    let d =
+      Gist.Server.diagnose ~oracle ~bug_name:bug.name
+        ~failure_type:bug.failure_type ~program:bug.program
+        ~workload_of:bug.workload_of ~failure ()
+    in
+    Printf.printf "slice: %d instrs (%d source lines)\n"
+      (Slicing.Slicer.instr_count d.slice)
+      (Slicing.Slicer.source_loc_count d.slice);
+    Printf.printf "iterations=%d recurrences=%d runs=%d overhead=%.2f%%\n"
+      d.iterations d.recurrences d.total_runs d.avg_overhead_pct;
+    List.iter
+      (fun (it : Gist.Server.iteration_info) ->
+        Printf.printf
+          "  iter sigma=%d tracked=%d fails=%d succs=%d clients=%d ovh=%.2f%% pass=%b\n"
+          it.it_sigma it.it_tracked it.it_fails it.it_succs it.it_clients
+          it.it_avg_overhead it.it_oracle_pass)
+      d.trace;
+    let acc = Fsketch.Accuracy.of_sketch d.sketch ~ideal in
+    Printf.printf "accuracy: AR=%.1f AO=%.1f A=%.1f (gist=%d ideal=%d common=%d)\n"
+      acc.relevance acc.ordering acc.overall acc.n_gist acc.n_ideal acc.n_common;
+    let show_iid iid =
+      let i = Ir.Program.instr_at bug.program iid in
+      Printf.sprintf "%d(L%d:%s)" iid i.loc.line
+        (if i.text = "" then "." else String.sub i.text 0 (min 24 (String.length i.text)))
+    in
+    let got = Fsketch.Sketch.iids d.sketch in
+    let missing = List.filter (fun i -> not (List.mem i got)) ideal.i_iids in
+    if missing <> [] then
+      Printf.printf "MISSING ideal: %s\n"
+        (String.concat " " (List.map show_iid missing));
+    Printf.printf "gist order : %s\n"
+      (String.concat " " (List.map show_iid (Fsketch.Sketch.statement_order d.sketch)));
+    Printf.printf "ideal order: %s\n"
+      (String.concat " " (List.map show_iid ideal.i_iids));
+    print_string (Fsketch.Render.render d.sketch)
+
+let () =
+  let which = if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" in
+  let n =
+    if Array.length Sys.argv > 2 then int_of_string Sys.argv.(2) else 300
+  in
+  List.iter
+    (fun (b : Bugbase.Common.t) ->
+      if which = "all" || String.lowercase_ascii b.name = String.lowercase_ascii which
+      then begin
+        probe_bug b n;
+        diagnose_bug b
+      end)
+    Bugbase.Registry.all

@@ -1,0 +1,52 @@
+(* Reproduce the paper's Fig. 7: Curl bug #965, a *sequential* bug
+   caused by a specific program input.  URLs with unbalanced curly
+   braces ("{}{") drive the glob parser down its error path, leaving
+   urls->current NULL; next_url() then calls strlen(NULL).
+
+     dune exec examples/sequential_input_bug.exe
+
+   For sequential programs Gist's failure predictors are branches taken
+   and data values computed (§3.3): here the winning predictors are the
+   NULL value of urls->current and the unbalanced-braces branch. *)
+
+let () =
+  let bug = Bugbase.Curl.bug in
+  Printf.printf "== %s bug #%s (%s %s) ==\n%s\n\n" bug.name bug.bug_id
+    bug.software bug.version bug.description;
+  (* Show the workload mix: mostly well-formed URLs, occasionally the
+     failing input -- the bug recurs whenever that input recurs. *)
+  print_endline "production workloads:";
+  Array.iteri
+    (fun k input ->
+      Printf.printf "  client %d: %s\n" k
+        (if String.length input > 48 then String.sub input 0 48 ^ "..."
+         else input))
+    Bugbase.Curl.inputs;
+  print_newline ();
+  let _, failure =
+    match Bugbase.Common.find_target_failure bug with
+    | Some x -> x
+    | None -> failwith "the failure did not manifest"
+  in
+  Printf.printf "failure report: %s\n\n" (Exec.Failure.report_to_string failure);
+  let config =
+    { Gist.Config.default with Gist.Config.preempt_prob = bug.preempt_prob }
+  in
+  let d =
+    Gist.Server.diagnose ~config
+      ~oracle:(Experiments.Oracle.for_bug bug)
+      ~bug_name:(bug.name ^ " bug #965") ~failure_type:bug.failure_type
+      ~program:bug.program ~workload_of:bug.workload_of ~failure ()
+  in
+  Fsketch.Render.print d.sketch;
+  print_newline ();
+  (* All ranked predictors, to show how the statistics separate the
+     failing input from the benign ones. *)
+  print_endline "full predictor ranking (F-measure, beta = 0.5):";
+  List.iteri
+    (fun k r ->
+      if k < 8 then Fmt.pr "  %2d. %a@." (k + 1) Predict.Stats.pp_ranked r)
+    d.sketch.predictors;
+  Printf.printf
+    "\nThe developers' fix rejected unbalanced braces in the input --\n\
+     exactly what the branch + value predictors point to (paper §5.1).\n"

@@ -1,0 +1,17 @@
+(** Software-only tracing baselines.
+
+    [full_trace] models control-flow tracing without Intel PT: every
+    executed instruction pays a software instrumentation event, with
+    branches and returns paying extra (the paper's PIN-based software
+    PT simulator ran 3x-5,000x slower, §6).
+
+    [full_pt] is the hardware comparison point: Intel PT enabled for
+    the whole run (the Fig. 13 setup). *)
+
+val full_trace :
+  ?max_steps:int -> ?preempt_prob:float -> Ir.Types.program ->
+  Exec.Interp.workload -> Exec.Interp.result * float
+
+val full_pt :
+  ?max_steps:int -> ?preempt_prob:float -> Ir.Types.program ->
+  Exec.Interp.workload -> Exec.Interp.result * float

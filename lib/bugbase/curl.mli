@@ -1,0 +1,10 @@
+(** Curl bug #965 (paper Fig. 7): URL globs with unbalanced braces leave urls->current NULL on the parser's error path; next_url() calls strlen(NULL). *)
+
+(** The IR re-creation of the buggy program. *)
+val program : Ir.Types.program
+
+(** The production input mix; one entry is the failing input. *)
+val inputs : string array
+
+(** The Bugbase descriptor (workloads, ideal sketch, target failure). *)
+val bug : Common.t

@@ -1,0 +1,7 @@
+(** Memcached bug #127 (v1.4.4): item refcounts are updated with plain read-modify-write; a lost increment drives the count negative and the release-path assert fires. *)
+
+(** The IR re-creation of the buggy program. *)
+val program : Ir.Types.program
+
+(** The Bugbase descriptor (workloads, ideal sketch, target failure). *)
+val bug : Common.t

@@ -1,0 +1,7 @@
+(** Pbzip2 bug #1 (paper Fig. 1): main frees f->mut and sets it to NULL while the consumer thread is exiting its loop; the final release calls mutex_unlock(NULL). *)
+
+(** The IR re-creation of the buggy program. *)
+val program : Ir.Types.program
+
+(** The Bugbase descriptor (workloads, ideal sketch, target failure). *)
+val bug : Common.t

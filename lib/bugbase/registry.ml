@@ -1,0 +1,24 @@
+(* All Table 1 bugs, in the paper's row order. *)
+
+let all : Common.t list =
+  [
+    Apache1.bug;
+    Apache2.bug;
+    Apache3.bug;
+    Apache4.bug;
+    Cppcheck1.bug;
+    Cppcheck2.bug;
+    Curl.bug;
+    Transmission.bug;
+    Sqlite.bug;
+    Memcached.bug;
+    Pbzip2.bug;
+  ]
+
+let find name =
+  List.find_opt
+    (fun (b : Common.t) ->
+      String.lowercase_ascii b.name = String.lowercase_ascii name)
+    all
+
+let names = List.map (fun (b : Common.t) -> b.name) all

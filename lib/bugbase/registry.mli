@@ -1,0 +1,8 @@
+(** All Table 1 bugs, in the paper's row order. *)
+
+val all : Common.t list
+
+(** Case-insensitive lookup by Table 1 row name. *)
+val find : string -> Common.t option
+
+val names : string list

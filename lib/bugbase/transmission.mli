@@ -1,0 +1,7 @@
+(** Transmission bug #1818 (v1.42): unsynchronised read-modify-write on the shared bandwidth counter loses updates; the shutdown invariant assert fires. *)
+
+(** The IR re-creation of the buggy program. *)
+val program : Ir.Types.program
+
+(** The Bugbase descriptor (workloads, ideal sketch, target failure). *)
+val bug : Common.t

@@ -1,0 +1,49 @@
+(* A minimal directed-graph representation over integer nodes, shared by
+   the CFG, dominator and postdominator computations. *)
+
+type t = {
+  n : int;
+  succs : int list array;
+  preds : int list array;
+}
+
+let make n edges =
+  let succs = Array.make n [] and preds = Array.make n [] in
+  List.iter
+    (fun (a, b) ->
+      succs.(a) <- b :: succs.(a);
+      preds.(b) <- a :: preds.(b))
+    edges;
+  (* Deterministic order and no duplicate edges. *)
+  let dedup l = List.sort_uniq compare l in
+  Array.iteri (fun i l -> succs.(i) <- dedup l) succs;
+  Array.iteri (fun i l -> preds.(i) <- dedup l) preds;
+  { n; succs; preds }
+
+let reverse g =
+  { n = g.n; succs = Array.copy g.preds; preds = Array.copy g.succs }
+
+(* Reverse postorder from [entry]; unreachable nodes are absent. *)
+let reverse_postorder g entry =
+  let visited = Array.make g.n false in
+  let order = ref [] in
+  let rec dfs v =
+    if not visited.(v) then begin
+      visited.(v) <- true;
+      List.iter dfs g.succs.(v);
+      order := v :: !order
+    end
+  in
+  dfs entry;
+  !order
+
+let reachable g entry =
+  let visited = Array.make g.n false in
+  let rec dfs v =
+    if not visited.(v) then begin
+      visited.(v) <- true;
+      List.iter dfs g.succs.(v)
+    end
+  in
+  dfs entry;
+  visited

@@ -1,0 +1,20 @@
+(** Minimal directed graphs over integer nodes, shared by the CFG and
+    (post)dominator computations. *)
+
+type t = {
+  n : int;
+  succs : int list array;  (** deduplicated, sorted *)
+  preds : int list array;  (** deduplicated, sorted *)
+}
+
+(** [make n edges] builds a graph with nodes [0..n-1]; duplicate edges
+    are collapsed. *)
+val make : int -> (int * int) list -> t
+
+val reverse : t -> t
+
+(** Reverse postorder from an entry node; unreachable nodes absent. *)
+val reverse_postorder : t -> int -> int list
+
+(** [reachable g entry].(v) is true iff [v] is reachable from [entry]. *)
+val reachable : t -> int -> bool array

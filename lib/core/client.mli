@@ -1,0 +1,50 @@
+(** The Gist client: one production endpoint executing one run under
+    the instrumentation plan the server shipped, then reporting back
+    the decoded control-flow trace, watchpoint log and outcome (paper
+    Fig. 2, steps 2 and 4). *)
+
+open Ir.Types
+
+type report = {
+  r_seed : int;
+  r_outcome : Exec.Interp.outcome;
+  r_signature : Exec.Failure.signature option;
+  r_executed : (int * iid list) list;
+      (** per thread, PT-decoded execution order; for a failing run the
+          crash instance of the failing statement is appended (PT
+          truncation cannot decode past the last packet) *)
+  r_branches : (iid * bool) list;  (** PT-decoded branch outcomes *)
+  r_traps : Hw.Watchpoint.trap list;
+  r_counters : Exec.Cost.t;
+  r_overhead_pct : float;
+  r_base_cycles : float;   (** un-instrumented work, cost-model cycles *)
+  r_extra_cycles : float;  (** PT + watchpoint cycles added by Gist *)
+  r_steps : int;
+}
+
+val failing : report -> bool
+
+(** Privacy extension (§6): hash a string value into a stable opaque
+    token; other values pass through. *)
+val redact_value : Exec.Value.t -> Exec.Value.t
+
+(** [run_one ~plan ~wp_allowed program workload] runs one monitored
+    client.  [wp_allowed] is this client's share of the cooperative
+    watchpoint rotation.  [data_source] (default [Watchpoints]) selects
+    the §6 PTWRITE extension instead of debug registers; [redact]
+    (default false) hashes string values before they leave the
+    client. *)
+val run_one :
+  ?wp_capacity:int ->
+  ?preempt_prob:float ->
+  ?max_steps:int ->
+  ?data_source:Config.data_source ->
+  ?redact:bool ->
+  plan:Instrument.Plan.t ->
+  wp_allowed:iid list ->
+  program ->
+  Exec.Interp.workload ->
+  report
+
+(** All statements this run is known to have executed (deduplicated). *)
+val executed_set : report -> iid list

@@ -1,0 +1,42 @@
+(* Gist configuration knobs.  The defaults mirror the paper's setup:
+   sigma starts at 2 (§3.2.1), doubles per AsT iteration, 4 hardware
+   watchpoints per client (§3.2.3). *)
+
+(* How data flow reaches the server: hardware watchpoints (the paper's
+   prototype) or PTWRITE-style data packets in the PT stream (the §6
+   hardware proposal: no debug-register budget, no cooperative
+   rotation, but data only while tracing is on). *)
+type data_source = Watchpoints | Ptwrite
+
+type t = {
+  sigma0 : int;              (* initial tracked slice size *)
+  max_iterations : int;      (* AsT iterations before giving up *)
+  fail_quota : int;          (* matching failures to gather per iteration *)
+  succ_quota : int;          (* successful runs to gather per iteration *)
+  max_clients_per_iter : int;
+  wp_capacity : int;         (* hardware watchpoints per client *)
+  enable_cf : bool;          (* control-flow tracking (Intel PT) *)
+  enable_df : bool;          (* data-flow tracking (watchpoints) *)
+  preempt_prob : float;      (* production scheduling nondeterminism *)
+  max_steps : int;           (* hang detector budget per run *)
+  data_source : data_source; (* extension: Ptwrite replaces watchpoints *)
+  range_predicates : bool;   (* extension: mine §6 range/inequality predicates *)
+  redact_values : bool;      (* extension: hash string values leaving clients *)
+}
+
+let default =
+  {
+    sigma0 = 2;
+    max_iterations = 8;
+    fail_quota = 1;
+    succ_quota = 8;
+    max_clients_per_iter = 600;
+    wp_capacity = 4;
+    enable_cf = true;
+    enable_df = true;
+    preempt_prob = 0.35;
+    max_steps = 400_000;
+    data_source = Watchpoints;
+    range_predicates = false;
+    redact_values = false;
+  }

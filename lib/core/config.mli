@@ -1,0 +1,27 @@
+(** Gist configuration.  Defaults mirror the paper's setup: sigma
+    starts at 2 and doubles per AsT iteration (§3.2.1), 4 hardware
+    watchpoints per client (§3.2.3). *)
+
+(** How data flow reaches the server: hardware watchpoints (the
+    paper's prototype) or PTWRITE-style data packets in the PT stream
+    (the §6 hardware proposal: no debug-register budget, no cooperative
+    rotation, but data only while tracing is on). *)
+type data_source = Watchpoints | Ptwrite
+
+type t = {
+  sigma0 : int;               (** initial tracked slice size *)
+  max_iterations : int;       (** AsT iterations before giving up *)
+  fail_quota : int;           (** matching failures gathered per iteration *)
+  succ_quota : int;           (** successful runs gathered per iteration *)
+  max_clients_per_iter : int;
+  wp_capacity : int;          (** hardware watchpoints per client *)
+  enable_cf : bool;           (** control-flow tracking (Intel PT) *)
+  enable_df : bool;           (** data-flow tracking (watchpoints) *)
+  preempt_prob : float;       (** production scheduling nondeterminism *)
+  max_steps : int;            (** hang-detector budget per run *)
+  data_source : data_source;  (** extension: Ptwrite replaces watchpoints *)
+  range_predicates : bool;    (** extension: §6 range/inequality predicates *)
+  redact_values : bool;       (** extension: hash string values leaving clients *)
+}
+
+val default : t

@@ -1,0 +1,271 @@
+(* The Gist server: static slicing, adaptive slice tracking (AsT),
+   slice refinement from client reports, statistical predictor ranking,
+   and failure-sketch construction (paper Fig. 2, steps 1, 3, 5).
+
+   AsT (§3.2.1): track sigma statements backward from the failure;
+   double sigma each iteration until the developer (the [oracle]
+   callback) judges the sketch sufficient. *)
+
+open Ir.Types
+module IntSet = Set.Make (Int)
+
+type iteration_info = {
+  it_sigma : int;
+  it_tracked : int;
+  it_fails : int;
+  it_succs : int;
+  it_clients : int;
+  it_avg_overhead : float;
+  it_oracle_pass : bool;
+}
+
+type diagnosis = {
+  sketch : Fsketch.Sketch.t;
+  slice : Slicing.Slicer.t;
+  iterations : int;
+  recurrences : int;     (* matching failing runs consumed by AsT *)
+  total_runs : int;      (* monitored production runs *)
+  avg_overhead_pct : float; (* fleet-wide: aggregate extra / aggregate base *)
+  offline_time_s : float; (* static analysis + instrumentation time *)
+  online_time_s : float;  (* simulated fleet wall-clock *)
+  final_sigma : int;
+  tracked : iid list;     (* statements tracked in the last iteration *)
+  trace : iteration_info list; (* per-AsT-iteration progress *)
+}
+
+(* Find the first production failure (unmonitored runs): what a
+   coredump/stack-trace report gives the developer to start from. *)
+let first_failure ?(max_runs = 2000) ?(preempt_prob = 0.35)
+    ?(max_steps = 400_000) program workload_of =
+  let rec go k =
+    if k >= max_runs then None
+    else
+      let result =
+        Exec.Interp.run ~max_steps ~preempt_prob program (workload_of k)
+      in
+      match result.outcome with
+      | Exec.Interp.Failed rep -> Some rep
+      | Exec.Interp.Success -> go (k + 1)
+  in
+  go 0
+
+(* Split watchpoint targets into rotation groups of at most
+   [wp_capacity]; client [c] arms group [c mod n_groups] (§3.2.3's
+   cooperative approach when targets exceed the debug registers). *)
+let wp_groups ~wp_capacity targets =
+  let rec chunks = function
+    | [] -> []
+    | l ->
+      let rec take k = function
+        | x :: tl when k > 0 ->
+          let a, b = take (k - 1) tl in
+          (x :: a, b)
+        | rest -> ([], rest)
+      in
+      let g, rest = take wp_capacity l in
+      g :: chunks rest
+  in
+  match chunks targets with [] -> [ [] ] | gs -> gs
+
+let diagnose ?(config = Config.default) ?oracle ~bug_name ~failure_type
+    ~program ~workload_of ~(failure : Exec.Failure.report) () =
+  let t_offline0 = Sys.time () in
+  let slice = Slicing.Slicer.compute program failure in
+  let target_sig = Exec.Failure.signature failure in
+  let offline_time = ref (Sys.time () -. t_offline0) in
+  let t_online0 = Sys.time () in
+  let sigma = ref config.Config.sigma0 in
+  let discovered = ref IntSet.empty in
+  let confirmed = ref IntSet.empty in
+  let observations = ref [] in
+  let repr_failing : Client.report option ref = ref None in
+  let overheads = ref [] in
+  let base_cycles = ref 0.0 and extra_cycles = ref 0.0 in
+  let recurrences = ref 0 in
+  let total_runs = ref 0 in
+  let client_counter = ref 0 in
+  let iteration = ref 0 in
+  let best_sketch = ref None in
+  let slice_size = Slicing.Slicer.instr_count slice in
+  let stop = ref false in
+  let trace = ref [] in
+  while not !stop do
+    incr iteration;
+    (* --- offline: choose the tracked portion, build the patch --- *)
+    let t0 = Sys.time () in
+    let tracked =
+      List.sort_uniq compare
+        (Slicing.Slicer.take slice !sigma @ IntSet.elements !discovered)
+    in
+    let plan =
+      Instrument.Place.compute ~enable_cf:config.enable_cf
+        ~enable_df:config.enable_df program tracked
+    in
+    let groups =
+      wp_groups ~wp_capacity:config.wp_capacity plan.Instrument.Plan.wp_targets
+    in
+    let n_groups = List.length groups in
+    offline_time := !offline_time +. (Sys.time () -. t0);
+    (* --- online: gather monitored failing and successful runs --- *)
+    let fails = ref 0 and succs = ref 0 and clients = ref 0 in
+    let iter_overheads = ref [] in
+    let iter_reports = ref [] in
+    while
+      (!fails < config.fail_quota || !succs < config.succ_quota)
+      && !clients < config.max_clients_per_iter
+    do
+      let c = !client_counter in
+      incr client_counter;
+      incr clients;
+      incr total_runs;
+      let wp_allowed = List.nth groups (c mod n_groups) in
+      let report =
+        Client.run_one ~wp_capacity:config.wp_capacity
+          ~preempt_prob:config.preempt_prob ~max_steps:config.max_steps
+          ~data_source:config.data_source ~redact:config.redact_values
+          ~plan ~wp_allowed program (workload_of c)
+      in
+      overheads := report.r_overhead_pct :: !overheads;
+      iter_overheads := report.r_overhead_pct :: !iter_overheads;
+      base_cycles := !base_cycles +. report.r_base_cycles;
+      extra_cycles := !extra_cycles +. report.r_extra_cycles;
+      let matches = report.r_signature = Some target_sig in
+      if matches then begin
+        (* Recurrences (the Table 1 latency metric) count only the
+           failing runs AsT actually needed, not surplus failures that
+           happen while waiting for enough successful runs. *)
+        if !fails < config.fail_quota then incr recurrences;
+        incr fails;
+        repr_failing := Some report
+      end
+      else if report.r_signature = None then incr succs;
+      (* Other failures are different bugs: ignored by this diagnosis. *)
+      if matches || report.r_signature = None then
+        iter_reports := (report, matches) :: !iter_reports
+    done;
+    (* --- refinement (§3.2): keep tracked statements that executed in
+       failing runs; adopt watchpoint-discovered statements the
+       alias-free slice missed --- *)
+    let tracked_set = IntSet.of_list tracked in
+    List.iter
+      (fun ((r : Client.report), matches) ->
+        if matches then begin
+          let executed = IntSet.of_list (Client.executed_set r) in
+          confirmed := IntSet.union !confirmed (IntSet.inter tracked_set executed)
+        end;
+        (* Statements the alias-free slice missed are discovered by any
+           monitored run whose watchpoints trap on them -- successful
+           runs included (in failing runs the watchpoint may only be
+           armed after the racing write already happened). *)
+        List.iter
+          (fun (w : Hw.Watchpoint.trap) ->
+            if not (IntSet.mem w.w_iid tracked_set) then
+              discovered := IntSet.add w.w_iid !discovered)
+          r.r_traps;
+        observations :=
+          Predict.Stats.
+            {
+              predictors =
+                Predict.Predictor.of_run ~ranges:config.range_predicates
+                  ~tracked ~branch_outcomes:r.r_branches ~traps:r.r_traps ();
+              failing = matches;
+            }
+          :: !observations)
+      !iter_reports;
+    (* --- build the sketch from the representative failing run --- *)
+    (match !repr_failing with
+     | None -> ()
+     | Some repr ->
+       (* Gist reports program counters as *source lines* (§4), so the
+          statement set is closed over source lines: every IR
+          instruction on a line one pc hit is part of the sketch. *)
+       let core_set =
+         IntSet.union !confirmed
+           (IntSet.union !discovered (IntSet.singleton failure.pc))
+       in
+       let lines = Hashtbl.create 16 in
+       IntSet.iter
+         (fun iid ->
+           let l = Ir.Program.loc_of program iid in
+           if l.line > 0 then Hashtbl.replace lines (l.file, l.line) ())
+         core_set;
+       let stmt_set =
+         List.fold_left
+           (fun acc (i : Ir.Types.instr) ->
+             if i.loc.line > 0 && Hashtbl.mem lines (i.loc.file, i.loc.line)
+             then IntSet.add i.iid acc
+             else acc)
+           core_set
+           (Ir.Program.all_instrs program)
+       in
+       let per_thread =
+         List.filter_map
+           (fun (tid, iids) ->
+             let filtered = List.filter (fun iid -> IntSet.mem iid stmt_set) iids in
+             if filtered = [] then None else Some (tid, filtered))
+           repr.r_executed
+       in
+       let ranked = Predict.Stats.rank !observations in
+       let sketch =
+         Fsketch.Sketch.build ~bug_name ~failure_type ~program
+           ~failure ~per_thread ~traps:repr.r_traps ~ranked
+       in
+       best_sketch := Some sketch;
+       (* --- developer decision (§3.2.1): stop AsT or double sigma --- *)
+       let satisfied = match oracle with Some f -> f sketch | None -> false in
+       if satisfied then stop := true);
+    (let avg_l l =
+       match l with
+       | [] -> 0.0
+       | _ -> List.fold_left ( +. ) 0.0 l /. float_of_int (List.length l)
+     in
+     trace :=
+       {
+         it_sigma = !sigma;
+         it_tracked = List.length tracked;
+         it_fails = !fails;
+         it_succs = !succs;
+         it_clients = !clients;
+         it_avg_overhead = avg_l !iter_overheads;
+         it_oracle_pass = !stop;
+       }
+       :: !trace);
+    if not !stop then begin
+      if !sigma >= slice_size || !iteration >= config.max_iterations then
+        stop := true
+      else sigma := !sigma * 2
+    end
+  done;
+  let online_time = Sys.time () -. t_online0 -. !offline_time in
+  let sketch =
+    match !best_sketch with
+    | Some s -> s
+    | None ->
+      (* No monitored failure recurred: the sketch degenerates to the
+         failing statement alone. *)
+      Fsketch.Sketch.build ~bug_name ~failure_type ~program ~failure
+        ~per_thread:[ (failure.tid, [ failure.pc ]) ]
+        ~traps:[] ~ranked:[]
+  in
+  let avg l =
+    match l with
+    | [] -> 0.0
+    | _ -> List.fold_left ( +. ) 0.0 l /. float_of_int (List.length l)
+  in
+  {
+    sketch;
+    slice;
+    iterations = !iteration;
+    recurrences = !recurrences;
+    total_runs = !total_runs;
+    avg_overhead_pct =
+      (if !base_cycles > 0.0 then 100.0 *. !extra_cycles /. !base_cycles
+       else avg !overheads);
+    offline_time_s = !offline_time;
+    online_time_s = max online_time 0.0;
+    final_sigma = !sigma;
+    tracked =
+      List.sort_uniq compare
+        (Slicing.Slicer.take slice !sigma @ IntSet.elements !discovered);
+    trace = List.rev !trace;
+  }

@@ -1,0 +1,66 @@
+(** The Gist server: static slicing, adaptive slice tracking (AsT),
+    slice refinement from client reports, statistical predictor
+    ranking, and failure-sketch construction (paper Fig. 2, steps 1, 3
+    and 5). *)
+
+open Ir.Types
+
+(** Per-AsT-iteration progress, for reporting and the Fig. 12 sweep. *)
+type iteration_info = {
+  it_sigma : int;
+  it_tracked : int;
+  it_fails : int;
+  it_succs : int;
+  it_clients : int;
+  it_avg_overhead : float;
+  it_oracle_pass : bool;
+}
+
+type diagnosis = {
+  sketch : Fsketch.Sketch.t;
+  slice : Slicing.Slicer.t;
+  iterations : int;
+  recurrences : int;  (** matching failing runs AsT consumed (Table 1) *)
+  total_runs : int;   (** monitored production runs *)
+  avg_overhead_pct : float;
+      (** fleet-wide: aggregate extra cycles over aggregate base cycles *)
+  offline_time_s : float; (** static analysis + instrumentation time *)
+  online_time_s : float;  (** simulated fleet wall-clock *)
+  final_sigma : int;
+  tracked : iid list; (** statements tracked in the last iteration *)
+  trace : iteration_info list;
+}
+
+(** Scan unmonitored production runs for the first failure: the
+    coredump/stack-trace report a developer starts from. *)
+val first_failure :
+  ?max_runs:int ->
+  ?preempt_prob:float ->
+  ?max_steps:int ->
+  program ->
+  (int -> Exec.Interp.workload) ->
+  Exec.Failure.report option
+
+(** Split watchpoint targets into rotation groups of at most
+    [wp_capacity]; client [c] arms group [c mod n] (§3.2.3's
+    cooperative approach).  Always returns at least one (possibly
+    empty) group. *)
+val wp_groups : wp_capacity:int -> iid list -> iid list list
+
+(** [diagnose ~bug_name ~failure_type ~program ~workload_of ~failure ()]
+    runs the full pipeline: slice, then AsT iterations (track the sigma
+    closest slice statements plus everything watchpoints discovered,
+    gather failing/successful monitored runs, refine, rank predictors,
+    build the sketch) until [oracle] — the developer of §3.2.1 — is
+    satisfied, sigma exceeds the slice, or [config.max_iterations] is
+    reached. *)
+val diagnose :
+  ?config:Config.t ->
+  ?oracle:(Fsketch.Sketch.t -> bool) ->
+  bug_name:string ->
+  failure_type:string ->
+  program:program ->
+  workload_of:(int -> Exec.Interp.workload) ->
+  failure:Exec.Failure.report ->
+  unit ->
+  diagnosis

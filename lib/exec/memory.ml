@@ -1,0 +1,67 @@
+(* The shared heap.  Freed blocks keep their identity so use-after-free
+   and double-free are detected precisely (these are two of the failure
+   classes in Table 1: pbzip2's segfault and Apache's double free). *)
+
+type fail = Fail_segv | Fail_uaf | Fail_dfree
+
+type block = { base : int; size : int; mutable freed : bool }
+
+type t = {
+  cells : (int, Value.t) Hashtbl.t;
+  blocks : (int, block) Hashtbl.t;      (* base -> block *)
+  cell_block : (int, int) Hashtbl.t;    (* cell addr -> base *)
+  mutable next : int;
+}
+
+let create () =
+  {
+    cells = Hashtbl.create 256;
+    blocks = Hashtbl.create 64;
+    cell_block = Hashtbl.create 256;
+    next = 16;
+  }
+
+let alloc t size =
+  let size = max size 1 in
+  let base = t.next in
+  t.next <- t.next + size + 1 (* one-cell red zone between blocks *);
+  Hashtbl.replace t.blocks base { base; size; freed = false };
+  for k = 0 to size - 1 do
+    Hashtbl.replace t.cells (base + k) (Value.VInt 0);
+    Hashtbl.replace t.cell_block (base + k) base
+  done;
+  base
+
+let block_of t addr =
+  match Hashtbl.find_opt t.cell_block addr with
+  | None -> None
+  | Some base -> Hashtbl.find_opt t.blocks base
+
+let check t addr =
+  match block_of t addr with
+  | None -> Error Fail_segv
+  | Some b when b.freed -> Error Fail_uaf
+  | Some _ -> Ok ()
+
+let load t addr =
+  match check t addr with
+  | Error e -> Error e
+  | Ok () -> Ok (Hashtbl.find t.cells addr)
+
+let store t addr v =
+  match check t addr with
+  | Error e -> Error e
+  | Ok () ->
+    Hashtbl.replace t.cells addr v;
+    Ok ()
+
+let free t base =
+  match Hashtbl.find_opt t.blocks base with
+  | None -> Error Fail_segv
+  | Some b when b.freed -> Error Fail_dfree
+  | Some b ->
+    b.freed <- true;
+    Ok ()
+
+(* Is [addr] a currently valid (allocated, unfreed) cell? *)
+let valid t addr = match check t addr with Ok () -> true | Error _ -> false

@@ -1,0 +1,28 @@
+(** The shared heap.  Freed blocks keep their identity so use-after-free
+    and double-free are detected precisely (two of Table 1's failure
+    classes).  Blocks are separated by one-cell red zones, so walking
+    off the end of a block is a segfault, not a silent overlap. *)
+
+type fail = Fail_segv | Fail_uaf | Fail_dfree
+
+type t
+
+val create : unit -> t
+
+(** [alloc t n] returns the base address of a fresh block of
+    [max n 1] zero-initialised cells. *)
+val alloc : t -> int -> int
+
+(** Validity of a cell address (unmapped / freed / live). *)
+val check : t -> int -> (unit, fail) result
+
+val load : t -> int -> (Value.t, fail) result
+val store : t -> int -> Value.t -> (unit, fail) result
+
+(** [free t base] marks the block at [base] freed.
+    [Error Fail_dfree] on a second free, [Error Fail_segv] when [base]
+    is not a block base. *)
+val free : t -> int -> (unit, fail) result
+
+(** Is [addr] a currently valid (allocated, unfreed) cell? *)
+val valid : t -> int -> bool

@@ -1,0 +1,16 @@
+(** Deterministic splitmix64 generator: a whole run (scheduling
+    included) is a pure function of (program, workload, seed), which
+    the record/replay baseline and the determinism tests rely on. *)
+
+type t
+
+val create : int -> t
+val next : t -> int64
+
+(** Uniform int in [\[0, bound)]; 0 when [bound <= 0]. *)
+val int : t -> int -> int
+
+(** Uniform float in [\[0, 1)]. *)
+val float : t -> float
+
+val bool : t -> bool

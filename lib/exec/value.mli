@@ -1,0 +1,20 @@
+(** Runtime values.  Registers are thread-local (Gist does not watch
+    stack variables, paper §6); only heap cells and globals live at
+    watchable addresses. *)
+
+type t =
+  | VInt of int
+  | VPtr of int      (** address of a heap/global cell *)
+  | VStr of string
+  | VTid of int      (** thread handle *)
+  | VNull
+  | VUnit
+
+(** C-style truthiness: [VInt 0] and [VNull] are false. *)
+val truthy : t -> bool
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+
+(** Structural equality, with [VNull = VInt 0] as in C. *)
+val equal : t -> t -> bool

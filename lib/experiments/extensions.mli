@@ -1,0 +1,41 @@
+(** Evaluations of the paper's §6 future-work proposals: PTWRITE data
+    packets instead of watchpoints, range/inequality value predicates,
+    and value redaction for user privacy. *)
+
+type ptwrite_row = {
+  pw_name : string;
+  wp_accuracy : float;
+  pw_accuracy : float;
+  wp_overhead : float;
+  pw_overhead : float;
+  wp_recurrences : int;
+  pw_recurrences : int;
+}
+
+val ptwrite_row : Bugbase.Common.t -> ptwrite_row option
+val ptwrite_rows : unit -> ptwrite_row list
+
+type range_row = {
+  rg_name : string;
+  exact_best_f : float;
+  range_best_f : float;
+}
+
+val range_row : Bugbase.Common.t -> range_row option
+val range_rows : unit -> range_row list
+
+type alias_row = {
+  al_name : string;
+  plain_instrs : int;
+  alias_instrs : int;
+  growth_pct : float;
+}
+
+val alias_row : Bugbase.Common.t -> alias_row option
+val alias_rows : unit -> alias_row list
+
+val print_ptwrite : unit -> unit
+val print_alias : unit -> unit
+val print_ranges : unit -> unit
+val print_redaction : unit -> unit
+val print : unit -> unit

@@ -1,0 +1,67 @@
+(* Fig. 10: contribution of Gist's three techniques to overall sketch
+   accuracy, measured by staging them: static slicing alone, slicing +
+   control-flow tracking (Intel PT, no watchpoints), and the full
+   system (+ data-flow tracking). *)
+
+type row = {
+  name : string;
+  static_only : float;
+  with_cf : float;
+  full : float;
+}
+
+(* Static slicing alone: no runtime information, so the "sketch" is the
+   slice portion AsT would track, in forward program order, with no
+   cross-thread ordering and no discovered statements. *)
+let static_accuracy (r : Harness.bug_result) =
+  let slice_iids =
+    Slicing.Slicer.iids r.diagnosis.slice |> List.sort compare
+  in
+  let acc =
+    Fsketch.Accuracy.compute ~gist_order:slice_iids
+      ~ideal:(Bugbase.Common.ideal r.bug)
+  in
+  acc.overall
+
+let cf_only_accuracy (r : Harness.bug_result) =
+  let config =
+    {
+      Gist.Config.default with
+      Gist.Config.enable_df = false;
+      preempt_prob = r.bug.preempt_prob;
+      max_iterations = 5;
+    }
+  in
+  match Harness.diagnose_bug ~config r.bug with
+  | None -> 0.0
+  | Some r' -> r'.accuracy.overall
+
+let rows_memo : row list Lazy.t =
+  lazy
+    (List.map
+       (fun (r : Harness.bug_result) ->
+         {
+           name = r.bug.name;
+           static_only = static_accuracy r;
+           with_cf = cf_only_accuracy r;
+           full = r.accuracy.overall;
+         })
+       (Harness.results ()))
+
+let rows () = Lazy.force rows_memo
+
+let print () =
+  print_endline
+    "Fig. 10: Contribution of static slicing, +control-flow tracking,\n\
+     +data-flow tracking to overall accuracy (%).";
+  Printf.printf "%-13s %12s %12s %12s\n" "Bug" "slicing" "+ctrl-flow" "+data-flow";
+  List.iter
+    (fun r ->
+      Printf.printf "%-13s %12.1f %12.1f %12.1f\n" r.name r.static_only
+        r.with_cf r.full)
+    (rows ());
+  let avg f = Harness.mean (List.map f (rows ())) in
+  Printf.printf "%-13s %12.1f %12.1f %12.1f\n\n" "AVERAGE"
+    (avg (fun r -> r.static_only))
+    (avg (fun r -> r.with_cf))
+    (avg (fun r -> r.full))

@@ -1,0 +1,13 @@
+(** Fig. 10: contribution of static slicing, +control-flow tracking and
+    +data-flow tracking to overall sketch accuracy, measured by staging
+    the techniques. *)
+
+type row = {
+  name : string;
+  static_only : float;
+  with_cf : float;
+  full : float;
+}
+
+val rows : unit -> row list
+val print : unit -> unit

@@ -1,0 +1,53 @@
+(* Fig. 11: Gist's average runtime performance overhead across all
+   monitored runs as a function of the tracked slice size (paper: a
+   monotonically increasing curve staying in single-digit percent up to
+   slice size ~40, with a flat region where additional statements add
+   only control-flow events). *)
+
+let sizes = [ 2; 4; 8; 12; 16; 22; 28; 34; 40 ]
+let clients_per_point = 24
+
+type point = { size : int; overhead_pct : float }
+
+(* Aggregate (fleet-wide) overhead of tracking the [size] statements
+   closest to the failure, across all bugs. *)
+let overhead_at size =
+  let base = ref 0.0 and extra = ref 0.0 in
+  List.iter
+    (fun (bug : Bugbase.Common.t) ->
+      match Bugbase.Common.find_target_failure bug with
+      | None -> ()
+      | Some (_, failure) ->
+        let slice = Slicing.Slicer.compute bug.program failure in
+        let tracked = Slicing.Slicer.take slice size in
+        let plan = Instrument.Place.compute bug.program tracked in
+        let groups =
+          Gist.Server.wp_groups ~wp_capacity:4 plan.Instrument.Plan.wp_targets
+        in
+        let n_groups = List.length groups in
+        for c = 0 to clients_per_point - 1 do
+          let report =
+            Gist.Client.run_one ~preempt_prob:bug.preempt_prob ~plan
+              ~wp_allowed:(List.nth groups (c mod n_groups))
+              bug.program (bug.workload_of c)
+          in
+          base := !base +. report.r_base_cycles;
+          extra := !extra +. report.r_extra_cycles
+        done)
+    Bugbase.Registry.all;
+  if !base > 0.0 then 100.0 *. !extra /. !base else 0.0
+
+let points_memo : point list Lazy.t =
+  lazy
+    (List.map (fun size -> { size; overhead_pct = overhead_at size }) sizes)
+
+let points () = Lazy.force points_memo
+
+let print () =
+  print_endline
+    "Fig. 11: Average runtime overhead as a function of tracked slice size.";
+  Printf.printf "%-12s %12s\n" "slice size" "overhead(%)";
+  List.iter
+    (fun p -> Printf.printf "%-12d %12.2f\n" p.size p.overhead_pct)
+    (points ());
+  print_newline ()

@@ -1,0 +1,57 @@
+(* Fig. 12: tradeoff between the initial tracked slice size sigma_0 and
+   the resulting accuracy and root-cause-diagnosis latency (paper: as
+   long as sigma_0 undershoots the best sketch, AsT still reaches the
+   highest accuracy at a latency that shrinks as sigma_0 grows;
+   overshooting lowers accuracy because extraneous statements join the
+   sketch). *)
+
+let sigmas = [ 2; 4; 8; 16; 23; 32 ]
+
+type point = {
+  sigma0 : int;
+  avg_accuracy : float;
+  avg_latency : float; (* failure recurrences *)
+  avg_overhead : float;
+}
+
+let point_for sigma0 =
+  let results =
+    List.filter_map
+      (fun (bug : Bugbase.Common.t) ->
+        let config = { Gist.Config.default with Gist.Config.sigma0 } in
+        Harness.diagnose_bug ~config bug)
+      Bugbase.Registry.all
+  in
+  {
+    sigma0;
+    avg_accuracy =
+      Harness.mean
+        (List.map (fun (r : Harness.bug_result) -> r.accuracy.overall) results);
+    avg_latency =
+      Harness.mean
+        (List.map
+           (fun (r : Harness.bug_result) ->
+             float_of_int r.diagnosis.recurrences)
+           results);
+    avg_overhead =
+      Harness.mean
+        (List.map
+           (fun (r : Harness.bug_result) -> r.diagnosis.avg_overhead_pct)
+           results);
+  }
+
+let points_memo : point list Lazy.t = lazy (List.map point_for sigmas)
+let points () = Lazy.force points_memo
+
+let print () =
+  print_endline
+    "Fig. 12: Tradeoff between initial slice size sigma_0 and the\n\
+     resulting accuracy and latency (# failure recurrences).";
+  Printf.printf "%-8s %12s %12s %12s\n" "sigma0" "accuracy(%)" "latency(#rec)"
+    "overhead(%)";
+  List.iter
+    (fun p ->
+      Printf.printf "%-8d %12.1f %12.2f %12.2f\n" p.sigma0 p.avg_accuracy
+        p.avg_latency p.avg_overhead)
+    (points ());
+  print_newline ()

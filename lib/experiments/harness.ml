@@ -1,0 +1,59 @@
+(* Shared experiment harness: run the full Gist pipeline on every
+   Table 1 bug once and memoise the results so Table 1, Fig. 9 and the
+   summary all report the same fleet. *)
+
+type bug_result = {
+  bug : Bugbase.Common.t;
+  failure : Exec.Failure.report;
+  diagnosis : Gist.Server.diagnosis;
+  accuracy : Fsketch.Accuracy.result;
+  wall_time_s : float;
+}
+
+let diagnose_bug ?(config = Gist.Config.default) (bug : Bugbase.Common.t) =
+  match Bugbase.Common.find_target_failure bug with
+  | None -> None
+  | Some (_, failure) ->
+    let t0 = Unix.gettimeofday () in
+    let config = { config with Gist.Config.preempt_prob = bug.preempt_prob } in
+    let diagnosis =
+      Gist.Server.diagnose ~config ~oracle:(Oracle.for_bug bug)
+        ~bug_name:bug.name ~failure_type:bug.failure_type ~program:bug.program
+        ~workload_of:bug.workload_of ~failure ()
+    in
+    let accuracy =
+      Fsketch.Accuracy.of_sketch diagnosis.sketch ~ideal:(Bugbase.Common.ideal bug)
+    in
+    Some
+      {
+        bug;
+        failure;
+        diagnosis;
+        accuracy;
+        wall_time_s = Unix.gettimeofday () -. t0;
+      }
+
+let all_results : bug_result list Lazy.t =
+  lazy
+    (List.filter_map (fun b -> diagnose_bug b) Bugbase.Registry.all)
+
+let results () = Lazy.force all_results
+
+let mean l =
+  match l with
+  | [] -> 0.0
+  | _ -> List.fold_left ( +. ) 0.0 l /. float_of_int (List.length l)
+
+(* Gist sketch size in source lines / IR instructions. *)
+let sketch_size (r : bug_result) =
+  let iids = Fsketch.Sketch.iids r.diagnosis.sketch in
+  (Ir.Program.source_loc_count r.bug.program iids, List.length iids)
+
+let ideal_size (r : bug_result) =
+  let ideal = Bugbase.Common.ideal r.bug in
+  ( Ir.Program.source_loc_count r.bug.program ideal.i_iids,
+    List.length ideal.i_iids )
+
+let fmt_mmss s =
+  let total = int_of_float s in
+  Printf.sprintf "%dm:%02ds" (total / 60) (total mod 60)

@@ -1,0 +1,29 @@
+(** Shared experiment harness: run the full Gist pipeline on every
+    Table 1 bug once and memoise the results so Table 1, Fig. 9 and the
+    summary report the same fleet. *)
+
+type bug_result = {
+  bug : Bugbase.Common.t;
+  failure : Exec.Failure.report;
+  diagnosis : Gist.Server.diagnosis;
+  accuracy : Fsketch.Accuracy.result;
+  wall_time_s : float;
+}
+
+(** Diagnose one bug end-to-end with its root-cause oracle; [None] when
+    the target failure never manifests. *)
+val diagnose_bug :
+  ?config:Gist.Config.t -> Bugbase.Common.t -> bug_result option
+
+(** All 11 bugs, memoised across experiments. *)
+val results : unit -> bug_result list
+
+val mean : float list -> float
+
+(** Gist sketch size as (source lines, IR instructions). *)
+val sketch_size : bug_result -> int * int
+
+val ideal_size : bug_result -> int * int
+
+(** "1m:35s"-style formatting for the Table 1 latency column. *)
+val fmt_mmss : float -> string

@@ -1,0 +1,25 @@
+(* The "developer decides AsT may stop" callback (paper §3.2.1: "until
+   a developer decides that the failure sketch contains the root cause
+   and instructs Gist to stop").  We model the developer as satisfied
+   when (a) every statement of the hand-built ideal sketch is in the
+   computed sketch and (b) the sketch carries at least one convincing
+   failure predictor: high precision and observed in a failing run. *)
+
+let convincing_predictor (s : Fsketch.Sketch.t) =
+  List.exists
+    (fun (r : Predict.Stats.ranked) ->
+      r.n_failing_with >= 1 && r.precision >= 0.85 && r.f_measure >= 0.5)
+    s.predictors
+
+let covers_ideal (ideal : Fsketch.Accuracy.ideal) (s : Fsketch.Sketch.t) =
+  let got = Fsketch.Sketch.iids s in
+  List.for_all (fun i -> List.mem i got) ideal.i_iids
+
+let sufficient ~ideal s = covers_ideal ideal s && convincing_predictor s
+
+(* The oracle for a bug, ready to pass to [Gist.Server.diagnose]: the
+   developer stops AsT once the *root-cause core* is visible with a
+   convincing predictor (not once every dependency is captured). *)
+let for_bug (bug : Bugbase.Common.t) =
+  let root = Fsketch.Accuracy.{ i_iids = Bugbase.Common.root_cause_iids bug } in
+  fun s -> sufficient ~ideal:root s

@@ -1,0 +1,63 @@
+(* Table 1: per bug, software size, static slice size (source LOC and
+   IR instructions), ideal and Gist-computed sketch sizes, and the
+   failure-sketch computation latency (# failure recurrences, wall
+   time, offline analysis time). *)
+
+type row = {
+  name : string;
+  version : string;
+  loc : int;
+  bug_id : string;
+  slice_src : int;
+  slice_instr : int;
+  ideal_src : int;
+  ideal_instr : int;
+  gist_src : int;
+  gist_instr : int;
+  recurrences : int;
+  total_runs : int;
+  wall_time_s : float;
+  offline_time_s : float;
+}
+
+let row_of_result (r : Harness.bug_result) =
+  let gist_src, gist_instr = Harness.sketch_size r in
+  let ideal_src, ideal_instr = Harness.ideal_size r in
+  {
+    name = r.bug.name;
+    version = r.bug.version;
+    loc = r.bug.claimed_loc;
+    bug_id = r.bug.bug_id;
+    slice_src = Slicing.Slicer.source_loc_count r.diagnosis.slice;
+    slice_instr = Slicing.Slicer.instr_count r.diagnosis.slice;
+    ideal_src;
+    ideal_instr;
+    gist_src;
+    gist_instr;
+    recurrences = r.diagnosis.recurrences;
+    total_runs = r.diagnosis.total_runs;
+    wall_time_s = r.wall_time_s;
+    offline_time_s = r.diagnosis.offline_time_s;
+  }
+
+let rows () = List.map row_of_result (Harness.results ())
+
+let print () =
+  print_endline "Table 1: Bugs used to evaluate Gist.";
+  print_endline
+    "(slice and sketch sizes in source LOC (IR instructions); latency as\n\
+     # failure recurrences <wall time> (offline analysis time))";
+  Printf.printf "%-13s %-8s %9s %-8s %15s %13s %13s %5s %7s %22s\n"
+    "Bug" "Version" "Size[LOC]" "BugID" "Static slice" "Ideal sketch"
+    "Gist sketch" "#rec" "#runs" "Latency";
+  List.iter
+    (fun r ->
+      Printf.printf
+        "%-13s %-8s %9d %-8s %8d (%4d) %6d (%4d) %6d (%4d) %5d %7d %4d <%s> (%s)\n"
+        r.name r.version r.loc r.bug_id r.slice_src r.slice_instr r.ideal_src
+        r.ideal_instr r.gist_src r.gist_instr r.recurrences r.total_runs
+        r.recurrences
+        (Harness.fmt_mmss r.wall_time_s)
+        (Harness.fmt_mmss r.offline_time_s))
+    (rows ());
+  print_newline ()

@@ -1,0 +1,297 @@
+(* An Intel Processor Trace simulator.
+
+   Like the real feature (paper §3.2.2 and §6), it:
+   - records only control flow: conditional-branch outcomes as TNT bits
+     and return targets as TIP packets, delimited by PGE/PGD packets
+     when tracing is toggled at runtime;
+   - produces per-thread streams with *no order across threads* (the
+     paper's per-core partial-order limitation; Gist compensates with
+     hardware watchpoints);
+   - carries no data values;
+   - has a byte-accounted trace volume feeding the overhead model.
+
+   The decoder reconstructs the executed instruction sequence between
+   each PGE/PGD pair by re-walking the program, consuming one TNT bit
+   per conditional branch and one TIP per return. *)
+
+open Ir.Types
+
+(* A PTWRITE-style data packet: the hardware extension the paper's §6
+   proposes ("if Intel PT also captured data addresses and values along
+   with the control-flow, we could eliminate the need for hardware
+   watchpoints and the complexity of a cooperative approach").  The TSC
+   payload gives data packets a global order across per-thread streams,
+   as real PTWRITE+TSC packets would. *)
+type ptw = {
+  p_tsc : int;
+  p_iid : iid;
+  p_addr : int;
+  p_write : bool;
+  p_value : Exec.Value.t;
+}
+
+type packet =
+  | PGE of iid        (* trace enabled; payload = first traced pc *)
+  | PGD of iid        (* trace disabled; payload = disable pc, -1 if truncated *)
+  | TNT of bool list  (* up to 8 branch outcomes, oldest first *)
+  | TIP of iid        (* return target; 0 = thread exit *)
+  | PTW of ptw        (* extension: a data packet (address + value + TSC) *)
+
+let packet_bytes = function
+  | PGE _ -> 8
+  | PGD _ -> 2
+  | TNT _ -> 1
+  | TIP _ -> 5
+  | PTW _ -> 10
+
+type stream = {
+  s_tid : int;
+  mutable enabled : bool;
+  mutable packets : packet list; (* newest first *)
+  mutable tnt_buf : bool list;   (* newest first, < 8 entries *)
+  mutable last_pc : int;         (* last pc seen while enabled (FUP) *)
+}
+
+type recorder = {
+  counters : Exec.Cost.t;
+  streams : (int, stream) Hashtbl.t;
+  mutable tsc : int; (* global timestamp counter for PTW packets *)
+}
+
+let create counters = { counters; streams = Hashtbl.create 8; tsc = 0 }
+
+let stream r tid =
+  match Hashtbl.find_opt r.streams tid with
+  | Some s -> s
+  | None ->
+    let s =
+      { s_tid = tid; enabled = false; packets = []; tnt_buf = []; last_pc = -1 }
+    in
+    Hashtbl.replace r.streams tid s;
+    s
+
+let emit r s p =
+  s.packets <- p :: s.packets;
+  r.counters.pt_packets <- r.counters.pt_packets + 1;
+  r.counters.pt_bytes <- r.counters.pt_bytes + packet_bytes p
+
+let flush_tnt r s =
+  if s.tnt_buf <> [] then begin
+    emit r s (TNT (List.rev s.tnt_buf));
+    s.tnt_buf <- []
+  end
+
+let enabled r tid = (stream r tid).enabled
+
+let enable r ~tid ~pc =
+  let s = stream r tid in
+  if not s.enabled then begin
+    s.enabled <- true;
+    emit r s (PGE pc);
+    r.counters.pt_toggles <- r.counters.pt_toggles + 1
+  end
+
+let disable r ~tid ~pc =
+  let s = stream r tid in
+  if s.enabled then begin
+    flush_tnt r s;
+    emit r s (PGD pc);
+    s.enabled <- false;
+    r.counters.pt_toggles <- r.counters.pt_toggles + 1
+  end
+
+(* Track the current pc of an enabled stream so a crash-time flush can
+   emit it, like the FUP accompanying a real PGD. *)
+let note_pc r ~tid ~pc =
+  let s = stream r tid in
+  if s.enabled then s.last_pc <- pc
+
+let on_branch r ~tid ~taken =
+  let s = stream r tid in
+  if s.enabled then begin
+    s.tnt_buf <- taken :: s.tnt_buf;
+    if List.length s.tnt_buf >= 8 then flush_tnt r s
+  end
+
+let on_ret r ~tid ~resume =
+  let s = stream r tid in
+  if s.enabled then begin
+    flush_tnt r s;
+    match resume with
+    | Some i -> emit r s (TIP i)
+    | None ->
+      (* Thread exit: the return completed, so the segment closes with
+         a sentinel PGD (-2) that never truncates the decode. *)
+      emit r s (TIP 0);
+      emit r s (PGD (-2));
+      s.enabled <- false
+  end
+
+(* Extension: emit a PTWRITE-style data packet for an instrumented
+   access (only while the stream is tracing). *)
+let on_data r ~tid ~iid ~addr ~rw ~value =
+  let s = stream r tid in
+  if s.enabled then begin
+    flush_tnt r s;
+    r.tsc <- r.tsc + 1;
+    emit r s
+      (PTW
+         {
+           p_tsc = r.tsc;
+           p_iid = iid;
+           p_addr = addr;
+           p_write = (rw = Exec.Interp.Write);
+           p_value = value;
+         })
+  end
+
+(* End of run: close any stream still tracing (e.g. the run crashed).
+   The PGD carries -1: the decoder stops at the last packet-backed
+   position, like a real decoder facing a truncated trace. *)
+let finish r =
+  Hashtbl.iter
+    (fun _ s ->
+      if s.enabled then begin
+        flush_tnt r s;
+        emit r s (PGD s.last_pc);
+        s.enabled <- false
+      end)
+    r.streams
+
+let packets_of r tid = List.rev (stream r tid).packets
+
+let all_tids r =
+  Hashtbl.fold (fun tid _ acc -> tid :: acc) r.streams [] |> List.sort compare
+
+(* ------------------------------------------------------------------ *)
+(* Decoder *)
+
+type decoded = {
+  d_iids : iid list;                (* executed instructions, in order *)
+  d_branches : (iid * bool) list;   (* branch outcomes, in order *)
+  d_data : ptw list;                (* PTWRITE data packets, in TSC order *)
+}
+
+exception Malformed of string
+
+type cursor = {
+  mutable rest : packet list;
+  mutable bits : bool list; (* bits of the TNT packet being consumed *)
+}
+
+let next_packet c =
+  match c.rest with
+  | [] -> None
+  | p :: tl ->
+    c.rest <- tl;
+    Some p
+
+let rec take_bit c =
+  match c.bits with
+  | b :: tl ->
+    c.bits <- tl;
+    Some b
+  | [] -> (
+    match c.rest with
+    | TNT bits :: tl ->
+      c.rest <- tl;
+      c.bits <- bits;
+      take_bit c
+    | _ -> None)
+
+(* Peek: is the next meaningful packet a PGD? (used to detect segment end) *)
+let at_segment_end c = c.bits = [] && (match c.rest with PGD _ :: _ -> true | _ -> false)
+
+let decode program packets =
+  (* Data packets carry their own timestamps; split them out so the
+     control-flow walk sees a pure branch/transfer stream. *)
+  let data, control =
+    List.partition_map
+      (function PTW w -> Left w | p -> Right p)
+      packets
+  in
+  let data = List.sort (fun a b -> compare a.p_tsc b.p_tsc) data in
+  let c = { rest = control; bits = [] } in
+  let iids = ref [] and branches = ref [] in
+  let first_iid_of_block f bi = f.blocks.(bi).instrs.(0).iid in
+  let block_index f l =
+    let rec find k =
+      if k >= Array.length f.blocks then raise (Malformed ("label " ^ l))
+      else if f.blocks.(k).label = l then k
+      else find (k + 1)
+    in
+    find 0
+  in
+  (* Decode one segment starting at [pc], until the PGD. *)
+  let rec walk pc stop_pc =
+    if pc = stop_pc then ()
+    else begin
+      let i, pos = Hashtbl.find program.by_iid pc in
+      let f = Ir.Program.find_func program pos.p_func in
+      iids := pc :: !iids;
+      let fallthrough () =
+        let bl = f.blocks.(pos.p_block) in
+        if pos.p_index + 1 < Array.length bl.instrs then
+          walk bl.instrs.(pos.p_index + 1).iid stop_pc
+        else raise (Malformed "fell off block end")
+      in
+      match i.kind with
+      | Jmp l -> walk (first_iid_of_block f (block_index f l)) stop_pc
+      | Branch (_, lt, le) -> (
+        match take_bit c with
+        | None ->
+          (* Truncated trace: execution crashed at/just after this branch. *)
+          ()
+        | Some taken ->
+          branches := (pc, taken) :: !branches;
+          let l = if taken then lt else le in
+          walk (first_iid_of_block f (block_index f l)) stop_pc)
+      | Call (_, callee, _) ->
+        let cf = Ir.Program.find_func program callee in
+        walk (first_iid_of_block cf 0) stop_pc
+      | Ret _ -> (
+        match next_packet c with
+        | Some (TIP 0) -> () (* thread exit *)
+        | Some (TIP resume) -> walk resume stop_pc
+        | Some (PGD _) | None -> () (* truncated *)
+        | Some _ -> raise (Malformed "expected TIP after return"))
+      | _ ->
+        (* Straight-line instruction.  If the trace is truncated (the
+           run crashed while tracing), stop at the last packet-backed
+           point rather than walking past the crash. *)
+        if stop_pc = -1 && c.bits = [] && c.rest = [] then ()
+        else if stop_pc = -1 && at_segment_end c then ()
+        else fallthrough ()
+    end
+  in
+  let rec segments () =
+    match next_packet c with
+    | None -> ()
+    | Some (PGE start) ->
+      let stop_pc =
+        (* Scan ahead for this segment's PGD payload (the disable pc). *)
+        let rec scan = function
+          | PGD pc :: _ -> pc
+          | _ :: tl -> scan tl
+          | [] -> -1
+        in
+        scan c.rest
+      in
+      walk start stop_pc;
+      (* Consume through the PGD. *)
+      let rec drop () =
+        match next_packet c with
+        | Some (PGD _) | None -> ()
+        | Some _ -> drop ()
+      in
+      drop ();
+      c.bits <- [];
+      segments ()
+    | Some _ -> raise (Malformed "expected PGE at segment start")
+  in
+  segments ();
+  { d_iids = List.rev !iids; d_branches = List.rev !branches; d_data = data }
+
+(* Decode every stream of a recorder. *)
+let decode_all r program =
+  List.map (fun tid -> (tid, decode program (packets_of r tid))) (all_tids r)

@@ -1,0 +1,88 @@
+(** An Intel Processor Trace simulator.
+
+    Like the real feature (paper §3.2.2, §6), it records only control
+    flow — conditional-branch outcomes as TNT bits and return targets
+    as TIP packets, delimited by PGE/PGD when tracing is toggled — in
+    per-thread streams with {e no order across threads} (the per-core
+    partial-order limitation Gist compensates with watchpoints), with
+    no data values, and with byte-accounted trace volume feeding the
+    cost model.
+
+    The decoder reconstructs the executed instruction sequence between
+    each PGE/PGD pair by re-walking the program, consuming one TNT bit
+    per conditional branch and one TIP per return. *)
+
+open Ir.Types
+
+(** A PTWRITE-style data packet: the hardware extension the paper's §6
+    proposes to eliminate watchpoints.  The TSC payload gives data
+    packets a global order across per-thread streams. *)
+type ptw = {
+  p_tsc : int;
+  p_iid : iid;
+  p_addr : int;
+  p_write : bool;
+  p_value : Exec.Value.t;
+}
+
+type packet =
+  | PGE of iid  (** trace enabled; payload: the first traced pc *)
+  | PGD of iid
+      (** trace disabled; payload: the disable pc.  [-1] marks a
+          crash-truncated stream (carries the FUP-style last pc noted
+          via {!note_pc}), [-2] a clean thread exit. *)
+  | TNT of bool list  (** up to 8 branch outcomes, oldest first *)
+  | TIP of iid        (** return target; 0 = thread exit *)
+  | PTW of ptw        (** extension: a data packet (address + value + TSC) *)
+
+val packet_bytes : packet -> int
+
+type recorder
+
+(** [create counters] — trace volume and toggles account into
+    [counters]. *)
+val create : Exec.Cost.t -> recorder
+
+val enabled : recorder -> int -> bool
+
+(** [enable r ~tid ~pc] starts tracing thread [tid]; idempotent. *)
+val enable : recorder -> tid:int -> pc:iid -> unit
+
+(** [disable r ~tid ~pc] stops tracing; idempotent. *)
+val disable : recorder -> tid:int -> pc:iid -> unit
+
+(** Track the current pc of an enabled stream so a crash-time flush
+    emits it (like the FUP accompanying a real PGD). *)
+val note_pc : recorder -> tid:int -> pc:iid -> unit
+
+val on_branch : recorder -> tid:int -> taken:bool -> unit
+
+(** Extension: emit a PTWRITE data packet for an instrumented access
+    (only while the stream is tracing). *)
+val on_data :
+  recorder -> tid:int -> iid:iid -> addr:int -> rw:Exec.Interp.rw ->
+  value:Exec.Value.t -> unit
+
+(** [on_ret r ~tid ~resume]: [resume = None] is a thread exit and
+    closes the stream. *)
+val on_ret : recorder -> tid:int -> resume:iid option -> unit
+
+(** Close any stream still tracing (e.g. the run crashed). *)
+val finish : recorder -> unit
+
+val packets_of : recorder -> int -> packet list
+val all_tids : recorder -> int list
+
+type decoded = {
+  d_iids : iid list;              (** executed instructions, in order *)
+  d_branches : (iid * bool) list; (** branch outcomes, in order *)
+  d_data : ptw list;              (** PTWRITE data packets, in TSC order *)
+}
+
+exception Malformed of string
+
+(** Decode one thread's packet stream against the program. *)
+val decode : program -> packet list -> decoded
+
+(** Decode every stream of a recorder, by thread id. *)
+val decode_all : recorder -> program -> (int * decoded) list

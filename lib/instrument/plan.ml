@@ -1,0 +1,45 @@
+(* An instrumentation plan: the "binary patch" Gist ships to production
+   clients (paper §4 uses bsdiff patches; here a plan is interpreted by
+   the runtime hooks in [Runtime]).  Actions fire at the pre-point of
+   an instruction, i.e. just before it executes. *)
+
+open Ir.Types
+
+type action =
+  | Pt_stop   (* disable Intel PT tracing (applied before Pt_start) *)
+  | Pt_start  (* enable Intel PT tracing *)
+  | Wp_arm    (* arm a hardware watchpoint on the address this access will touch *)
+
+type t = {
+  actions : (iid, action list) Hashtbl.t;
+  tracked : iid list;     (* the slice portion being monitored *)
+  wp_targets : iid list;  (* tracked memory accesses eligible for watchpoints *)
+}
+
+let empty () = { actions = Hashtbl.create 8; tracked = []; wp_targets = [] }
+
+let add_action t iid a =
+  let cur = Option.value ~default:[] (Hashtbl.find_opt t.actions iid) in
+  if not (List.mem a cur) then
+    (* Keep stops before starts so a shared point flushes then restarts. *)
+    let next = List.sort compare (a :: cur) in
+    Hashtbl.replace t.actions iid next
+
+let actions_at t iid = Option.value ~default:[] (Hashtbl.find_opt t.actions iid)
+
+let n_actions t = Hashtbl.fold (fun _ l acc -> acc + List.length l) t.actions 0
+
+let pp ppf t =
+  Fmt.pf ppf "@[<v>plan: tracked=[%a] wp=[%a]@,"
+    Fmt.(list ~sep:(any " ") int) t.tracked
+    Fmt.(list ~sep:(any " ") int) t.wp_targets;
+  Hashtbl.fold (fun iid acts acc -> (iid, acts) :: acc) t.actions []
+  |> List.sort compare
+  |> List.iter (fun (iid, acts) ->
+      Fmt.pf ppf "  @%d: %a@," iid
+        Fmt.(list ~sep:(any ",") (fun ppf -> function
+           | Pt_stop -> Fmt.string ppf "pt-stop"
+           | Pt_start -> Fmt.string ppf "pt-start"
+           | Wp_arm -> Fmt.string ppf "wp-arm"))
+        acts);
+  Fmt.pf ppf "@]"

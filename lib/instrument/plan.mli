@@ -1,0 +1,29 @@
+(** An instrumentation plan: the "binary patch" Gist ships to
+    production clients (the paper's prototype uses bsdiff patches, §4;
+    here a plan is interpreted by {!Runtime}).  Actions fire at the
+    pre-point of an instruction, just before it executes. *)
+
+open Ir.Types
+
+type action =
+  | Pt_stop   (** disable Intel PT (applied before a co-located start) *)
+  | Pt_start  (** enable Intel PT *)
+  | Wp_arm    (** arm a watchpoint on the address this access will touch *)
+
+type t = {
+  actions : (iid, action list) Hashtbl.t;
+  tracked : iid list;    (** the slice portion being monitored *)
+  wp_targets : iid list; (** tracked memory accesses eligible for watchpoints *)
+}
+
+val empty : unit -> t
+
+(** Idempotent; keeps stops ordered before starts at a shared point. *)
+val add_action : t -> iid -> action -> unit
+
+val actions_at : t -> iid -> action list
+
+(** Total number of patch points (for reporting). *)
+val n_actions : t -> int
+
+val pp : Format.formatter -> t -> unit

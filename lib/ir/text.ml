@@ -1,0 +1,467 @@
+(* A textual serialisation of IR programs (".gir" files): an emitter
+   and a parser such that [parse (emit p)] rebuilds [p] exactly (up to
+   iid renumbering, which [Program.make] makes canonical anyway).
+
+   Format, line-oriented:
+
+     global counter = 0
+     global name = "init"
+
+     func main(n) {
+     entry:
+       %x = add %n, 3 @ main.c:4 "int x = n + 3;"
+       store %p[1] <- %x
+       load @counter -> %c
+       br %c ? then : out
+     then:
+       ...
+     }
+
+   Operands: %reg, integer, "string", null.  The optional annotation
+   [@ file:line "text"] carries the source attribution shown in
+   failure sketches. *)
+
+open Types
+
+(* ------------------------------------------------------------------ *)
+(* Emission *)
+
+let emit_operand b = function
+  | Reg r -> Buffer.add_string b ("%" ^ r)
+  | Imm n -> Buffer.add_string b (string_of_int n)
+  | Str s -> Buffer.add_string b (Printf.sprintf "%S" s)
+  | Null -> Buffer.add_string b "null"
+
+let emit_operands b = function
+  | [] -> ()
+  | x :: tl ->
+    emit_operand b x;
+    List.iter (fun o -> Buffer.add_string b ", "; emit_operand b o) tl
+
+let emit_expr b = function
+  | Bin (op, x, y) ->
+    Buffer.add_string b (Pp.binop_name op);
+    Buffer.add_char b ' ';
+    emit_operand b x;
+    Buffer.add_string b ", ";
+    emit_operand b y
+  | Mov x ->
+    Buffer.add_string b "mov ";
+    emit_operand b x
+  | Not x ->
+    Buffer.add_string b "not ";
+    emit_operand b x
+
+let emit_kind b = function
+  | Assign (r, e) ->
+    Buffer.add_string b ("%" ^ r ^ " = ");
+    emit_expr b e
+  | Load (r, base, off) ->
+    Buffer.add_string b ("%" ^ r ^ " = load ");
+    emit_operand b base;
+    Buffer.add_string b (Printf.sprintf "[%d]" off)
+  | Store (base, off, v) ->
+    Buffer.add_string b "store ";
+    emit_operand b base;
+    Buffer.add_string b (Printf.sprintf "[%d] <- " off);
+    emit_operand b v
+  | Load_global (r, g) -> Buffer.add_string b ("%" ^ r ^ " = load @" ^ g)
+  | Store_global (g, v) ->
+    Buffer.add_string b ("store @" ^ g ^ " <- ");
+    emit_operand b v
+  | Malloc (r, n) ->
+    Buffer.add_string b (Printf.sprintf "%%%s = malloc %d" r n)
+  | Free p ->
+    Buffer.add_string b "free ";
+    emit_operand b p
+  | Call (dst, f, args) ->
+    (match dst with
+     | Some r -> Buffer.add_string b ("%" ^ r ^ " = ")
+     | None -> ());
+    Buffer.add_string b ("call " ^ f ^ "(");
+    emit_operands b args;
+    Buffer.add_char b ')'
+  | Builtin (dst, f, args) ->
+    (match dst with
+     | Some r -> Buffer.add_string b ("%" ^ r ^ " = ")
+     | None -> ());
+    Buffer.add_string b ("builtin " ^ f ^ "(");
+    emit_operands b args;
+    Buffer.add_char b ')'
+  | Jmp l -> Buffer.add_string b ("jmp " ^ l)
+  | Branch (c, t, e) ->
+    Buffer.add_string b "br ";
+    emit_operand b c;
+    Buffer.add_string b (" ? " ^ t ^ " : " ^ e)
+  | Ret None -> Buffer.add_string b "ret"
+  | Ret (Some v) ->
+    Buffer.add_string b "ret ";
+    emit_operand b v
+  | Spawn (r, f, args) ->
+    Buffer.add_string b ("%" ^ r ^ " = spawn " ^ f ^ "(");
+    emit_operands b args;
+    Buffer.add_char b ')'
+  | Join t ->
+    Buffer.add_string b "join ";
+    emit_operand b t
+  | Lock m ->
+    Buffer.add_string b "lock ";
+    emit_operand b m
+  | Unlock m ->
+    Buffer.add_string b "unlock ";
+    emit_operand b m
+  | Assert (c, msg) ->
+    Buffer.add_string b "assert ";
+    emit_operand b c;
+    Buffer.add_string b (Printf.sprintf " %S" msg)
+
+let emit program =
+  let b = Buffer.create 4096 in
+  List.iter
+    (fun (g : global) ->
+      Buffer.add_string b ("global " ^ g.gname ^ " = ");
+      emit_operand b g.init;
+      Buffer.add_char b '\n')
+    program.globals;
+  if program.globals <> [] then Buffer.add_char b '\n';
+  List.iter
+    (fun (f : func) ->
+      Buffer.add_string b
+        ("func " ^ f.fname ^ "(" ^ String.concat ", " f.params ^ ") {\n");
+      Array.iter
+        (fun (bl : block) ->
+          Buffer.add_string b (bl.label ^ ":\n");
+          Array.iter
+            (fun (i : instr) ->
+              Buffer.add_string b "  ";
+              emit_kind b i.kind;
+              if i.loc.line > 0 || i.text <> "" then
+                Buffer.add_string b
+                  (Printf.sprintf " @ %s:%d %S" i.loc.file i.loc.line i.text);
+              Buffer.add_char b '\n')
+            bl.instrs)
+        f.blocks;
+      Buffer.add_string b "}\n\n")
+    program.funcs;
+  Buffer.add_string b ("main " ^ program.main ^ "\n");
+  Buffer.contents b
+
+(* ------------------------------------------------------------------ *)
+(* Parsing *)
+
+exception Parse_error of int * string (* line number, message *)
+
+type token =
+  | T_ident of string
+  | T_reg of string
+  | T_global_ref of string
+  | T_int of int
+  | T_str of string
+  | T_punct of string
+
+let fail_at lineno fmt =
+  Format.kasprintf (fun m -> raise (Parse_error (lineno, m))) fmt
+
+(* Tokenise one line; quoted strings use OCaml lexical conventions. *)
+let tokenize lineno line =
+  let n = String.length line in
+  let toks = ref [] in
+  let pos = ref 0 in
+  let peek () = if !pos < n then Some line.[!pos] else None in
+  let is_ident_char c =
+    (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9')
+    || c = '_' || c = '-' || c = '.'
+  in
+  let read_while p =
+    let start = !pos in
+    while !pos < n && p line.[!pos] do incr pos done;
+    String.sub line start (!pos - start)
+  in
+  let read_string () =
+    (* find the closing unescaped quote, then let Scanf decode *)
+    let start = !pos in
+    incr pos;
+    let rec find () =
+      if !pos >= n then fail_at lineno "unterminated string"
+      else if line.[!pos] = '\\' then begin pos := !pos + 2; find () end
+      else if line.[!pos] = '"' then incr pos
+      else begin incr pos; find () end
+    in
+    find ();
+    let lit = String.sub line start (!pos - start) in
+    Scanf.sscanf lit "%S" (fun s -> s)
+  in
+  let rec go () =
+    match peek () with
+    | None -> ()
+    | Some ' ' | Some '\t' ->
+      incr pos;
+      go ()
+    | Some '#' -> () (* comment to end of line *)
+    | Some '"' ->
+      toks := T_str (read_string ()) :: !toks;
+      go ()
+    | Some '%' ->
+      incr pos;
+      toks := T_reg (read_while is_ident_char) :: !toks;
+      go ()
+    | Some '@' ->
+      incr pos;
+      (* "@" alone is the annotation marker; "@name" a global ref *)
+      let id = read_while is_ident_char in
+      toks := (if id = "" then T_punct "@" else T_global_ref id) :: !toks;
+      go ()
+    | Some c when c = '-' || (c >= '0' && c <= '9') ->
+      let start = !pos in
+      incr pos;
+      let _ = read_while (fun c -> c >= '0' && c <= '9') in
+      let lit = String.sub line start (!pos - start) in
+      (match int_of_string_opt lit with
+       | Some v -> toks := T_int v :: !toks
+       | None -> fail_at lineno "bad integer %S" lit);
+      go ()
+    | Some c when is_ident_char c ->
+      toks := T_ident (read_while is_ident_char) :: !toks;
+      go ()
+    | Some '<' when !pos + 1 < n && line.[!pos + 1] = '-' ->
+      pos := !pos + 2;
+      toks := T_punct "<-" :: !toks;
+      go ()
+    | Some c ->
+      incr pos;
+      toks := T_punct (String.make 1 c) :: !toks;
+      go ()
+  in
+  go ();
+  List.rev !toks
+
+let binop_of_name = function
+  | "add" -> Some Add | "sub" -> Some Sub | "mul" -> Some Mul
+  | "div" -> Some Div | "mod" -> Some Mod | "eq" -> Some Eq
+  | "ne" -> Some Ne | "lt" -> Some Lt | "le" -> Some Le
+  | "gt" -> Some Gt | "ge" -> Some Ge | "and" -> Some And
+  | "or" -> Some Or
+  | _ -> None
+
+(* Parser combinators over the token list of one line. *)
+let parse_instr_tokens lineno toks =
+  let operand = function
+    | T_reg r :: tl -> (Reg r, tl)
+    | T_int n :: tl -> (Imm n, tl)
+    | T_str s :: tl -> (Str s, tl)
+    | T_ident "null" :: tl -> (Null, tl)
+    | _ -> fail_at lineno "operand expected"
+  in
+  let expect p tl =
+    match tl with
+    | T_punct q :: tl when q = p -> tl
+    | _ -> fail_at lineno "expected %S" p
+  in
+  let rec args acc tl =
+    match tl with
+    | T_punct ")" :: tl -> (List.rev acc, tl)
+    | T_punct "," :: tl ->
+      let o, tl = operand tl in
+      args (o :: acc) tl
+    | _ ->
+      let o, tl = operand tl in
+      args (o :: acc) tl
+  in
+  let call_like tl =
+    match tl with
+    | T_ident f :: T_punct "(" :: tl ->
+      let a, tl = args [] tl in
+      (f, a, tl)
+    | _ -> fail_at lineno "call syntax expected"
+  in
+  (* The annotation suffix: [@ file:line "text"]. *)
+  let annotation tl =
+    match tl with
+    | [] -> ({ file = "<gir>"; line = 0 }, "", [])
+    | T_punct "@" :: T_ident file :: T_punct ":" :: T_int line :: rest ->
+      let text, rest =
+        match rest with T_str s :: tl -> (s, tl) | _ -> ("", rest)
+      in
+      ({ file; line }, text, rest)
+    | _ -> fail_at lineno "unexpected trailing tokens"
+  in
+  let body tl : instr_kind * token list =
+    match tl with
+    (* destination forms: %r = ... *)
+    | T_reg r :: T_punct "=" :: tl -> (
+      match tl with
+      | T_ident "load" :: T_global_ref g :: tl -> (Load_global (r, g), tl)
+      | T_ident "load" :: tl ->
+        let base, tl = operand tl in
+        let tl = expect "[" tl in
+        (match tl with
+         | T_int off :: tl -> (Load (r, base, off), expect "]" tl)
+         | _ -> fail_at lineno "offset expected")
+      | T_ident "malloc" :: T_int n :: tl -> (Malloc (r, n), tl)
+      | T_ident "call" :: tl ->
+        let f, a, tl = call_like tl in
+        (Call (Some r, f, a), tl)
+      | T_ident "builtin" :: tl ->
+        let f, a, tl = call_like tl in
+        (Builtin (Some r, f, a), tl)
+      | T_ident "spawn" :: tl ->
+        let f, a, tl = call_like tl in
+        (Spawn (r, f, a), tl)
+      | T_ident "mov" :: tl ->
+        let x, tl = operand tl in
+        (Assign (r, Mov x), tl)
+      | T_ident "not" :: tl ->
+        let x, tl = operand tl in
+        (Assign (r, Not x), tl)
+      | T_ident op :: tl when binop_of_name op <> None ->
+        let x, tl = operand tl in
+        let tl = expect "," tl in
+        let y, tl = operand tl in
+        (Assign (r, Bin (Option.get (binop_of_name op), x, y)), tl)
+      | _ -> fail_at lineno "bad right-hand side")
+    | T_ident "store" :: T_global_ref g :: T_punct "<-" :: tl ->
+      let v, tl = operand tl in
+      (Store_global (g, v), tl)
+    | T_ident "store" :: tl ->
+      let base, tl = operand tl in
+      let tl = expect "[" tl in
+      (match tl with
+       | T_int off :: tl ->
+         let tl = expect "]" tl in
+         let tl = expect "<-" tl in
+         let v, tl = operand tl in
+         (Store (base, off, v), tl)
+       | _ -> fail_at lineno "offset expected")
+    | T_ident "free" :: tl ->
+      let p, tl = operand tl in
+      (Free p, tl)
+    | T_ident "call" :: tl ->
+      let f, a, tl = call_like tl in
+      (Call (None, f, a), tl)
+    | T_ident "builtin" :: tl ->
+      let f, a, tl = call_like tl in
+      (Builtin (None, f, a), tl)
+    | T_ident "jmp" :: T_ident l :: tl -> (Jmp l, tl)
+    | T_ident "br" :: tl ->
+      let c, tl = operand tl in
+      let tl = expect "?" tl in
+      (match tl with
+       | T_ident t :: T_punct ":" :: T_ident e :: tl -> (Branch (c, t, e), tl)
+       | _ -> fail_at lineno "br targets expected")
+    | T_ident "ret" :: [] -> (Ret None, [])
+    | T_ident "ret" :: (T_punct "@" :: _ as tl) -> (Ret None, tl)
+    | T_ident "ret" :: tl ->
+      let v, tl = operand tl in
+      (Ret (Some v), tl)
+    | T_ident "join" :: tl ->
+      let t, tl = operand tl in
+      (Join t, tl)
+    | T_ident "lock" :: tl ->
+      let m, tl = operand tl in
+      (Lock m, tl)
+    | T_ident "unlock" :: tl ->
+      let m, tl = operand tl in
+      (Unlock m, tl)
+    | T_ident "assert" :: tl ->
+      let c, tl = operand tl in
+      (match tl with
+       | T_str msg :: tl -> (Assert (c, msg), tl)
+       | _ -> fail_at lineno "assert message expected")
+    | _ -> fail_at lineno "unknown instruction"
+  in
+  let kind, rest = body toks in
+  let loc, text, rest = annotation rest in
+  if rest <> [] then fail_at lineno "unexpected trailing tokens";
+  { iid = 0; kind; loc; text }
+
+let parse source =
+  let lines = String.split_on_char '\n' source in
+  let globals = ref [] in
+  let funcs = ref [] in
+  let main = ref None in
+  (* current function / block under construction *)
+  let cur_func : (string * reg list) option ref = ref None in
+  let cur_blocks = ref [] in
+  let cur_label = ref None in
+  let cur_instrs = ref [] in
+  let close_block lineno =
+    match !cur_label with
+    | None ->
+      if !cur_instrs <> [] then fail_at lineno "instructions before a label"
+    | Some l ->
+      cur_blocks := { label = l; instrs = Array.of_list (List.rev !cur_instrs) } :: !cur_blocks;
+      cur_label := None;
+      cur_instrs := []
+  in
+  let close_func lineno =
+    close_block lineno;
+    match !cur_func with
+    | None -> fail_at lineno "'}' outside a function"
+    | Some (name, params) ->
+      funcs :=
+        { fname = name; params; blocks = Array.of_list (List.rev !cur_blocks) }
+        :: !funcs;
+      cur_func := None;
+      cur_blocks := []
+  in
+  List.iteri
+    (fun k line ->
+      let lineno = k + 1 in
+      let toks = tokenize lineno line in
+      match toks with
+      | [] -> ()
+      | T_ident "global" :: T_ident g :: T_punct "=" :: tl ->
+        let init, rest =
+          match tl with
+          | T_reg _ :: _ -> fail_at lineno "global initialiser must be constant"
+          | T_int n :: tl -> (Imm n, tl)
+          | T_str s :: tl -> (Str s, tl)
+          | T_ident "null" :: tl -> (Null, tl)
+          | _ -> fail_at lineno "global initialiser expected"
+        in
+        if rest <> [] then fail_at lineno "unexpected trailing tokens";
+        globals := { gname = g; init } :: !globals
+      | T_ident "func" :: T_ident name :: T_punct "(" :: tl ->
+        if !cur_func <> None then fail_at lineno "nested func";
+        let rec params acc = function
+          | T_punct ")" :: rest -> (List.rev acc, rest)
+          | T_ident p :: T_punct "," :: tl -> params (p :: acc) tl
+          | T_ident p :: tl -> params (p :: acc) tl
+          | _ -> fail_at lineno "parameter list expected"
+        in
+        let ps, rest = params [] tl in
+        (match rest with
+         | [ T_punct "{" ] -> cur_func := Some (name, ps)
+         | _ -> fail_at lineno "'{' expected")
+      | [ T_punct "}" ] -> close_func lineno
+      | [ T_ident "main"; T_ident m ] when !cur_func = None -> main := Some m
+      | [ T_ident l; T_punct ":" ] when !cur_func <> None ->
+        close_block lineno;
+        cur_label := Some l
+      | _ when !cur_func <> None && !cur_label <> None ->
+        cur_instrs := parse_instr_tokens lineno toks :: !cur_instrs
+      | _ -> fail_at lineno "unexpected line")
+    lines;
+  if !cur_func <> None then fail_at (List.length lines) "unterminated function";
+  match !main with
+  | None -> fail_at (List.length lines) "missing 'main <function>' directive"
+  | Some m -> Program.make ~globals:(List.rev !globals) ~main:m (List.rev !funcs)
+
+let parse_result source =
+  match parse source with
+  | p -> Ok p
+  | exception Parse_error (line, msg) ->
+    Error (Printf.sprintf "line %d: %s" line msg)
+  | exception Invalid_program msg -> Error msg
+
+let load path =
+  let ic = open_in path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  parse_result s
+
+let save path program =
+  let oc = open_out path in
+  output_string oc (emit program);
+  close_out oc

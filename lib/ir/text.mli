@@ -1,0 +1,40 @@
+(** A textual serialisation of IR programs (".gir" files).
+
+    [parse (emit p)] rebuilds [p] exactly (iids are renumbered
+    canonically by {!Program.make} either way).  Format:
+
+    {v
+    global counter = 0
+
+    func main(n) {
+    entry:
+      %x = add %n, 3 @ main.c:4 "int x = n + 3;"
+      store %p[1] <- %x
+      %c = load @counter
+      br %c ? then : out
+    then:
+      ...
+    }
+
+    main main
+    v}
+
+    Operands are [%reg], integers, ["strings"] and [null]; the optional
+    [@ file:line "text"] annotation carries the source attribution
+    shown in failure sketches; [#] starts a comment. *)
+
+exception Parse_error of int * string  (** line number, message *)
+
+(** Serialise a program to the textual format. *)
+val emit : Types.program -> string
+
+(** Parse; raises {!Parse_error} or {!Types.Invalid_program}. *)
+val parse : string -> Types.program
+
+(** Parse, as a result with a "line N: ..." message. *)
+val parse_result : string -> (Types.program, string) result
+
+(** Read/write a [.gir] file. *)
+
+val load : string -> (Types.program, string) result
+val save : string -> Types.program -> unit

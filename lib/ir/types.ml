@@ -1,0 +1,97 @@
+(* Intermediate representation for the Gist reproduction.
+
+   The paper's prototype works on LLVM IR; this IR exposes the same
+   concepts the slicing and instrumentation algorithms rely on: virtual
+   registers, globals, function arguments, calls, explicit memory
+   accesses, branches, and thread operations (spawn/join/lock/unlock),
+   each carrying source-location metadata so sketches can be reported in
+   "source lines" as well as "IR instructions" (Table 1 reports both). *)
+
+type loc = { file : string; line : int }
+
+let no_loc = { file = "<none>"; line = 0 }
+
+type reg = string
+
+type operand =
+  | Reg of reg
+  | Imm of int
+  | Str of string
+  | Null
+
+type binop =
+  | Add | Sub | Mul | Div | Mod
+  | Eq | Ne | Lt | Le | Gt | Ge
+  | And | Or
+
+type expr =
+  | Bin of binop * operand * operand
+  | Mov of operand
+  | Not of operand
+
+(* An instruction id ([iid]) is unique across the whole program and
+   doubles as the program counter in the interpreter, in failure
+   reports, and in Intel PT packets. *)
+type iid = int
+
+type instr_kind =
+  | Assign of reg * expr
+  | Load of reg * operand * int        (* dst <- mem[base + offset] *)
+  | Store of operand * int * operand   (* mem[base + offset] <- value *)
+  | Load_global of reg * string
+  | Store_global of string * operand
+  | Malloc of reg * int                (* dst <- fresh block of n cells *)
+  | Free of operand
+  | Call of reg option * string * operand list
+  | Builtin of reg option * string * operand list
+  | Jmp of string
+  | Branch of operand * string * string  (* cond, then-label, else-label *)
+  | Ret of operand option
+  | Spawn of reg * string * operand list (* dst <- tid of new thread *)
+  | Join of operand
+  | Lock of operand
+  | Unlock of operand
+  | Assert of operand * string
+
+type instr = {
+  iid : iid;               (* unique, assigned by [Program.make] *)
+  kind : instr_kind;
+  loc : loc;
+  text : string;           (* source-level text shown in sketches *)
+}
+
+type block = {
+  label : string;
+  instrs : instr array;
+}
+
+type func = {
+  fname : string;
+  params : reg list;
+  blocks : block array;    (* blocks.(0) is the entry block *)
+}
+
+(* Globals are named memory cells; each receives a heap address at
+   program start so that hardware watchpoints treat them uniformly
+   with heap cells. *)
+type global = { gname : string; init : operand }
+
+type position = {
+  p_func : string;
+  p_block : int;   (* index into blocks *)
+  p_index : int;   (* index into instrs *)
+}
+
+type program = {
+  globals : global list;
+  funcs : func list;
+  main : string;
+  (* Derived indexes, built by [Program.make]: *)
+  by_iid : (iid, instr * position) Hashtbl.t;
+  func_tbl : (string, func) Hashtbl.t;
+  n_instrs : int;
+}
+
+exception Invalid_program of string
+
+let invalid fmt = Format.kasprintf (fun s -> raise (Invalid_program s)) fmt

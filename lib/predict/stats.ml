@@ -1,0 +1,88 @@
+(* Statistical ranking of failure predictors (paper §3.3).
+
+   precision P = |failing runs where the predictor held| /
+                 |runs where the predictor held|
+   recall    R = |failing runs where the predictor held| / |failing runs|
+
+   Predictors are ranked by F_beta, the weighted harmonic mean of P and
+   R; Gist sets beta = 0.5, favouring precision, "because its primary
+   aim is to not confuse developers with potentially erroneous failure
+   predictors". *)
+
+type observation = { predictors : Predictor.t list; failing : bool }
+
+type ranked = {
+  predictor : Predictor.t;
+  precision : float;
+  recall : float;
+  f_measure : float;
+  n_failing_with : int;
+  n_success_with : int;
+}
+
+let beta_default = 0.5
+
+let f_measure ?(beta = beta_default) ~precision ~recall () =
+  let b2 = beta *. beta in
+  let num = (1.0 +. b2) *. precision *. recall in
+  let den = (b2 *. precision) +. recall in
+  if den = 0.0 then 0.0 else num /. den
+
+let rank ?(beta = beta_default) (observations : observation list) =
+  let total_failing =
+    List.length (List.filter (fun o -> o.failing) observations)
+  in
+  let counts : (Predictor.t, int * int) Hashtbl.t = Hashtbl.create 64 in
+  List.iter
+    (fun o ->
+      (* A predictor either held in a run or did not: dedup defensively
+         so callers cannot inflate counts past the run count. *)
+      List.iter
+        (fun p ->
+          let f, s = Option.value ~default:(0, 0) (Hashtbl.find_opt counts p) in
+          let cell = if o.failing then (f + 1, s) else (f, s + 1) in
+          Hashtbl.replace counts p cell)
+        (List.sort_uniq Predictor.compare o.predictors))
+    observations;
+  Hashtbl.fold
+    (fun predictor (f, s) acc ->
+      let precision =
+        if f + s = 0 then 0.0 else float_of_int f /. float_of_int (f + s)
+      in
+      let recall =
+        if total_failing = 0 then 0.0
+        else float_of_int f /. float_of_int total_failing
+      in
+      {
+        predictor;
+        precision;
+        recall;
+        f_measure = f_measure ~beta ~precision ~recall ();
+        n_failing_with = f;
+        n_success_with = s;
+      }
+      :: acc)
+    counts []
+  |> List.sort (fun a b ->
+      match compare b.f_measure a.f_measure with
+      | 0 -> Predictor.compare a.predictor b.predictor (* deterministic ties *)
+      | c -> c)
+
+(* The sketch shows the highest-ranked predictor *per category*
+   (branches, data values, statement orders), §3.3. *)
+let best_per_kind ranked =
+  let seen = Hashtbl.create 4 in
+  List.filter
+    (fun r ->
+      let k = Predictor.kind_name r.predictor in
+      if Hashtbl.mem seen k then false
+      else begin
+        Hashtbl.replace seen k ();
+        true
+      end)
+    ranked
+
+let pp_ranked ppf r =
+  Fmt.pf ppf "%a  (P=%.2f R=%.2f F=%.3f; %d fail / %d ok)" Predictor.pp
+    r.predictor r.precision r.recall r.f_measure r.n_failing_with
+    r.n_success_with

@@ -1,0 +1,37 @@
+(** Statistical ranking of failure predictors (paper §3.3).
+
+    precision P = |failing runs where the predictor held| /
+                  |runs where it held|;
+    recall    R = |failing runs where it held| / |failing runs|.
+
+    Predictors are ranked by F_beta, the weighted harmonic mean of P
+    and R; Gist sets beta = 0.5, favouring precision, "because its
+    primary aim is to not confuse developers with potentially erroneous
+    failure predictors". *)
+
+(** One monitored run: the predictors that held and whether the run
+    failed (with the target signature). *)
+type observation = { predictors : Predictor.t list; failing : bool }
+
+type ranked = {
+  predictor : Predictor.t;
+  precision : float;
+  recall : float;
+  f_measure : float;
+  n_failing_with : int;
+  n_success_with : int;
+}
+
+val beta_default : float
+
+val f_measure : ?beta:float -> precision:float -> recall:float -> unit -> float
+
+(** Rank all predictors, best first (F-measure, deterministic
+    tie-break).  Each observation's predictor list is deduplicated. *)
+val rank : ?beta:float -> observation list -> ranked list
+
+(** The sketch shows the best predictor {e per category} (branches,
+    data values, statement orders), §3.3. *)
+val best_per_kind : ranked list -> ranked list
+
+val pp_ranked : Format.formatter -> ranked -> unit

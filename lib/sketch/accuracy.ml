@@ -1,0 +1,78 @@
+(* Sketch accuracy (paper §5.2).
+
+   Relevance  A_R = 100 * |G ∩ I| / |G ∪ I|   over IR instructions.
+   Ordering   A_O = 100 * (1 - tau / #pairs)  where tau is the Kendall
+   tau distance between the sketch's statement order and the ideal
+   order, restricted to the statements both contain.
+   Overall    A   = (A_R + A_O) / 2. *)
+
+open Ir.Types
+
+type ideal = {
+  i_iids : iid list; (* ideal statements, in ideal execution order *)
+}
+
+type result = {
+  relevance : float;
+  ordering : float;
+  overall : float;
+  n_gist : int;
+  n_ideal : int;
+  n_common : int;
+}
+
+module IntSet = Set.Make (Int)
+
+(* Number of discordant pairs between two orderings of the same
+   element set (elements present in both lists; duplicates ignored). *)
+let kendall_tau order_a order_b =
+  let index l =
+    let tbl = Hashtbl.create 16 in
+    List.iteri (fun k x -> if not (Hashtbl.mem tbl x) then Hashtbl.add tbl x k) l;
+    tbl
+  in
+  let ia = index order_a and ib = index order_b in
+  let common =
+    List.filter (Hashtbl.mem ib) order_a
+    |> List.sort_uniq compare
+  in
+  let arr = Array.of_list common in
+  let n = Array.length arr in
+  let tau = ref 0 and pairs = ref 0 in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      incr pairs;
+      let a = arr.(i) and b = arr.(j) in
+      let da = compare (Hashtbl.find ia a) (Hashtbl.find ia b) in
+      let db = compare (Hashtbl.find ib a) (Hashtbl.find ib b) in
+      if da * db < 0 then incr tau
+    done
+  done;
+  (!tau, !pairs)
+
+let compute ~(gist_order : iid list) ~(ideal : ideal) : result =
+  let g = IntSet.of_list gist_order and i = IntSet.of_list ideal.i_iids in
+  let inter = IntSet.inter g i and union = IntSet.union g i in
+  let relevance =
+    if IntSet.is_empty union then 100.0
+    else
+      100.0
+      *. float_of_int (IntSet.cardinal inter)
+      /. float_of_int (IntSet.cardinal union)
+  in
+  let tau, pairs = kendall_tau gist_order ideal.i_iids in
+  let ordering =
+    if pairs = 0 then 100.0
+    else 100.0 *. (1.0 -. (float_of_int tau /. float_of_int pairs))
+  in
+  {
+    relevance;
+    ordering;
+    overall = (relevance +. ordering) /. 2.0;
+    n_gist = IntSet.cardinal g;
+    n_ideal = IntSet.cardinal i;
+    n_common = IntSet.cardinal inter;
+  }
+
+let of_sketch (sketch : Sketch.t) ~(ideal : ideal) =
+  compute ~gist_order:(Sketch.statement_order sketch) ~ideal

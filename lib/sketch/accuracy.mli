@@ -1,0 +1,29 @@
+(** Sketch accuracy (paper §5.2).
+
+    Relevance  A_R = 100 * |G intersect I| / |G union I| over IR
+    instructions; ordering A_O = 100 * (1 - tau / pairs) where tau is
+    the Kendall tau distance between the sketch's statement order and
+    the ideal order, restricted to the statements both contain;
+    overall A = (A_R + A_O) / 2. *)
+
+open Ir.Types
+
+(** The hand-built ideal sketch: its statements in ideal execution
+    order. *)
+type ideal = { i_iids : iid list }
+
+type result = {
+  relevance : float;
+  ordering : float;
+  overall : float;
+  n_gist : int;
+  n_ideal : int;
+  n_common : int;
+}
+
+(** [kendall_tau a b] is [(discordant pairs, total pairs)] over the
+    elements present in both lists (duplicates ignored). *)
+val kendall_tau : 'a list -> 'a list -> int * int
+
+val compute : gist_order:iid list -> ideal:ideal -> result
+val of_sketch : Sketch.t -> ideal:ideal -> result

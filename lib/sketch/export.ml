@@ -1,0 +1,73 @@
+(* JSON export of failure sketches, for IDE/tooling integration (the
+   paper integrated Gist with KCachegrind for navigation, §5.1; a
+   structured export is the equivalent hook).  Hand-rolled emission:
+   the schema is small and the repository carries no JSON dependency. *)
+
+let escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\t' -> Buffer.add_string b "\\t"
+      | '\r' -> Buffer.add_string b "\\r"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let j_str s = "\"" ^ escape s ^ "\""
+let j_field k v = j_str k ^ ":" ^ v
+let j_obj fields = "{" ^ String.concat "," fields ^ "}"
+let j_arr items = "[" ^ String.concat "," items ^ "]"
+let j_bool b = if b then "true" else "false"
+
+let step_json (s : Sketch.step) =
+  j_obj
+    ([
+       j_field "step" (string_of_int s.step_no);
+       j_field "thread" (string_of_int s.tid);
+       j_field "iid" (string_of_int s.iid);
+       j_field "file" (j_str s.loc.file);
+       j_field "line" (string_of_int s.loc.line);
+       j_field "text" (j_str s.text);
+       j_field "highlight" (j_bool s.highlight);
+     ]
+    @ match s.value_note with
+      | Some v -> [ j_field "value" (j_str v) ]
+      | None -> [])
+
+let predictor_json (r : Predict.Stats.ranked) =
+  j_obj
+    [
+      j_field "kind" (j_str (Predict.Predictor.kind_name r.predictor));
+      j_field "description" (j_str (Predict.Predictor.to_string r.predictor));
+      j_field "precision" (Printf.sprintf "%.4f" r.precision);
+      j_field "recall" (Printf.sprintf "%.4f" r.recall);
+      j_field "f_measure" (Printf.sprintf "%.4f" r.f_measure);
+      j_field "failing_runs" (string_of_int r.n_failing_with);
+      j_field "successful_runs" (string_of_int r.n_success_with);
+    ]
+
+(* The sketch as a JSON object: header, failure, ordered steps, and the
+   ranked predictors (all of them; consumers can truncate). *)
+let to_json (t : Sketch.t) =
+  j_obj
+    [
+      j_field "bug" (j_str t.bug_name);
+      j_field "failure_type" (j_str t.failure_type);
+      j_field "failure"
+        (j_obj
+           [
+             j_field "kind" (j_str (Exec.Failure.kind_to_string t.failure.kind));
+             j_field "pc" (string_of_int t.failure.pc);
+             j_field "thread" (string_of_int t.failure.tid);
+             j_field "stack" (j_arr (List.map j_str t.failure.stack));
+           ]);
+      j_field "threads" (j_arr (List.map string_of_int t.threads));
+      j_field "steps" (j_arr (List.map step_json t.steps));
+      j_field "predictors" (j_arr (List.map predictor_json t.predictors));
+    ]

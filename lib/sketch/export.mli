@@ -1,0 +1,10 @@
+(** JSON export of failure sketches, for IDE/tooling integration (the
+    paper's prototype hooked sketches into KCachegrind, §5.1). *)
+
+(** JSON-escape a string's content (no surrounding quotes). *)
+val escape : string -> string
+
+(** The sketch as a self-contained JSON object: bug header, failure
+    (kind/pc/thread/stack), ordered steps (thread, location, text,
+    highlight, value note), and every ranked predictor. *)
+val to_json : Sketch.t -> string

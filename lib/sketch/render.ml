@@ -1,0 +1,76 @@
+(* ASCII rendering of failure sketches, in the style of the paper's
+   Figs 1, 7 and 8: a Time column, one column per thread, highlighted
+   failure predictors in [* ... *] boxes and data values in { }. *)
+
+let column_width = 40
+
+let pad s w =
+  let n = String.length s in
+  if n >= w then String.sub s 0 w else s ^ String.make (w - n) ' '
+
+let render_step_text (s : Sketch.step) =
+  let base = s.text in
+  let base = if s.highlight then "[*] " ^ base else "    " ^ base in
+  match s.value_note with
+  | Some v -> Printf.sprintf "%s  {%s}" base v
+  | None -> base
+
+let render (t : Sketch.t) =
+  let buf = Buffer.create 1024 in
+  let out fmt = Printf.ksprintf (fun s -> Buffer.add_string buf (s ^ "\n")) fmt in
+  out "Failure Sketch for %s" t.bug_name;
+  out "Type: %s" t.failure_type;
+  let threads =
+    match t.threads with [] -> [ t.failure.tid ] | l -> l
+  in
+  let header =
+    "Time | "
+    ^ String.concat " | "
+        (List.mapi (fun k _ -> pad (Printf.sprintf "Thread T%d" (k + 1)) column_width)
+           threads)
+  in
+  out "%s" header;
+  out "%s" (String.make (String.length header) '-');
+  (* Collapse consecutive steps of one thread on the same source line
+     into a single row (sketches are source-level, Figs 1/7/8); a
+     highlighted or annotated instruction wins the row. *)
+  let rows =
+    let rec group acc = function
+      | [] -> List.rev acc
+      | (s : Sketch.step) :: rest -> (
+        match acc with
+        | (prev : Sketch.step) :: acc_tl
+          when prev.tid = s.tid && prev.loc = s.loc ->
+          let keep =
+            if s.highlight || s.value_note <> None then s
+            else { prev with iid = prev.iid }
+          in
+          group ({ keep with step_no = prev.step_no } :: acc_tl) rest
+        | _ -> group (s :: acc) rest)
+    in
+    group [] t.steps
+  in
+  List.iteri
+    (fun k (s : Sketch.step) ->
+      let cells =
+        List.map
+          (fun tid ->
+            if tid = s.tid then pad (render_step_text s) column_width
+            else pad "" column_width)
+          threads
+      in
+      out "%4d | %s" (k + 1) (String.concat " | " cells))
+    rows;
+  out "%s" (String.make (String.length header) '-');
+  out "Failure: %s" (Exec.Failure.kind_to_string t.failure.kind);
+  let best = Predict.Stats.best_per_kind t.predictors in
+  if best <> [] then begin
+    out "";
+    out "Top failure predictors (F-measure, beta=0.5):";
+    List.iter
+      (fun r -> out "  %s" (Fmt.str "%a" Predict.Stats.pp_ranked r))
+      best
+  end;
+  Buffer.contents buf
+
+let print t = print_string (render t)

@@ -1,0 +1,8 @@
+(** ASCII rendering of failure sketches, in the style of the paper's
+    Figs 1, 7 and 8: a Time column, one column per thread, highlighted
+    failure predictors marked [\[*\]] and data values in [{ }].
+    Consecutive steps of one thread on the same source line collapse
+    into a single row (sketches are source-level). *)
+
+val render : Sketch.t -> string
+val print : Sketch.t -> unit

@@ -1,0 +1,156 @@
+(* A flow-insensitive, field-sensitive, Andersen-style points-to
+   analysis over the IR.
+
+   The paper's Gist deliberately does NOT use alias analysis: "in
+   practice, it can be over 50% inaccurate, which would increase the
+   static slice size that Gist would have to monitor at runtime"
+   (§3.1).  This module exists to quantify that design argument on the
+   Bugbase programs: the slicer can optionally match memory items
+   through may-alias pointers instead of syntactic base names, and the
+   [extensions] experiment reports how much the slices grow.
+
+   Abstract objects are allocation sites (one per [Malloc]) and named
+   globals; points-to sets flow through moves, pointer arithmetic,
+   loads/stores of object fields, argument binding (calls and spawns)
+   and returns, to a fixpoint. *)
+
+open Ir.Types
+
+type obj =
+  | Site of iid       (* a malloc site *)
+  | Global_obj of string
+
+module ObjSet = Set.Make (struct
+  type t = obj
+
+  let compare = compare
+end)
+
+(* Points-to variables: registers (per function), global cells, and
+   object fields. *)
+type var =
+  | V_reg of string * string   (* function, register *)
+  | V_global of string
+  | V_field of obj * int
+
+type t = {
+  pts : (var, ObjSet.t) Hashtbl.t;
+  program : program;
+}
+
+let get t v = Option.value ~default:ObjSet.empty (Hashtbl.find_opt t.pts v)
+
+let add_objs t v objs =
+  let cur = get t v in
+  let next = ObjSet.union cur objs in
+  if ObjSet.equal cur next then false
+  else begin
+    Hashtbl.replace t.pts v next;
+    true
+  end
+
+let var_of_operand fname = function
+  | Reg r -> Some (V_reg (fname, r))
+  | Imm _ | Str _ | Null -> None
+
+(* One propagation pass over the whole program; true if anything grew. *)
+let pass t icfg =
+  let changed = ref false in
+  let flow_into dst src_var =
+    match src_var with
+    | Some v -> if add_objs t dst (get t v) then changed := true
+    | None -> ()
+  in
+  List.iter
+    (fun (f : func) ->
+      List.iter
+        (fun (i : instr) ->
+          match i.kind with
+          | Malloc (r, _) ->
+            if add_objs t (V_reg (f.fname, r)) (ObjSet.singleton (Site i.iid))
+            then changed := true
+          | Assign (r, Mov op) ->
+            flow_into (V_reg (f.fname, r)) (var_of_operand f.fname op)
+          | Assign (r, Bin ((Add | Sub), a, b)) ->
+            (* pointer arithmetic keeps pointing into the same object *)
+            flow_into (V_reg (f.fname, r)) (var_of_operand f.fname a);
+            flow_into (V_reg (f.fname, r)) (var_of_operand f.fname b)
+          | Assign _ -> ()
+          | Load (r, base, off) ->
+            (match var_of_operand f.fname base with
+             | Some bv ->
+               ObjSet.iter
+                 (fun o ->
+                   if add_objs t (V_reg (f.fname, r)) (get t (V_field (o, off)))
+                   then changed := true)
+                 (get t bv)
+             | None -> ())
+          | Store (base, off, v) ->
+            (match var_of_operand f.fname base with
+             | Some bv ->
+               ObjSet.iter
+                 (fun o ->
+                   match var_of_operand f.fname v with
+                   | Some vv ->
+                     if add_objs t (V_field (o, off)) (get t vv) then
+                       changed := true
+                   | None -> ())
+                 (get t bv)
+             | None -> ())
+          | Load_global (r, g) ->
+            flow_into (V_reg (f.fname, r)) (Some (V_global g))
+          | Store_global (g, v) ->
+            flow_into (V_global g) (var_of_operand f.fname v)
+          | Call (_, callee, args) | Spawn (_, callee, args) -> (
+            (* arguments into parameters *)
+            let cf = Ir.Program.find_func t.program callee in
+            List.iteri
+              (fun k p ->
+                match List.nth_opt args k with
+                | Some a ->
+                  flow_into (V_reg (callee, p)) (var_of_operand f.fname a)
+                | None -> ())
+              cf.params;
+            (* returns into the destination *)
+            match i.kind with
+            | Call (Some r, _, _) ->
+              List.iter
+                (fun (ret : instr) ->
+                  match ret.kind with
+                  | Ret (Some op) ->
+                    flow_into (V_reg (f.fname, r)) (var_of_operand callee op)
+                  | _ -> ())
+                (Analysis.Icfg.returns_of icfg callee)
+            | _ -> ())
+          | Free _ | Builtin _ | Jmp _ | Branch _ | Ret _ | Join _ | Lock _
+          | Unlock _ | Assert _ ->
+            ())
+        (Ir.Program.instrs_of_func f))
+    t.program.funcs;
+  !changed
+
+let analyze program =
+  let t = { pts = Hashtbl.create 128; program } in
+  (* seed globals as their own objects so &global-style sharing works *)
+  List.iter
+    (fun (g : global) ->
+      ignore (add_objs t (V_global g.gname) ObjSet.empty))
+    program.globals;
+  let icfg = Analysis.Icfg.build program in
+  let rec fix n = if n > 0 && pass t icfg then fix (n - 1) in
+  fix 50;
+  t
+
+(* Points-to set of a register. *)
+let points_to t ~func ~reg = get t (V_reg (func, reg))
+
+(* May two field accesses touch the same cell?  Same offset and
+   overlapping points-to sets of the bases. *)
+let may_alias t ~func1 ~base1 ~off1 ~func2 ~base2 ~off2 =
+  off1 = off2
+  &&
+  let p1 = points_to t ~func:func1 ~reg:base1 in
+  let p2 = points_to t ~func:func2 ~reg:base2 in
+  not (ObjSet.is_empty (ObjSet.inter p1 p2))
+
+let pts_size t ~func ~reg = ObjSet.cardinal (points_to t ~func ~reg)

@@ -1,0 +1,183 @@
+(* A deterministic random-program generator for property tests.
+
+   [random seed] builds a well-formed, always-terminating, single-thread
+   IR program from a seeded recipe: straight-line arithmetic over
+   previously defined registers, loads/stores into a pre-allocated
+   8-cell array, if/else, and bounded counted loops.  By construction
+   the programs cannot raise type errors, never touch unmapped memory
+   and cannot hang — so any interpreter failure, PT decode mismatch or
+   instrumentation coverage gap found on them is a genuine bug. *)
+
+open Ir.Types
+module B = Ir.Builder
+
+type sstmt =
+  | S_assign of string * expr
+  | S_store of int * operand        (* arr[k] <- v *)
+  | S_load of string * int          (* fresh reg <- arr[k] *)
+  | S_if of string * sstmt list * sstmt list
+  | S_loop of string * int * sstmt list (* counter reg, bound, body *)
+
+(* ------------------------------------------------------------------ *)
+(* Random AST construction. *)
+
+type genstate = {
+  rng : Exec.Rng.t;
+  mutable fresh : int;
+  mutable line : int;
+}
+
+let fresh_reg g prefix =
+  g.fresh <- g.fresh + 1;
+  Printf.sprintf "%s%d" prefix g.fresh
+
+let next_line g =
+  g.line <- g.line + 1;
+  g.line
+
+let pick g l = List.nth l (Exec.Rng.int g.rng (List.length l))
+
+let random_operand g env =
+  if env <> [] && Exec.Rng.bool g.rng then Reg (pick g env)
+  else Imm (Exec.Rng.int g.rng 20 - 10)
+
+let random_expr g env =
+  match Exec.Rng.int g.rng 8 with
+  | 0 -> Mov (random_operand g env)
+  | 1 -> Not (random_operand g env)
+  | 2 ->
+    (* keep division well-defined: non-zero immediate divisor *)
+    Bin (Div, random_operand g env, Imm (1 + Exec.Rng.int g.rng 9))
+  | 3 -> Bin (Mod, random_operand g env, Imm (1 + Exec.Rng.int g.rng 9))
+  | n ->
+    let op = pick g [ Add; Sub; Mul; Lt; Le; Gt; Ge; Eq; Ne; And; Or ] in
+    ignore n;
+    Bin (op, random_operand g env, random_operand g env)
+
+(* Generate a statement list; [env] is threaded so every register read
+   is previously defined. *)
+let rec random_stmts g env depth budget =
+  if budget <= 0 then ([], env)
+  else
+    let stmt, env =
+      match Exec.Rng.int g.rng (if depth > 0 then 6 else 4) with
+      | 0 | 1 ->
+        let r = fresh_reg g "r" in
+        (S_assign (r, random_expr g env), r :: env)
+      | 2 -> (S_store (Exec.Rng.int g.rng 8, random_operand g env), env)
+      | 3 ->
+        let r = fresh_reg g "l" in
+        (S_load (r, Exec.Rng.int g.rng 8), r :: env)
+      | 4 ->
+        let c = fresh_reg g "c" in
+        let then_s, _ = random_stmts g (c :: env) (depth - 1) (budget / 2) in
+        let else_s, _ = random_stmts g (c :: env) (depth - 1) (budget / 2) in
+        (S_if (c, then_s, else_s), c :: env)
+      | _ ->
+        let k = fresh_reg g "k" in
+        let body, _ =
+          random_stmts g (k :: env) (depth - 1) (budget / 2)
+        in
+        (S_loop (k, 1 + Exec.Rng.int g.rng 5, body), env)
+    in
+    let rest, env = random_stmts g env depth (budget - 1) in
+    (stmt :: rest, env)
+
+(* ------------------------------------------------------------------ *)
+(* Lowering to basic blocks. *)
+
+let compile g ?(alloc = true) stmts =
+  let blocks = ref [] in
+  let label_counter = ref 0 in
+  let fresh_label prefix =
+    incr label_counter;
+    Printf.sprintf "%s%d" prefix !label_counter
+  in
+  let i kind = B.instr ~file:"gen.c" ~line:(next_line g) ~text:"" kind in
+  let add_block label instrs = blocks := (label, instrs) :: !blocks in
+  (* [go stmts acc lbl exit]: emit [stmts] into block [lbl] (whose
+     earlier instructions are [acc], reversed), ending with a jump to
+     [exit]. *)
+  let rec go stmts acc lbl exit =
+    match stmts with
+    | [] -> add_block lbl (List.rev (i (Jmp exit) :: acc))
+    | S_assign (r, e) :: tl -> go tl (i (Assign (r, e)) :: acc) lbl exit
+    | S_store (off, v) :: tl ->
+      go tl (i (Store (Reg "arr", off, v)) :: acc) lbl exit
+    | S_load (r, off) :: tl ->
+      go tl (i (Load (r, Reg "arr", off)) :: acc) lbl exit
+    | S_if (c, then_s, else_s) :: tl ->
+      let lt = fresh_label "t" and lf = fresh_label "f" in
+      let lj = fresh_label "j" in
+      let cond = i (Assign (c, random_expr g [])) in
+      add_block lbl (List.rev (i (Branch (Reg c, lt, lf)) :: cond :: acc));
+      go then_s [] lt lj;
+      go else_s [] lf lj;
+      go tl [] lj exit
+    | S_loop (k, bound, body) :: tl ->
+      let lh = fresh_label "h" and lb = fresh_label "b" in
+      let li = fresh_label "i" and lx = fresh_label "x" in
+      let kc = k ^ "c" in
+      add_block lbl (List.rev (i (Jmp lh) :: i (Assign (k, Mov (Imm 0))) :: acc));
+      add_block lh
+        [
+          i (Assign (kc, B.( <% ) (Reg k) (Imm bound)));
+          i (Branch (Reg kc, lb, lx));
+        ];
+      go body [] lb li;
+      add_block li
+        [ i (Assign (k, B.( +% ) (Reg k) (Imm 1))); i (Jmp lh) ];
+      go tl [] lx exit
+  in
+  let entry_acc =
+    if alloc then [ i (Store (Reg "arr", 0, Imm 1)); i (Malloc ("arr", 8)) ]
+    else []
+  in
+  go stmts entry_acc "entry" "the_end";
+  add_block "the_end" [ i (Ret (Some (Imm 0))) ];
+  List.rev !blocks
+
+let random ?(budget = 14) ?(depth = 3) seed =
+  let g = { rng = Exec.Rng.create seed; fresh = 0; line = 0 } in
+  let stmts, _ = random_stmts g [] depth budget in
+  let blocks =
+    List.map (fun (label, instrs) -> B.block label instrs) (compile g stmts)
+  in
+  Ir.Program.make ~main:"main" [ B.func "main" ~params:[ "a" ] blocks ]
+
+(* A multithreaded variant: two workers run independently generated
+   random bodies over a shared 8-cell array.  Data races abound by
+   construction, but no instruction can fault (valid offsets, bounded
+   loops, non-zero divisors), so outcomes are always Success -- which
+   makes the variant ideal for exercising per-thread PT streams,
+   record/replay of racy schedules, and instrumentation coverage under
+   real interleavings. *)
+let random_threaded ?(budget = 9) ?(depth = 2) seed =
+  let g = { rng = Exec.Rng.create seed; fresh = 0; line = 0 } in
+  let worker name =
+    let stmts, _ = random_stmts g [ "a" ] depth budget in
+    let blocks =
+      List.map (fun (label, instrs) -> B.block label instrs)
+        (compile g ~alloc:false stmts)
+    in
+    B.func name ~params:[ "arr"; "a" ] blocks
+  in
+  let w1 = worker "worker1" and w2 = worker "worker2" in
+  let i kind = B.instr ~file:"gen.c" ~line:(next_line g) ~text:"" kind in
+  let main =
+    B.func "main" ~params:[ "a" ]
+      [
+        B.block "entry"
+          [
+            i (Malloc ("arr", 8));
+            i (Store (Reg "arr", 0, Imm 1));
+            i (Spawn ("t1", "worker1", [ Reg "arr"; Reg "a" ]));
+            i (Spawn ("t2", "worker2", [ Reg "arr"; Reg "a" ]));
+            i (Join (Reg "t1"));
+            i (Join (Reg "t2"));
+            i (Load ("v", Reg "arr", 0));
+            i (Ret (Some (Reg "v")));
+          ];
+      ]
+  in
+  Ir.Program.make ~main:"main" [ w1; w2; main ]

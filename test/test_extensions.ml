@@ -1,0 +1,230 @@
+(* Tests for the §6 future-work extensions: PTWRITE data packets,
+   range/inequality value predicates, and value redaction. *)
+
+module I = Exec.Interp
+module P = Predict.Predictor
+
+(* -------------------- PTWRITE -------------------- *)
+
+let ptw_client (bug : Bugbase.Common.t) data_source c =
+  let _, failure = Option.get (Bugbase.Common.find_target_failure bug) in
+  let slice = Slicing.Slicer.compute bug.program failure in
+  let plan =
+    Instrument.Place.compute bug.program (Slicing.Slicer.take slice 8)
+  in
+  Gist.Client.run_one ~data_source ~plan
+    ~wp_allowed:plan.Instrument.Plan.wp_targets
+    ~preempt_prob:bug.preempt_prob bug.program (bug.workload_of c)
+
+let ptwrite =
+  [
+    Alcotest.test_case "PTW packets decode out of the control stream" `Quick
+      (fun () ->
+        let counters = Exec.Cost.create () in
+        let pt = Hw.Pt.create counters in
+        Hw.Pt.enable pt ~tid:0 ~pc:1;
+        Hw.Pt.on_branch pt ~tid:0 ~taken:true;
+        Hw.Pt.on_data pt ~tid:0 ~iid:5 ~addr:40 ~rw:I.Write
+          ~value:(Exec.Value.VInt 7);
+        Hw.Pt.on_branch pt ~tid:0 ~taken:false;
+        Hw.Pt.disable pt ~tid:0 ~pc:9;
+        (* The data packet must not desynchronise TNT consumption. *)
+        let packets = Hw.Pt.packets_of pt 0 in
+        let has_ptw =
+          List.exists (function Hw.Pt.PTW _ -> true | _ -> false) packets
+        in
+        Alcotest.(check bool) "ptw present" true has_ptw);
+    Alcotest.test_case "data packets only while tracing is on" `Quick
+      (fun () ->
+        let counters = Exec.Cost.create () in
+        let pt = Hw.Pt.create counters in
+        Hw.Pt.on_data pt ~tid:0 ~iid:5 ~addr:40 ~rw:I.Read
+          ~value:(Exec.Value.VInt 7);
+        Alcotest.(check int) "nothing emitted" 0
+          (List.length (Hw.Pt.packets_of pt 0)));
+    Alcotest.test_case "TSC gives data packets a global cross-thread order"
+      `Quick (fun () ->
+        let counters = Exec.Cost.create () in
+        let pt = Hw.Pt.create counters in
+        Hw.Pt.enable pt ~tid:1 ~pc:1;
+        Hw.Pt.enable pt ~tid:2 ~pc:1;
+        Hw.Pt.on_data pt ~tid:1 ~iid:5 ~addr:40 ~rw:I.Write
+          ~value:(Exec.Value.VInt 1);
+        Hw.Pt.on_data pt ~tid:2 ~iid:6 ~addr:40 ~rw:I.Read
+          ~value:(Exec.Value.VInt 1);
+        Hw.Pt.on_data pt ~tid:1 ~iid:7 ~addr:40 ~rw:I.Read
+          ~value:(Exec.Value.VInt 1);
+        let tscs tid =
+          List.filter_map
+            (function Hw.Pt.PTW w -> Some w.Hw.Pt.p_tsc | _ -> None)
+            (Hw.Pt.packets_of pt tid)
+        in
+        Alcotest.(check (list int)) "tid1" [ 1; 3 ] (tscs 1);
+        Alcotest.(check (list int)) "tid2" [ 2 ] (tscs 2));
+    Alcotest.test_case "ptwrite client reports data as ordered traps" `Quick
+      (fun () ->
+        let bug = Bugbase.Transmission.bug in
+        (* find a client whose run traps *)
+        let rec go c =
+          if c > 40 then Alcotest.fail "no data captured"
+          else
+            let report = ptw_client bug Gist.Config.Ptwrite c in
+            if report.r_traps = [] then go (c + 1)
+            else begin
+              let seqs =
+                List.map (fun (w : Hw.Watchpoint.trap) -> w.w_seq)
+                  report.r_traps
+              in
+              Alcotest.(check (list int)) "ordered" (List.sort compare seqs)
+                seqs;
+              (* no debug registers were used *)
+              Alcotest.(check int) "no arming" 0
+                report.r_counters.Exec.Cost.wp_arms;
+              Alcotest.(check int) "no traps" 0
+                report.r_counters.Exec.Cost.wp_traps
+            end
+        in
+        go 0);
+    Alcotest.test_case "full pipeline works end-to-end with PTWRITE" `Quick
+      (fun () ->
+        let bug = Bugbase.Curl.bug in
+        let config =
+          {
+            Gist.Config.default with
+            Gist.Config.data_source = Gist.Config.Ptwrite;
+            preempt_prob = bug.preempt_prob;
+          }
+        in
+        match Experiments.Harness.diagnose_bug ~config bug with
+        | None -> Alcotest.fail "no diagnosis"
+        | Some r ->
+          Alcotest.(check bool) "root cause covered" true
+            (List.for_all
+               (fun iid -> List.mem iid (Fsketch.Sketch.iids r.diagnosis.sketch))
+               (Bugbase.Common.root_cause_iids bug)));
+  ]
+
+(* -------------------- range predicates -------------------- *)
+
+let trap iid value =
+  Hw.Watchpoint.
+    {
+      w_seq = 1;
+      w_tid = 0;
+      w_iid = iid;
+      w_addr = 9;
+      w_rw = I.Read;
+      w_value = value;
+    }
+
+let ranges =
+  [
+    Alcotest.test_case "predicates per value class" `Quick (fun () ->
+        Alcotest.(check (list string)) "neg" [ "< 0" ]
+          (P.range_predicates (Exec.Value.VInt (-3)));
+        Alcotest.(check (list string)) "zero" [ "== 0" ]
+          (P.range_predicates (Exec.Value.VInt 0));
+        Alcotest.(check (list string)) "pos" [ "> 0" ]
+          (P.range_predicates (Exec.Value.VInt 5));
+        Alcotest.(check (list string)) "null" [ "== NULL" ]
+          (P.range_predicates Exec.Value.VNull);
+        Alcotest.(check (list string)) "ptr" [ "!= NULL" ]
+          (P.range_predicates (Exec.Value.VPtr 33));
+        Alcotest.(check (list string)) "string" []
+          (P.range_predicates (Exec.Value.VStr "x")));
+    Alcotest.test_case "of_run includes ranges only when asked" `Quick
+      (fun () ->
+        let traps = [ trap 4 (Exec.Value.VInt (-4)) ] in
+        let without =
+          P.of_run ~tracked:[] ~branch_outcomes:[] ~traps ()
+        in
+        let with_r =
+          P.of_run ~ranges:true ~tracked:[] ~branch_outcomes:[] ~traps ()
+        in
+        Alcotest.(check bool) "absent" false
+          (List.mem (P.Value_range (4, "< 0")) without);
+        Alcotest.(check bool) "present" true
+          (List.mem (P.Value_range (4, "< 0")) with_r));
+    Alcotest.test_case
+      "ranges unify fragmented exact values (higher recall and F)" `Quick
+      (fun () ->
+        (* Two failing runs leak different negative counters; exact
+           values fragment, the "< 0" predicate does not. *)
+        let obs v failing =
+          Predict.Stats.
+            {
+              predictors =
+                P.of_run ~ranges:true ~tracked:[] ~branch_outcomes:[]
+                  ~traps:[ trap 4 v ] ();
+              failing;
+            }
+        in
+        let observations =
+          [
+            obs (Exec.Value.VInt (-4)) true;
+            obs (Exec.Value.VInt (-8)) true;
+            obs (Exec.Value.VInt 0) false;
+          ]
+        in
+        let ranked = Predict.Stats.rank observations in
+        let f_of p =
+          List.find_map
+            (fun (r : Predict.Stats.ranked) ->
+              if P.equal r.predictor p then Some r.f_measure else None)
+            ranked
+        in
+        let exact = Option.get (f_of (P.Data_value (4, "-4"))) in
+        let range = Option.get (f_of (P.Value_range (4, "< 0"))) in
+        Alcotest.(check bool) "range beats exact" true (range > exact);
+        Alcotest.(check (float 0.001)) "range is perfect" 1.0 range);
+  ]
+
+(* -------------------- redaction -------------------- *)
+
+let redaction =
+  [
+    Alcotest.test_case "strings are hashed, other values untouched" `Quick
+      (fun () ->
+        (match Gist.Client.redact_value (Exec.Value.VStr "secret-url") with
+         | Exec.Value.VStr s ->
+           Alcotest.(check bool) "hashed" true
+             (String.length s > 4 && String.sub s 0 4 = "str#")
+         | _ -> Alcotest.fail "string expected");
+        Alcotest.(check bool) "int unchanged" true
+          (Gist.Client.redact_value (Exec.Value.VInt 7) = Exec.Value.VInt 7);
+        Alcotest.(check bool) "null unchanged" true
+          (Gist.Client.redact_value Exec.Value.VNull = Exec.Value.VNull));
+    Alcotest.test_case "redaction is stable (same input, same token)" `Quick
+      (fun () ->
+        Alcotest.(check bool) "stable" true
+          (Gist.Client.redact_value (Exec.Value.VStr "abc")
+           = Gist.Client.redact_value (Exec.Value.VStr "abc")));
+    Alcotest.test_case "redacted curl diagnosis still finds the root cause"
+      `Quick (fun () ->
+        let bug = Bugbase.Curl.bug in
+        let config =
+          {
+            Gist.Config.default with
+            Gist.Config.redact_values = true;
+            preempt_prob = bug.preempt_prob;
+          }
+        in
+        match Experiments.Harness.diagnose_bug ~config bug with
+        | None -> Alcotest.fail "no diagnosis"
+        | Some r ->
+          Alcotest.(check bool) "accuracy high" true
+            (r.accuracy.overall >= 85.0);
+          (* no raw production string ever appears in the predictors *)
+          List.iter
+            (fun (p : Predict.Stats.ranked) ->
+              match p.predictor with
+              | P.Data_value (_, v) ->
+                if Astring.String.is_infix ~affix:"http://" v then
+                  Alcotest.failf "leaked value %s" v
+              | _ -> ())
+            r.diagnosis.sketch.predictors);
+  ]
+
+let () =
+  Alcotest.run "extensions"
+    [ ("ptwrite", ptwrite); ("ranges", ranges); ("redaction", redaction) ]

@@ -1,0 +1,193 @@
+(* End-to-end tests of the Gist server/client pipeline: failure
+   matching, cooperative watchpoint rotation, adaptive slice tracking,
+   refinement and the final sketch. *)
+
+module I = Exec.Interp
+
+let wp_groups =
+  [
+    Alcotest.test_case "groups of at most the watchpoint capacity" `Quick
+      (fun () ->
+        let gs = Gist.Server.wp_groups ~wp_capacity:4 [ 1; 2; 3; 4; 5; 6 ] in
+        Alcotest.(check int) "two groups" 2 (List.length gs);
+        List.iter
+          (fun g -> Alcotest.(check bool) "<=4" true (List.length g <= 4))
+          gs;
+        Alcotest.(check (list int)) "union preserved" [ 1; 2; 3; 4; 5; 6 ]
+          (List.concat gs |> List.sort compare));
+    Alcotest.test_case "no targets yields one empty group" `Quick (fun () ->
+        Alcotest.(check (list (list int))) "empty" [ [] ]
+          (Gist.Server.wp_groups ~wp_capacity:4 []));
+  ]
+
+let first_failure =
+  [
+    Alcotest.test_case "first_failure finds a production failure" `Quick
+      (fun () ->
+        let bug = Bugbase.Pbzip2.bug in
+        match
+          Gist.Server.first_failure ~preempt_prob:bug.preempt_prob bug.program
+            bug.workload_of
+        with
+        | Some rep ->
+          Alcotest.(check bool) "a crash kind" true
+            (List.mem
+               (Exec.Failure.kind_tag rep.kind)
+               [ "segfault"; "use-after-free"; "double-free"; "assert" ])
+        | None -> Alcotest.fail "no failure found");
+    Alcotest.test_case "signatures separate distinct failure modes" `Quick
+      (fun () ->
+        let bug = Bugbase.Pbzip2.bug in
+        let sigs = Hashtbl.create 4 in
+        for c = 0 to 120 do
+          match
+            (I.run ~preempt_prob:bug.preempt_prob bug.program (bug.workload_of c))
+              .I.outcome
+          with
+          | I.Failed rep ->
+            Hashtbl.replace sigs (Exec.Failure.signature rep) ()
+          | I.Success -> ()
+        done;
+        Alcotest.(check bool) "several signatures" true (Hashtbl.length sigs >= 2));
+  ]
+
+let client =
+  [
+    Alcotest.test_case "client reports signature and decode for failures"
+      `Quick (fun () ->
+        let bug = Bugbase.Curl.bug in
+        let c0, _ = Option.get (Bugbase.Common.find_target_failure bug) in
+        let failure =
+          match Bugbase.Common.find_target_failure bug with
+          | Some (_, f) -> f
+          | None -> assert false
+        in
+        let slice = Slicing.Slicer.compute bug.program failure in
+        let plan =
+          Instrument.Place.compute bug.program (Slicing.Slicer.take slice 4)
+        in
+        let report =
+          Gist.Client.run_one ~plan
+            ~wp_allowed:plan.Instrument.Plan.wp_targets
+            ~preempt_prob:bug.preempt_prob bug.program (bug.workload_of c0)
+        in
+        Alcotest.(check bool) "failing" true (Gist.Client.failing report);
+        Alcotest.(check bool) "failure pc decoded" true
+          (List.mem failure.pc (Gist.Client.executed_set report));
+        Alcotest.(check bool) "base cycles positive" true
+          (report.r_base_cycles > 0.0));
+    Alcotest.test_case "monitored successful run has no signature" `Quick
+      (fun () ->
+        let bug = Bugbase.Curl.bug in
+        let plan = Instrument.Place.compute bug.program [] in
+        let report =
+          Gist.Client.run_one ~plan ~wp_allowed:[]
+            ~preempt_prob:bug.preempt_prob bug.program (bug.workload_of 0)
+        in
+        Alcotest.(check bool) "success" false (Gist.Client.failing report);
+        Alcotest.(check (float 0.0001)) "zero overhead when untracked" 0.0
+          report.r_overhead_pct);
+  ]
+
+let diagnose_bug (bug : Bugbase.Common.t) =
+  let _, failure = Option.get (Bugbase.Common.find_target_failure bug) in
+  let config =
+    { Gist.Config.default with Gist.Config.preempt_prob = bug.preempt_prob }
+  in
+  Gist.Server.diagnose ~config
+    ~oracle:(Experiments.Oracle.for_bug bug)
+    ~bug_name:bug.name ~failure_type:bug.failure_type ~program:bug.program
+    ~workload_of:bug.workload_of ~failure ()
+
+let end_to_end_case (bug : Bugbase.Common.t) ~max_recurrences ~min_accuracy =
+  Alcotest.test_case (Printf.sprintf "diagnose %s" bug.name) `Quick (fun () ->
+      let d = diagnose_bug bug in
+      Alcotest.(check bool)
+        (Printf.sprintf "recurrences %d <= %d" d.recurrences max_recurrences)
+        true
+        (d.recurrences <= max_recurrences);
+      (* the sketch covers the root cause *)
+      let got = Fsketch.Sketch.iids d.sketch in
+      List.iter
+        (fun iid ->
+          if not (List.mem iid got) then
+            Alcotest.failf "root-cause iid %d missing from sketch" iid)
+        (Bugbase.Common.root_cause_iids bug);
+      (* a convincing predictor exists *)
+      Alcotest.(check bool) "convincing predictor" true
+        (Experiments.Oracle.convincing_predictor d.sketch);
+      (* accuracy against the hand-built ideal *)
+      let acc =
+        Fsketch.Accuracy.of_sketch d.sketch ~ideal:(Bugbase.Common.ideal bug)
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "accuracy %.1f >= %.1f" acc.overall min_accuracy)
+        true
+        (acc.overall >= min_accuracy);
+      (* monitoring stayed cheap *)
+      Alcotest.(check bool) "overhead below 15%" true
+        (d.avg_overhead_pct < 15.0))
+
+let end_to_end =
+  [
+    end_to_end_case Bugbase.Pbzip2.bug ~max_recurrences:6 ~min_accuracy:75.0;
+    end_to_end_case Bugbase.Curl.bug ~max_recurrences:6 ~min_accuracy:85.0;
+    end_to_end_case Bugbase.Transmission.bug ~max_recurrences:6
+      ~min_accuracy:85.0;
+    end_to_end_case Bugbase.Sqlite.bug ~max_recurrences:6 ~min_accuracy:80.0;
+  ]
+
+let ablation =
+  [
+    Alcotest.test_case "disabling data flow loses the value predictors"
+      `Quick (fun () ->
+        let bug = Bugbase.Transmission.bug in
+        let _, failure = Option.get (Bugbase.Common.find_target_failure bug) in
+        let config =
+          {
+            Gist.Config.default with
+            Gist.Config.preempt_prob = bug.preempt_prob;
+            enable_df = false;
+            max_iterations = 3;
+          }
+        in
+        let d =
+          Gist.Server.diagnose ~config ~bug_name:bug.name
+            ~failure_type:bug.failure_type ~program:bug.program
+            ~workload_of:bug.workload_of ~failure ()
+        in
+        let has_value_predictor =
+          List.exists
+            (fun (r : Predict.Stats.ranked) ->
+              match r.predictor with
+              | Predict.Predictor.Data_value _ | Value_range _ | Race _
+              | Atomicity _ ->
+                true
+              | Branch_taken _ -> false)
+            d.sketch.predictors
+        in
+        Alcotest.(check bool) "no data predictors without watchpoints" false
+          has_value_predictor);
+    Alcotest.test_case "iteration trace is recorded with doubling sigma"
+      `Quick (fun () ->
+        let d = diagnose_bug Bugbase.Curl.bug in
+        let sigmas =
+          List.map (fun (t : Gist.Server.iteration_info) -> t.it_sigma) d.trace
+        in
+        let rec doubling = function
+          | a :: (b :: _ as tl) -> b = 2 * a && doubling tl
+          | _ -> true
+        in
+        Alcotest.(check bool) "doubles" true (doubling sigmas);
+        Alcotest.(check int) "starts at 2" 2 (List.hd sigmas));
+  ]
+
+let () =
+  Alcotest.run "gist"
+    [
+      ("wp-groups", wp_groups);
+      ("first-failure", first_failure);
+      ("client", client);
+      ("end-to-end", end_to_end);
+      ("ablation", ablation);
+    ]

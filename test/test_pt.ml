@@ -1,0 +1,162 @@
+(* Intel PT simulator tests: the central property is the encode/decode
+   round trip -- what the decoder reconstructs from the packet stream
+   must equal what each thread actually executed while tracing was on. *)
+
+open Tsupport.Programs
+module I = Exec.Interp
+
+(* Run [program] under full tracing and compare each thread's decoded
+   sequence with the interpreter's ground truth. *)
+let round_trip ?(args = []) ?(seed = 1) program =
+  let counters = Exec.Cost.create () in
+  let pt = Hw.Pt.create counters in
+  let hooks = Instrument.Runtime.full_tracing_hooks ~pt in
+  let res =
+    Exec.Interp.run ~hooks ~counters ~record_gt:true program
+      (I.workload ~args seed)
+  in
+  Hw.Pt.finish pt;
+  (res, Hw.Pt.decode_all pt program)
+
+let check_round_trip ?(args = []) ?(seed = 1) name program =
+  Alcotest.test_case name `Quick (fun () ->
+      let res, decoded = round_trip ~args ~seed program in
+      (match res.I.outcome with
+       | I.Failed rep ->
+         Alcotest.failf "program failed: %s" (Exec.Failure.report_to_string rep)
+       | I.Success -> ());
+      let truth = per_thread_executed res in
+      List.iter
+        (fun (tid, expected) ->
+          match List.assoc_opt tid decoded with
+          | None -> Alcotest.failf "no stream for thread %d" tid
+          | Some (d : Hw.Pt.decoded) ->
+            Alcotest.(check (list int))
+              (Printf.sprintf "thread %d" tid)
+              expected d.d_iids)
+        truth)
+
+let round_trips =
+  [
+    check_round_trip "straight-line code" ~args:[ Exec.Value.VInt 5 ] straight;
+    check_round_trip "diamond, taken arm" ~args:[ Exec.Value.VInt 5 ] diamond;
+    check_round_trip "diamond, fallthrough arm" ~args:[ Exec.Value.VInt (-5) ]
+      diamond;
+    check_round_trip "loop" ~args:[ Exec.Value.VInt 13 ] loop_sum;
+    check_round_trip "calls and returns" ~args:[ Exec.Value.VInt 4 ] call_chain;
+    check_round_trip "recursion" ~args:[ Exec.Value.VInt 7 ] factorial;
+    check_round_trip "multithreaded (locked counter)"
+      ~args:[ Exec.Value.VInt 4 ] (counter ~locked:true);
+  ]
+
+let qcheck_round_trip =
+  QCheck.Test.make ~name:"round trip over random seeds and workloads"
+    ~count:60
+    QCheck.(pair (int_bound 5000) (int_range 1 5))
+    (fun (seed, n) ->
+      let program = counter ~locked:true in
+      let res, decoded = round_trip ~args:[ Exec.Value.VInt n ] ~seed program in
+      res.I.outcome = I.Success
+      && List.for_all
+           (fun (tid, expected) ->
+             match List.assoc_opt tid decoded with
+             | None -> expected = []
+             | Some (d : Hw.Pt.decoded) -> d.d_iids = expected)
+           (per_thread_executed res))
+
+let branch_outcomes =
+  Alcotest.test_case "decoded branch outcomes match ground truth" `Quick
+    (fun () ->
+      let outcomes = ref [] in
+      let counters = Exec.Cost.create () in
+      let pt = Hw.Pt.create counters in
+      let hooks = Instrument.Runtime.full_tracing_hooks ~pt in
+      let base_branch = hooks.branch in
+      hooks.branch <-
+        (fun ~tid ~instr ~taken ->
+          outcomes := (instr.Ir.Types.iid, taken) :: !outcomes;
+          base_branch ~tid ~instr ~taken);
+      let _ =
+        Exec.Interp.run ~hooks ~counters loop_sum
+          (I.workload ~args:[ Exec.Value.VInt 6 ] 3)
+      in
+      Hw.Pt.finish pt;
+      let d = Hw.Pt.decode loop_sum (Hw.Pt.packets_of pt 0) in
+      Alcotest.(check (list (pair int bool)))
+        "outcomes" (List.rev !outcomes) d.d_branches)
+
+let packets =
+  [
+    Alcotest.test_case "trace volume is accounted in bytes" `Quick (fun () ->
+        let res, _ = round_trip ~args:[ Exec.Value.VInt 10 ] loop_sum in
+        ignore res;
+        ());
+    Alcotest.test_case "TNT bits are grouped into at most 8-bit packets"
+      `Quick (fun () ->
+        let counters = Exec.Cost.create () in
+        let pt = Hw.Pt.create counters in
+        let hooks = Instrument.Runtime.full_tracing_hooks ~pt in
+        let _ =
+          Exec.Interp.run ~hooks ~counters loop_sum
+            (I.workload ~args:[ Exec.Value.VInt 30 ] 3)
+        in
+        Hw.Pt.finish pt;
+        List.iter
+          (function
+            | Hw.Pt.TNT bits ->
+              if List.length bits > 8 then Alcotest.fail "oversized TNT"
+            | _ -> ())
+          (Hw.Pt.packets_of pt 0));
+    Alcotest.test_case "disable/enable produce PGD/PGE pairs" `Quick (fun () ->
+        let counters = Exec.Cost.create () in
+        let pt = Hw.Pt.create counters in
+        Hw.Pt.enable pt ~tid:0 ~pc:1;
+        Hw.Pt.on_branch pt ~tid:0 ~taken:true;
+        Hw.Pt.disable pt ~tid:0 ~pc:3;
+        Hw.Pt.enable pt ~tid:0 ~pc:5;
+        Hw.Pt.disable pt ~tid:0 ~pc:7;
+        match Hw.Pt.packets_of pt 0 with
+        | [ PGE 1; TNT [ true ]; PGD 3; PGE 5; PGD 7 ] -> ()
+        | ps -> Alcotest.failf "unexpected packets (%d)" (List.length ps));
+    Alcotest.test_case "enable is idempotent" `Quick (fun () ->
+        let counters = Exec.Cost.create () in
+        let pt = Hw.Pt.create counters in
+        Hw.Pt.enable pt ~tid:0 ~pc:1;
+        Hw.Pt.enable pt ~tid:0 ~pc:2;
+        Hw.Pt.disable pt ~tid:0 ~pc:3;
+        Alcotest.(check int) "packets" 2
+          (List.length (Hw.Pt.packets_of pt 0)));
+    Alcotest.test_case "per-thread streams are independent" `Quick (fun () ->
+        let res, decoded =
+          round_trip ~args:[ Exec.Value.VInt 3 ] (counter ~locked:true)
+        in
+        ignore res;
+        Alcotest.(check bool) "three streams" true (List.length decoded >= 3));
+    Alcotest.test_case "crash truncation: decode stops at the last pc" `Quick
+      (fun () ->
+        let counters = Exec.Cost.create () in
+        let pt = Hw.Pt.create counters in
+        let hooks = Instrument.Runtime.full_tracing_hooks ~pt in
+        let res =
+          Exec.Interp.run ~hooks ~counters uaf (I.workload 1)
+        in
+        Hw.Pt.finish pt;
+        let d = Hw.Pt.decode uaf (Hw.Pt.packets_of pt 0) in
+        (match res.I.outcome with
+         | I.Failed rep ->
+           (* everything up to (excluding) the crash pc is decodable *)
+           Alcotest.(check bool) "prefix decoded" true
+             (List.length d.d_iids >= 2);
+           Alcotest.(check bool) "crash pc not beyond" true
+             (List.for_all (fun i -> i <= rep.pc) d.d_iids)
+         | I.Success -> Alcotest.fail "expected crash"));
+  ]
+
+let () =
+  Alcotest.run "pt"
+    [
+      ("round-trip", round_trips);
+      ("round-trip-qcheck", [ QCheck_alcotest.to_alcotest qcheck_round_trip ]);
+      ("branch-outcomes", [ branch_outcomes ]);
+      ("packets", packets);
+    ]

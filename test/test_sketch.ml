@@ -1,0 +1,232 @@
+(* Failure-sketch construction, cross-thread ordering via watchpoint
+   anchors, rendering, and the accuracy metrics (Kendall tau). *)
+
+module Sk = Fsketch.Sketch
+module Acc = Fsketch.Accuracy
+module W = Hw.Watchpoint
+
+let program = Tsupport.Programs.diamond
+
+let dummy_failure pc =
+  Exec.Failure.
+    { kind = Segfault; pc; tid = 1; stack = [ "main" ]; message = "" }
+
+let trap seq tid iid =
+  W.
+    {
+      w_seq = seq;
+      w_tid = tid;
+      w_iid = iid;
+      w_addr = 5;
+      w_rw = Exec.Interp.Read;
+      w_value = Exec.Value.VInt 0;
+    }
+
+let build ?(traps = []) ?(ranked = []) per_thread =
+  Sk.build ~bug_name:"test" ~failure_type:"test bug" ~program
+    ~failure:(dummy_failure 5) ~per_thread ~traps ~ranked
+
+let construction =
+  [
+    Alcotest.test_case "single thread keeps program order" `Quick (fun () ->
+        let s = build [ (1, [ 1; 2; 3; 5 ]) ] in
+        Alcotest.(check (list int)) "order" [ 1; 2; 3; 5 ]
+          (Sk.statement_order s));
+    Alcotest.test_case "watchpoint anchors order across threads" `Quick
+      (fun () ->
+        (* thread 2's statement trapped before thread 1's *)
+        let traps = [ trap 1 2 4; trap 2 1 3 ] in
+        let s = build ~traps [ (1, [ 3 ]); (2, [ 4 ]) ] in
+        Alcotest.(check (list int)) "t2 first" [ 4; 3 ] (Sk.statement_order s));
+    Alcotest.test_case "last occurrence wins for repeated statements" `Quick
+      (fun () ->
+        (* statement 3 runs twice in t1; its second occurrence is after
+           t2's statement 4 *)
+        let traps = [ trap 1 1 3; trap 2 2 4; trap 3 1 3 ] in
+        let s = build ~traps [ (1, [ 3; 3 ]); (2, [ 4 ]) ] in
+        Alcotest.(check (list int)) "4 before final 3" [ 4; 3 ]
+          (Sk.statement_order s));
+    Alcotest.test_case "iids deduplicate across threads" `Quick (fun () ->
+        let s = build [ (1, [ 1; 2 ]); (2, [ 2; 3 ]) ] in
+        Alcotest.(check (list int)) "set" [ 1; 2; 3 ] (Sk.iids s));
+    Alcotest.test_case "steps are numbered from one" `Quick (fun () ->
+        let s = build [ (1, [ 1; 2; 3 ]) ] in
+        Alcotest.(check (list int)) "steps" [ 1; 2; 3 ]
+          (List.map (fun (st : Sk.step) -> st.step_no) s.steps));
+  ]
+
+let rendering =
+  [
+    Alcotest.test_case "render shows header, failure and threads" `Quick
+      (fun () ->
+        let s = build [ (1, [ 1; 2 ]); (2, [ 3 ]) ] in
+        let out = Fsketch.Render.render s in
+        List.iter
+          (fun needle ->
+            if not (Astring.String.is_infix ~affix:needle out) then
+              Alcotest.failf "missing %S in render" needle)
+          [ "Failure Sketch for test"; "Type: test bug"; "Thread T1";
+            "Thread T2"; "Failure: segfault" ]);
+    Alcotest.test_case "top predictors section appears when present" `Quick
+      (fun () ->
+        let ranked =
+          Predict.Stats.rank
+            [
+              { predictors = [ Predict.Predictor.Data_value (2, "0") ];
+                failing = true };
+              { predictors = []; failing = false };
+            ]
+        in
+        let s = build ~ranked [ (1, [ 1; 2 ]) ] in
+        let out = Fsketch.Render.render s in
+        Alcotest.(check bool) "predictor section" true
+          (Astring.String.is_infix ~affix:"Top failure predictors" out));
+    Alcotest.test_case "value note rendered next to the statement" `Quick
+      (fun () ->
+        let ranked =
+          Predict.Stats.rank
+            [
+              { predictors = [ Predict.Predictor.Data_value (2, "null") ];
+                failing = true };
+            ]
+        in
+        let s = build ~ranked [ (1, [ 1; 2 ]) ] in
+        Alcotest.(check bool) "note" true
+          (Astring.String.is_infix ~affix:"{null}" (Fsketch.Render.render s)));
+  ]
+
+let kendall =
+  [
+    Alcotest.test_case "identical orders: tau = 0" `Quick (fun () ->
+        let t, p = Acc.kendall_tau [ 1; 2; 3 ] [ 1; 2; 3 ] in
+        Alcotest.(check int) "tau" 0 t;
+        Alcotest.(check int) "pairs" 3 p);
+    Alcotest.test_case "reversed orders: all pairs discordant" `Quick
+      (fun () ->
+        let t, p = Acc.kendall_tau [ 1; 2; 3; 4 ] [ 4; 3; 2; 1 ] in
+        Alcotest.(check int) "tau" 6 t;
+        Alcotest.(check int) "pairs" 6 p);
+    Alcotest.test_case "single swap: one discordant pair" `Quick (fun () ->
+        let t, _ = Acc.kendall_tau [ 1; 2; 3 ] [ 1; 3; 2 ] in
+        Alcotest.(check int) "tau" 1 t);
+    Alcotest.test_case "restricted to common elements" `Quick (fun () ->
+        let t, p = Acc.kendall_tau [ 1; 2; 9 ] [ 2; 1; 7 ] in
+        Alcotest.(check int) "one pair" 1 p;
+        Alcotest.(check int) "discordant" 1 t);
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"tau(l,l) = 0" ~count:200
+         QCheck.(list_of_size (Gen.int_range 0 20) small_nat)
+         (fun l ->
+           let l = List.sort_uniq compare l in
+           fst (Acc.kendall_tau l l) = 0));
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"tau(l, rev l) = n(n-1)/2" ~count:200
+         QCheck.(list_of_size (Gen.int_range 0 20) small_nat)
+         (fun l ->
+           let l = List.sort_uniq compare l in
+           let n = List.length l in
+           fst (Acc.kendall_tau l (List.rev l)) = n * (n - 1) / 2));
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"tau is symmetric" ~count:200
+         QCheck.(
+           pair
+             (list_of_size (Gen.int_range 0 15) small_nat)
+             (list_of_size (Gen.int_range 0 15) small_nat))
+         (fun (a, b) ->
+           let a = List.sort_uniq compare a and b = List.sort_uniq compare b in
+           fst (Acc.kendall_tau a b) = fst (Acc.kendall_tau b a)));
+  ]
+
+let accuracy =
+  [
+    Alcotest.test_case "perfect sketch scores 100/100" `Quick (fun () ->
+        let r =
+          Acc.compute ~gist_order:[ 1; 2; 3 ] ~ideal:{ i_iids = [ 1; 2; 3 ] }
+        in
+        Alcotest.(check (float 0.01)) "AR" 100.0 r.relevance;
+        Alcotest.(check (float 0.01)) "AO" 100.0 r.ordering;
+        Alcotest.(check (float 0.01)) "A" 100.0 r.overall);
+    Alcotest.test_case "excess statements lower relevance only" `Quick
+      (fun () ->
+        let r =
+          Acc.compute ~gist_order:[ 9; 1; 2; 3 ] ~ideal:{ i_iids = [ 1; 2; 3 ] }
+        in
+        Alcotest.(check (float 0.01)) "AR" 75.0 r.relevance;
+        Alcotest.(check (float 0.01)) "AO" 100.0 r.ordering);
+    Alcotest.test_case "wrong order lowers ordering only" `Quick (fun () ->
+        let r =
+          Acc.compute ~gist_order:[ 3; 2; 1 ] ~ideal:{ i_iids = [ 1; 2; 3 ] }
+        in
+        Alcotest.(check (float 0.01)) "AR" 100.0 r.relevance;
+        Alcotest.(check (float 0.01)) "AO" 0.0 r.ordering);
+    Alcotest.test_case "empty intersection still yields full ordering" `Quick
+      (fun () ->
+        (* no common pairs: ordering conventionally 100 (paper: at least
+           the failing instruction is always shared) *)
+        let r = Acc.compute ~gist_order:[ 1 ] ~ideal:{ i_iids = [ 1 ] } in
+        Alcotest.(check (float 0.01)) "AO" 100.0 r.ordering);
+    Alcotest.test_case "counts reported" `Quick (fun () ->
+        let r =
+          Acc.compute ~gist_order:[ 1; 2; 5 ] ~ideal:{ i_iids = [ 2; 3 ] }
+        in
+        Alcotest.(check int) "gist" 3 r.n_gist;
+        Alcotest.(check int) "ideal" 2 r.n_ideal;
+        Alcotest.(check int) "common" 1 r.n_common);
+  ]
+
+let export =
+  [
+    Alcotest.test_case "JSON escaping" `Quick (fun () ->
+        Alcotest.(check string) "quotes" {|a\"b|}
+          (Fsketch.Export.escape {|a"b|});
+        Alcotest.(check string) "backslash" {|a\\b|}
+          (Fsketch.Export.escape {|a\b|});
+        Alcotest.(check string) "newline" {|a\nb|}
+          (Fsketch.Export.escape "a\nb"));
+    Alcotest.test_case "JSON export carries steps and predictors" `Quick
+      (fun () ->
+        let ranked =
+          Predict.Stats.rank
+            [
+              { predictors = [ Predict.Predictor.Data_value (2, "0") ];
+                failing = true };
+            ]
+        in
+        let s = build ~ranked [ (1, [ 1; 2 ]) ] in
+        let json = Fsketch.Export.to_json s in
+        List.iter
+          (fun needle ->
+            if not (Astring.String.is_infix ~affix:needle json) then
+              Alcotest.failf "missing %S" needle)
+          [ {|"bug":"test"|}; {|"steps":[|}; {|"predictors":[|};
+            {|"kind":"value"|}; {|"line":|} ]);
+    Alcotest.test_case "JSON is balanced" `Quick (fun () ->
+        let s = build [ (1, [ 1; 2; 3 ]) ] in
+        let json = Fsketch.Export.to_json s in
+        let depth = ref 0 and ok = ref true and in_str = ref false in
+        String.iteri
+          (fun k c ->
+            if !in_str then begin
+              if c = '"' && json.[k - 1] <> '\\' then in_str := false
+            end
+            else
+              match c with
+              | '"' -> in_str := true
+              | '{' | '[' -> incr depth
+              | '}' | ']' ->
+                decr depth;
+                if !depth < 0 then ok := false
+              | _ -> ())
+          json;
+        Alcotest.(check bool) "balanced" true (!ok && !depth = 0));
+  ]
+
+let () =
+  Alcotest.run "sketch"
+    [
+      ("construction", construction);
+      ("rendering", rendering);
+      ("kendall-tau", kendall);
+      ("accuracy", accuracy);
+      ("export", export);
+    ]

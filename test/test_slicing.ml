@@ -1,0 +1,190 @@
+(* Static backward slicer tests: data flow, interprocedural flow through
+   calls and thread creation, deliberate alias-free misses, control
+   dependencies, and AsT ordering. *)
+
+open Ir.Types
+module B = Ir.Builder
+
+let i = B.file "s.c"
+let r = B.r
+let im = B.im
+
+(* Helper: slice the program from the instruction at [line] (first on
+   that line). *)
+let slice_from program line =
+  let failing =
+    Ir.Program.all_instrs program
+    |> List.find (fun (x : instr) -> x.loc.line = line)
+  in
+  let report =
+    Exec.Failure.
+      { kind = Segfault; pc = failing.iid; tid = 0; stack = [ "main" ];
+        message = "" }
+  in
+  Slicing.Slicer.compute program report
+
+let lines_of_slice program s =
+  Slicing.Slicer.iids s
+  |> List.map (fun iid -> (Ir.Program.loc_of program iid).line)
+  |> List.sort_uniq compare
+
+(* x = a+1 ; y = x*2 ; unrelated = 7 ; fail(y) *)
+let dataflow_prog =
+  Ir.Program.make ~main:"main"
+    [
+      B.func "main" ~params:[ "a" ]
+        [
+          B.block "entry"
+            [
+              i 1 "x = a + 1" (Assign ("x", B.( +% ) (r "a") (im 1)));
+              i 2 "y = x * 2" (Assign ("y", B.( *% ) (r "x") (im 2)));
+              i 3 "unrelated = 7" (Assign ("u", Mov (im 7)));
+              i 4 "deref y" (Load ("v", r "y", 0));
+              i 5 "" (Ret None);
+            ];
+        ];
+    ]
+
+let basic =
+  [
+    Alcotest.test_case "def-use chain joins, unrelated stays out" `Quick
+      (fun () ->
+        let s = slice_from dataflow_prog 4 in
+        Alcotest.(check (list int)) "lines" [ 1; 2; 4 ]
+          (lines_of_slice dataflow_prog s));
+    Alcotest.test_case "failing statement is first in AsT order" `Quick
+      (fun () ->
+        let s = slice_from dataflow_prog 4 in
+        match Slicing.Slicer.take s 1 with
+        | [ iid ] ->
+          Alcotest.(check int) "line 4" 4
+            (Ir.Program.loc_of dataflow_prog iid).line
+        | _ -> Alcotest.fail "take 1");
+    Alcotest.test_case "take is a prefix and monotone" `Quick (fun () ->
+        let s = slice_from dataflow_prog 4 in
+        let t2 = Slicing.Slicer.take s 2 and t3 = Slicing.Slicer.take s 3 in
+        Alcotest.(check (list int)) "prefix" t2
+          (List.filteri (fun k _ -> k < 2) t3));
+    Alcotest.test_case "slice sizes are consistent" `Quick (fun () ->
+        let s = slice_from dataflow_prog 4 in
+        Alcotest.(check int) "instr count" 3 (Slicing.Slicer.instr_count s);
+        Alcotest.(check int) "src lines" 3 (Slicing.Slicer.source_loc_count s));
+    Alcotest.test_case "slicing is deterministic" `Quick (fun () ->
+        let a = slice_from dataflow_prog 4 and b = slice_from dataflow_prog 4 in
+        Alcotest.(check (list int)) "same" (Slicing.Slicer.iids a)
+          (Slicing.Slicer.iids b));
+  ]
+
+(* Memory matching: same-function same-base-same-offset stores join;
+   a store through a different pointer name is (deliberately) missed. *)
+let memory_prog =
+  Ir.Program.make ~main:"main"
+    [
+      B.func "main" ~params:[]
+        [
+          B.block "entry"
+            [
+              i 1 "p = malloc" (Malloc ("p", 2));
+              i 2 "alias = p" (Assign ("q", Mov (r "p")));
+              i 3 "p[0] = 5" (Store (r "p", 0, im 5));
+              i 4 "q[1] = 6" (Store (r "q", 1, im 6));
+              i 5 "v = p[0]" (Load ("v", r "p", 0));
+              i 6 "w = p[1]" (Load ("w", r "p", 1));
+              i 7 "deref v" (Load ("z", r "v", 0));
+              i 8 "" (Ret None);
+            ];
+        ];
+    ]
+
+let memory =
+  [
+    Alcotest.test_case "matching store joins the slice" `Quick (fun () ->
+        let s = slice_from memory_prog 7 in
+        let lines = lines_of_slice memory_prog s in
+        Alcotest.(check bool) "store p[0] in" true (List.mem 3 lines));
+    Alcotest.test_case "alias-free: store via another name is missed" `Quick
+      (fun () ->
+        (* failure depends on p[1], which was written through q *)
+        let failing =
+          Ir.Program.all_instrs memory_prog
+          |> List.find (fun (x : instr) -> x.loc.line = 6)
+        in
+        let report =
+          Exec.Failure.
+            { kind = Segfault; pc = failing.iid; tid = 0; stack = []; message = "" }
+        in
+        let s = Slicing.Slicer.compute memory_prog report in
+        let lines = lines_of_slice memory_prog s in
+        Alcotest.(check bool) "store q[1] missed (paper behaviour)" false
+          (List.mem 4 lines));
+  ]
+
+let interprocedural =
+  [
+    Alcotest.test_case "return-value flow descends into callees" `Quick
+      (fun () ->
+        let p = Tsupport.Programs.call_chain in
+        (* fail at f's return computation (line 21): needs v <- g *)
+        let s = slice_from p 21 in
+        let lines = lines_of_slice p s in
+        Alcotest.(check bool) "g's body in slice" true (List.mem 10 lines));
+    Alcotest.test_case "argument flow ascends to call sites" `Quick (fun () ->
+        let p = Tsupport.Programs.call_chain in
+        let s = slice_from p 10 in
+        let lines = lines_of_slice p s in
+        Alcotest.(check bool) "f's callsite of g in slice" true
+          (List.mem 20 lines);
+        Alcotest.(check bool) "main's callsite of f in slice" true
+          (List.mem 30 lines));
+    Alcotest.test_case "thread-start arguments flow through spawn (TICFG)"
+      `Quick (fun () ->
+        let p = Bugbase.Pbzip2.program in
+        match Bugbase.Common.find_target_failure Bugbase.Pbzip2.bug with
+        | None -> Alcotest.fail "no pbzip2 failure"
+        | Some (_, rep) ->
+          let s = Slicing.Slicer.compute p rep in
+          let lines = lines_of_slice p s in
+          Alcotest.(check bool) "spawn site (line 21) in slice" true
+            (List.mem 21 lines);
+          Alcotest.(check bool) "queue_init call (line 20) in slice" true
+            (List.mem 20 lines));
+    Alcotest.test_case "globals match across functions" `Quick (fun () ->
+        let p = Bugbase.Transmission.program in
+        match Bugbase.Common.find_target_failure Bugbase.Transmission.bug with
+        | None -> Alcotest.fail "no transmission failure"
+        | Some (_, rep) ->
+          let s = Slicing.Slicer.compute p rep in
+          let lines = lines_of_slice p s in
+          (* peer_loop's stores to the global band_used, lines 22/25 *)
+          Alcotest.(check bool) "alloc store" true (List.mem 22 lines);
+          Alcotest.(check bool) "release store" true (List.mem 25 lines));
+  ]
+
+let control_deps =
+  [
+    Alcotest.test_case "controlling branch joins the slice" `Quick (fun () ->
+        let p = Tsupport.Programs.diamond in
+        (* fail at the positive arm (line 3): control-dep on the branch *)
+        let s = slice_from p 3 in
+        let lines = lines_of_slice p s in
+        Alcotest.(check bool) "branch line in slice" true (List.mem 2 lines);
+        Alcotest.(check bool) "condition def in slice" true (List.mem 1 lines));
+    Alcotest.test_case "curl: glob error path reachable via control deps"
+      `Quick (fun () ->
+        let p = Bugbase.Curl.program in
+        match Bugbase.Common.find_target_failure Bugbase.Curl.bug with
+        | None -> Alcotest.fail "no curl failure"
+        | Some (_, rep) ->
+          let s = Slicing.Slicer.compute p rep in
+          let lines = lines_of_slice p s in
+          Alcotest.(check bool) "next_url load line" true (List.mem 30 lines));
+  ]
+
+let () =
+  Alcotest.run "slicing"
+    [
+      ("basic", basic);
+      ("memory", memory);
+      ("interprocedural", interprocedural);
+      ("control-deps", control_deps);
+    ]

@@ -1,0 +1,104 @@
+(* Textual IR format tests: emit/parse round trips over the whole
+   Bugbase and over random programs, plus parse-error reporting. *)
+
+let roundtrip_equal (p : Ir.Types.program) =
+  let q = Ir.Text.parse (Ir.Text.emit p) in
+  (* iids are canonical in both (assigned by Program.make in textual
+     order), so structural equality of the serialisations suffices. *)
+  Ir.Text.emit q = Ir.Text.emit p
+  && q.n_instrs = p.n_instrs
+  && List.map (fun (f : Ir.Types.func) -> f.fname) q.funcs
+     = List.map (fun (f : Ir.Types.func) -> f.fname) p.funcs
+
+let roundtrips =
+  List.map
+    (fun (bug : Bugbase.Common.t) ->
+      Alcotest.test_case ("round trip: " ^ bug.name) `Quick (fun () ->
+          Alcotest.(check bool) "equal" true (roundtrip_equal bug.program)))
+    Bugbase.Registry.all
+  @ [
+      Alcotest.test_case "round trip: quickstart-style program" `Quick
+        (fun () ->
+          Alcotest.(check bool) "equal" true
+            (roundtrip_equal (Tsupport.Programs.counter ~locked:true)));
+      QCheck_alcotest.to_alcotest
+        (QCheck.Test.make ~name:"round trip on random programs" ~count:200
+           QCheck.(int_bound 100_000)
+           (fun seed -> roundtrip_equal (Tsupport.Gen_prog.random seed)));
+    ]
+
+let behaviour =
+  [
+    Alcotest.test_case "parsed program runs identically" `Quick (fun () ->
+        let p = Bugbase.Curl.program in
+        let q = Ir.Text.parse (Ir.Text.emit p) in
+        let run prog =
+          Exec.Interp.run ~record_gt:true prog
+            (Exec.Interp.workload ~args:[ Exec.Value.VStr "{}{" ] 3)
+        in
+        let a = run p and b = run q in
+        Alcotest.(check bool) "same executed" true (a.executed = b.executed);
+        Alcotest.(check bool) "same outcome class" true
+          ((a.outcome = Exec.Interp.Success) = (b.outcome = Exec.Interp.Success)));
+    Alcotest.test_case "annotations survive the round trip" `Quick (fun () ->
+        let p = Bugbase.Pbzip2.program in
+        let q = Ir.Text.parse (Ir.Text.emit p) in
+        let texts prog =
+          Ir.Program.all_instrs prog
+          |> List.map (fun (i : Ir.Types.instr) -> (i.loc, i.text))
+        in
+        Alcotest.(check bool) "same annotations" true (texts p = texts q));
+  ]
+
+let errors =
+  let check_error name src expect_line =
+    Alcotest.test_case name `Quick (fun () ->
+        match Ir.Text.parse_result src with
+        | Ok _ -> Alcotest.fail "expected a parse error"
+        | Error msg ->
+          if not (Astring.String.is_prefix ~affix:(Printf.sprintf "line %d" expect_line) msg)
+          then Alcotest.failf "wrong location: %s" msg)
+  in
+  [
+    check_error "instruction outside a block"
+      "func main() {\n  ret\n}\nmain main" 2;
+    check_error "unknown instruction"
+      "func main() {\nentry:\n  warp 9\n}\nmain main" 3;
+    check_error "unterminated string"
+      "func main() {\nentry:\n  assert 1 \"oops\n}\nmain main" 3;
+    check_error "bad br syntax"
+      "func main() {\nentry:\n  br %c ? a\n}\nmain main" 3;
+    Alcotest.test_case "missing main directive" `Quick (fun () ->
+        match Ir.Text.parse_result "func main() {\nentry:\n  ret\n}" with
+        | Error _ -> ()
+        | Ok _ -> Alcotest.fail "expected error");
+    Alcotest.test_case "validation errors surface as Error" `Quick (fun () ->
+        (* jump to an unknown label parses but fails validation *)
+        match
+          Ir.Text.parse_result "func main() {\nentry:\n  jmp nowhere\n}\nmain main"
+        with
+        | Error _ -> ()
+        | Ok _ -> Alcotest.fail "expected error");
+  ]
+
+let files =
+  [
+    Alcotest.test_case "save and load a .gir file" `Quick (fun () ->
+        let path = Filename.temp_file "gist" ".gir" in
+        Ir.Text.save path Bugbase.Memcached.program;
+        (match Ir.Text.load path with
+         | Ok q ->
+           Alcotest.(check bool) "equal" true
+             (Ir.Text.emit q = Ir.Text.emit Bugbase.Memcached.program)
+         | Error e -> Alcotest.failf "load failed: %s" e);
+        Sys.remove path);
+  ]
+
+let () =
+  Alcotest.run "text"
+    [
+      ("round-trips", roundtrips);
+      ("behaviour", behaviour);
+      ("errors", errors);
+      ("files", files);
+    ]
