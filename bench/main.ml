@@ -75,8 +75,9 @@ let micro_tests () =
              workload));
   ]
 
-let run_micro () =
-  print_endline "Micro-benchmarks (Bechamel, monotonic clock):";
+(* Per-stage ns/run estimates as data, shared by the [micro] printer
+   and the machine-readable [perf] report. *)
+let micro_results () =
   let tests = Test.make_grouped ~name:"gist" (micro_tests ()) in
   let instances = Instance.[ monotonic_clock ] in
   let cfg =
@@ -89,14 +90,125 @@ let run_micro () =
   let results = Analyze.all ols Instance.monotonic_clock raw in
   Hashtbl.fold (fun name ols acc -> (name, ols) :: acc) results []
   |> List.sort compare
-  |> List.iter (fun (name, ols) ->
+  |> List.map (fun (name, ols) ->
       let ns =
         match Analyze.OLS.estimates ols with
         | Some (x :: _) -> x
         | _ -> nan
       in
-      Printf.printf "  %-55s %12.0f ns/run\n" name ns);
+      (name, ns))
+
+let run_micro () =
+  print_endline "Micro-benchmarks (Bechamel, monotonic clock):";
+  List.iter
+    (fun (name, ns) -> Printf.printf "  %-55s %12.0f ns/run\n" name ns)
+    (micro_results ());
   print_newline ()
+
+(* ------------------------------------------------------------------ *)
+(* PR 1 performance report: sequential vs parallel end-to-end
+   diagnosis, cold vs warm instrumentation placement (the analysis
+   cache), and the per-stage micro numbers, emitted as BENCH_PR1.json. *)
+
+let time_wall f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  (r, Unix.gettimeofday () -. t0)
+
+let json_escape s =
+  let b = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let json_num f = if Float.is_finite f then f else 0.0
+
+let diagnose_all ?pool bugs =
+  List.iter
+    (fun b -> ignore (Experiments.Harness.diagnose_bug ?pool b))
+    bugs
+
+let placement_timings (bug : Bugbase.Common.t) ~reps =
+  let _, failure = Option.get (Bugbase.Common.find_target_failure bug) in
+  let tracked =
+    Slicing.Slicer.take (Slicing.Slicer.compute bug.program failure) 8
+  in
+  let cold = ref 0.0 and warm = ref 0.0 in
+  for _ = 1 to reps do
+    Analysis.Cache.clear ();
+    let _, c = time_wall (fun () -> Instrument.Place.compute bug.program tracked) in
+    let _, w = time_wall (fun () -> Instrument.Place.compute bug.program tracked) in
+    cold := !cold +. c;
+    warm := !warm +. w
+  done;
+  (!cold /. float_of_int reps, !warm /. float_of_int reps)
+
+let run_perf ?(smoke = false) () =
+  let jobs = max 2 (Parallel.Jobs.default ()) in
+  let bugs =
+    if smoke then
+      List.filteri (fun i _ -> i < 2) Bugbase.Registry.all
+    else Bugbase.Registry.all
+  in
+  let micro = if smoke then [] else micro_results () in
+  (* Warm the analysis cache and allocator once, untimed, so the
+     sequential and parallel passes see the same steady state. *)
+  diagnose_all [ List.hd bugs ];
+  let (), seq_s = time_wall (fun () -> diagnose_all bugs) in
+  let (), par_s =
+    Parallel.Pool.with_pool ~jobs (fun pool ->
+        time_wall (fun () -> diagnose_all ~pool bugs))
+  in
+  let speedup = if par_s > 0.0 then seq_s /. par_s else 0.0 in
+  let reps = if smoke then 3 else 10 in
+  let cold_s, warm_s = placement_timings Bugbase.Pbzip2.bug ~reps in
+  let reduction =
+    if cold_s > 0.0 then 100.0 *. (cold_s -. warm_s) /. cold_s else 0.0
+  in
+  Printf.printf
+    "PR1 perf: %d bugs diagnosed, sequential %.3fs, parallel (%d domains) \
+     %.3fs, speedup %.2fx\n"
+    (List.length bugs) seq_s jobs par_s speedup;
+  Printf.printf
+    "PR1 perf: placement cold %.1fus, warm (cached analysis) %.1fus, \
+     reduction %.1f%%\n"
+    (1e6 *. cold_s) (1e6 *. warm_s) reduction;
+  if not smoke then begin
+    let buf = Buffer.create 1024 in
+    Buffer.add_string buf "{\n";
+    Printf.bprintf buf "  \"pr\": 1,\n";
+    Printf.bprintf buf "  \"available_cores\": %d,\n"
+      (Parallel.Jobs.available ());
+    Printf.bprintf buf "  \"jobs\": %d,\n" jobs;
+    Buffer.add_string buf "  \"micro_ns_per_op\": {\n";
+    List.iteri
+      (fun i (name, ns) ->
+        Printf.bprintf buf "    \"%s\": %.0f%s\n" (json_escape name)
+          (json_num ns)
+          (if i = List.length micro - 1 then "" else ","))
+      micro;
+    Buffer.add_string buf "  },\n";
+    Printf.bprintf buf
+      "  \"diagnosis\": {\"bugs\": %d, \"sequential_s\": %.4f, \
+       \"parallel_s\": %.4f, \"speedup\": %.3f},\n"
+      (List.length bugs) seq_s par_s speedup;
+    Printf.bprintf buf
+      "  \"placement\": {\"cold_us\": %.2f, \"warm_us\": %.2f, \
+       \"cache_reduction_pct\": %.1f}\n"
+      (1e6 *. cold_s) (1e6 *. warm_s) reduction;
+    Buffer.add_string buf "}\n";
+    let oc = open_out "BENCH_PR1.json" in
+    output_string oc (Buffer.contents buf);
+    close_out oc;
+    Printf.printf "PR1 perf: wrote %s/BENCH_PR1.json\n%!" (Sys.getcwd ())
+  end
 
 (* ------------------------------------------------------------------ *)
 
@@ -111,6 +223,8 @@ let experiments =
     ("summary", Experiments.Summary.print);
     ("extensions", Experiments.Extensions.print);
     ("micro", run_micro);
+    ("perf", fun () -> run_perf ());
+    ("smoke", fun () -> run_perf ~smoke:true ());
   ]
 
 let () =

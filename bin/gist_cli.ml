@@ -20,6 +20,18 @@ let bug_arg =
   let doc = "Bugbase entry to operate on (see $(b,gist list))." in
   Arg.(required & pos 0 (some string) None & info [] ~docv:"BUG" ~doc)
 
+let jobs_arg =
+  let doc =
+    "Worker domains for parallel client execution; 0 is fully sequential. \
+     Results are bit-identical at any value. Defaults to $(b,GIST_JOBS) \
+     when set, else to the machine's recommended domain count minus one."
+  in
+  Arg.(value & opt (some int) None & info [ "j"; "jobs" ] ~docv:"N" ~doc)
+
+let resolve_jobs = function
+  | Some n -> max 0 n
+  | None -> Parallel.Jobs.default ()
+
 (* ------------------------------------------------------------------ *)
 
 let list_cmd =
@@ -58,7 +70,7 @@ let json_arg =
   let doc = "Emit the sketch as JSON instead of the ASCII rendering." in
   Arg.(value & flag & info [ "json" ] ~doc)
 
-let diagnose_run name sigma0 no_cf no_df verbose json =
+let diagnose_run name sigma0 no_cf no_df verbose json jobs =
   match find_bug name with
   | Error e -> prerr_endline e; 1
   | Ok bug -> (
@@ -79,11 +91,12 @@ let diagnose_run name sigma0 no_cf no_df verbose json =
         }
       in
       let d =
-        Gist.Server.diagnose ~config
-          ~oracle:(Experiments.Oracle.for_bug bug)
-          ~bug_name:(Printf.sprintf "%s bug #%s" bug.name bug.bug_id)
-          ~failure_type:bug.failure_type ~program:bug.program
-          ~workload_of:bug.workload_of ~failure ()
+        Parallel.Pool.with_pool ~jobs:(resolve_jobs jobs) (fun pool ->
+            Gist.Server.diagnose ~config ~pool
+              ~oracle:(Experiments.Oracle.for_bug bug)
+              ~bug_name:(Printf.sprintf "%s bug #%s" bug.name bug.bug_id)
+              ~failure_type:bug.failure_type ~program:bug.program
+              ~workload_of:bug.workload_of ~failure ())
       in
       if verbose then begin
         Fmt.pr "%a@." Slicing.Slicer.pp d.slice;
@@ -119,7 +132,7 @@ let diagnose_cmd =
        ~doc:"Diagnose a Bugbase failure end-to-end and print its sketch")
     Term.(
       const diagnose_run $ bug_arg $ sigma0_arg $ no_cf_arg $ no_df_arg
-      $ verbose_arg $ json_arg)
+      $ verbose_arg $ json_arg $ jobs_arg)
 
 (* ------------------------------------------------------------------ *)
 
@@ -228,7 +241,8 @@ let show_cmd =
 
 (* ------------------------------------------------------------------ *)
 
-let experiments_run names =
+let experiments_run jobs names =
+  Option.iter (fun n -> Parallel.Jobs.set_default (max 0 n)) jobs;
   let known =
     [
       ("table1", Experiments.Table1.print);
@@ -258,7 +272,7 @@ let experiments_cmd =
   Cmd.v
     (Cmd.info "experiments"
        ~doc:"Regenerate the paper's tables and figures (all by default)")
-    Term.(const experiments_run $ names)
+    Term.(const experiments_run $ jobs_arg $ names)
 
 (* ------------------------------------------------------------------ *)
 

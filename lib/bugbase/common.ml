@@ -51,6 +51,24 @@ let iids_at_line (p : program) ~file ~line =
 
 let ideal_memo : (string, Fsketch.Accuracy.ideal) Hashtbl.t = Hashtbl.create 8
 
+(* Both memo tables are read and written from pool workers when
+   experiments fan per-bug diagnoses across domains.  A racing pair of
+   workers may compute the same entry twice -- the value is a
+   deterministic function of the bug, so last-write-wins is benign --
+   but the Hashtbl mutation itself must be exclusive. *)
+let memo_lock = Mutex.create ()
+
+let memo_find tbl key =
+  Mutex.lock memo_lock;
+  let r = Hashtbl.find_opt tbl key in
+  Mutex.unlock memo_lock;
+  r
+
+let memo_store tbl key v =
+  Mutex.lock memo_lock;
+  Hashtbl.replace tbl key v;
+  Mutex.unlock memo_lock
+
 let is_target_failure_rep (bug : t) (rep : Exec.Failure.report) =
   Exec.Failure.kind_tag rep.kind = bug.target_kind_tag
   && (Ir.Program.loc_of bug.program rep.pc).line = bug.target_line
@@ -59,7 +77,7 @@ let executed_memo : (string, int list) Hashtbl.t = Hashtbl.create 8
 
 (* The instruction set of a canonical target-failing run (memoised). *)
 let canonical_failing_executed (bug : t) =
-  match Hashtbl.find_opt executed_memo bug.name with
+  match memo_find executed_memo bug.name with
   | Some e -> e
   | None ->
     let rec find c =
@@ -78,7 +96,7 @@ let canonical_failing_executed (bug : t) =
       | Some r -> List.map snd r.executed |> List.sort_uniq compare
       | None -> []
     in
-    Hashtbl.replace executed_memo bug.name executed;
+    memo_store executed_memo bug.name executed;
     executed
 
 (* Ordered iids for a list of source lines, restricted to instructions
@@ -92,11 +110,11 @@ let iids_for_lines (bug : t) lines =
     lines
 
 let ideal (bug : t) : Fsketch.Accuracy.ideal =
-  match Hashtbl.find_opt ideal_memo bug.name with
+  match memo_find ideal_memo bug.name with
   | Some i -> i
   | None ->
     let ideal = Fsketch.Accuracy.{ i_iids = iids_for_lines bug bug.ideal_lines } in
-    Hashtbl.replace ideal_memo bug.name ideal;
+    memo_store ideal_memo bug.name ideal;
     ideal
 
 let root_cause_iids (bug : t) = iids_for_lines bug bug.root_lines

@@ -1,0 +1,20 @@
+(** Memoised whole-program analysis: one [Icfg.build] (and therefore
+    one CFG + dominator + postdominator construction per function) per
+    program, shared by the slicer and the per-AsT-iteration
+    instrumentation placer.  Keyed by physical identity -- programs
+    are immutable after [Ir.Program.make].  Thread-safe: usable from
+    pool workers running concurrent diagnoses. *)
+
+(** The (possibly cached) interprocedural CFG of [program]. *)
+val icfg : Ir.Types.program -> Icfg.t
+
+(** [cfg program fname]: a per-function CFG through the same cache. *)
+val cfg : Ir.Types.program -> string -> Cfg.t
+
+(** Cumulative cache hits / misses since start or [clear]. *)
+val hits : unit -> int
+
+val misses : unit -> int
+
+(** Drop every entry and reset the counters (benchmarking cold paths). *)
+val clear : unit -> unit

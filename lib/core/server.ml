@@ -67,8 +67,9 @@ let wp_groups ~wp_capacity targets =
   in
   match chunks targets with [] -> [ [] ] | gs -> gs
 
-let diagnose ?(config = Config.default) ?oracle ~bug_name ~failure_type
-    ~program ~workload_of ~(failure : Exec.Failure.report) () =
+let diagnose ?(config = Config.default) ?(pool = Parallel.Pool.sequential)
+    ?oracle ~bug_name ~failure_type ~program ~workload_of
+    ~(failure : Exec.Failure.report) () =
   let t_offline0 = Sys.time () in
   let slice = Slicing.Slicer.compute program failure in
   let target_sig = Exec.Failure.signature failure in
@@ -101,48 +102,70 @@ let diagnose ?(config = Config.default) ?oracle ~bug_name ~failure_type
       Instrument.Place.compute ~enable_cf:config.enable_cf
         ~enable_df:config.enable_df program tracked
     in
+    (* Client [c] arms rotation group [c mod n]: precomputed as an
+       array -- the per-client [List.nth] lookup was O(groups) on the
+       fleet hot path. *)
     let groups =
-      wp_groups ~wp_capacity:config.wp_capacity plan.Instrument.Plan.wp_targets
+      Array.of_list
+        (wp_groups ~wp_capacity:config.wp_capacity
+           plan.Instrument.Plan.wp_targets)
     in
-    let n_groups = List.length groups in
+    let n_groups = Array.length groups in
     offline_time := !offline_time +. (Sys.time () -. t0);
-    (* --- online: gather monitored failing and successful runs --- *)
+    (* --- online: gather monitored failing and successful runs ---
+
+       Client runs are dispatched in batches across [pool]; each run is
+       a pure function of (client index, plan), so speculative surplus
+       runs are discarded without trace.  All accounting happens in
+       [consume], in client order, making quotas, recurrence counts and
+       the representative failing run bit-identical to the sequential
+       loop. *)
     let fails = ref 0 and succs = ref 0 and clients = ref 0 in
     let iter_overheads = ref [] in
     let iter_reports = ref [] in
-    while
-      (!fails < config.fail_quota || !succs < config.succ_quota)
-      && !clients < config.max_clients_per_iter
-    do
-      let c = !client_counter in
-      incr client_counter;
-      incr clients;
-      incr total_runs;
-      let wp_allowed = List.nth groups (c mod n_groups) in
-      let report =
-        Client.run_one ~wp_capacity:config.wp_capacity
-          ~preempt_prob:config.preempt_prob ~max_steps:config.max_steps
-          ~data_source:config.data_source ~redact:config.redact_values
-          ~plan ~wp_allowed program (workload_of c)
-      in
-      overheads := report.r_overhead_pct :: !overheads;
-      iter_overheads := report.r_overhead_pct :: !iter_overheads;
-      base_cycles := !base_cycles +. report.r_base_cycles;
-      extra_cycles := !extra_cycles +. report.r_extra_cycles;
-      let matches = report.r_signature = Some target_sig in
-      if matches then begin
-        (* Recurrences (the Table 1 latency metric) count only the
-           failing runs AsT actually needed, not surplus failures that
-           happen while waiting for enough successful runs. *)
-        if !fails < config.fail_quota then incr recurrences;
-        incr fails;
-        repr_failing := Some report
-      end
-      else if report.r_signature = None then incr succs;
-      (* Other failures are different bugs: ignored by this diagnosis. *)
-      if matches || report.r_signature = None then
-        iter_reports := (report, matches) :: !iter_reports
-    done;
+    let base = !client_counter in
+    let quota_open () = !fails < config.fail_quota || !succs < config.succ_quota in
+    let consumed =
+      if not (quota_open ()) then 0
+      else
+        Parallel.Pool.map_until pool
+          ~next:(fun i ->
+            if i >= config.max_clients_per_iter then None
+            else
+              let c = base + i in
+              Some
+                (fun () ->
+                  Client.run_one ~wp_capacity:config.wp_capacity
+                    ~preempt_prob:config.preempt_prob
+                    ~max_steps:config.max_steps
+                    ~data_source:config.data_source
+                    ~redact:config.redact_values ~plan
+                    ~wp_allowed:groups.(c mod n_groups) program
+                    (workload_of c)))
+          ~consume:(fun _ (report : Client.report) ->
+            incr clients;
+            incr total_runs;
+            overheads := report.r_overhead_pct :: !overheads;
+            iter_overheads := report.r_overhead_pct :: !iter_overheads;
+            base_cycles := !base_cycles +. report.r_base_cycles;
+            extra_cycles := !extra_cycles +. report.r_extra_cycles;
+            let matches = report.r_signature = Some target_sig in
+            if matches then begin
+              (* Recurrences (the Table 1 latency metric) count only the
+                 failing runs AsT actually needed, not surplus failures
+                 that happen while waiting for enough successful runs. *)
+              if !fails < config.fail_quota then incr recurrences;
+              incr fails;
+              repr_failing := Some report
+            end
+            else if report.r_signature = None then incr succs;
+            (* Other failures are different bugs: ignored here. *)
+            if matches || report.r_signature = None then
+              iter_reports := (report, matches) :: !iter_reports;
+            quota_open () && !clients < config.max_clients_per_iter)
+          ()
+    in
+    client_counter := base + consumed;
     (* --- refinement (§3.2): keep tracked statements that executed in
        failing runs; adopt watchpoint-discovered statements the
        alias-free slice missed --- *)

@@ -53,9 +53,17 @@ val wp_groups : wp_capacity:int -> iid list -> iid list list
     gather failing/successful monitored runs, refine, rank predictors,
     build the sketch) until [oracle] — the developer of §3.2.1 — is
     satisfied, sigma exceeds the slice, or [config.max_iterations] is
-    reached. *)
+    reached.
+
+    [pool] (default: sequential) dispatches the monitored client runs
+    of each AsT iteration across domains.  Each client run is a pure
+    function of its index and the iteration's instrumentation plan, and
+    reports are consumed in client order, so the resulting diagnosis —
+    sketch, recurrences, total runs, per-iteration trace — is
+    bit-identical to the sequential run whatever the pool size. *)
 val diagnose :
   ?config:Config.t ->
+  ?pool:Parallel.Pool.t ->
   ?oracle:(Fsketch.Sketch.t -> bool) ->
   bug_name:string ->
   failure_type:string ->

@@ -389,10 +389,18 @@ let eligible st t =
     | Some th -> th.status = Finished
     | None -> true)
 
+(* Sorted array of runnable thread ids.  The scheduler indexes into it
+   directly (this is the interpreter's innermost loop; [List.nth] here
+   was a measurable share of every production run). *)
 let eligible_tids st =
-  Hashtbl.fold (fun tid t acc -> if eligible st t then tid :: acc else acc)
-    st.threads []
-  |> List.sort compare
+  let a =
+    Array.of_list
+      (Hashtbl.fold
+         (fun tid t acc -> if eligible st t then tid :: acc else acc)
+         st.threads [])
+  in
+  Array.sort compare a;
+  a
 
 let all_finished st =
   Hashtbl.fold (fun _ t acc -> acc && t.status = Finished) st.threads true
@@ -478,7 +486,7 @@ let run ?hooks ?counters ?pick ?(max_steps = 400_000) ?(record_gt = false)
     else
       let elig = eligible_tids st in
       match elig with
-      | [] ->
+      | [||] ->
         if all_finished st then finish Success
         else
           (* Deadlock: report at a deterministic blocked thread. *)
@@ -499,15 +507,15 @@ let run ?hooks ?counters ?pick ?(max_steps = 400_000) ?(record_gt = false)
             (* Forced scheduling (record/replay): the recorded choice
                must still be eligible in the replay, which determinism
                guarantees. *)
-            match choose ~eligible:elig with
-            | Some t when List.mem t elig -> t
+            match choose ~eligible:(Array.to_list elig) with
+            | Some t when Array.exists (Int.equal t) elig -> t
             | Some t ->
               invalid "forced schedule chose ineligible thread %d" t
-            | None -> List.hd elig)
+            | None -> elig.(0))
           | None ->
-          if not (List.mem !current elig) then begin
+          if not (Array.exists (Int.equal !current) elig) then begin
             st.counters.sched_switches <- st.counters.sched_switches + 1;
-            List.nth elig (Rng.int st.rng (List.length elig))
+            elig.(Rng.int st.rng (Array.length elig))
           end
           else
             let t = Hashtbl.find st.threads !current in
@@ -517,10 +525,17 @@ let run ?hooks ?counters ?pick ?(max_steps = 400_000) ?(record_gt = false)
               | Some i when interesting i -> st.preempt_prob
               | _ -> 0.02
             in
-            if List.length elig > 1 && Rng.float st.rng < p then begin
-              let others = List.filter (fun x -> x <> !current) elig in
+            let n = Array.length elig in
+            if n > 1 && Rng.float st.rng < p then begin
+              (* Index into [elig] minus the current thread, without
+                 materialising the filtered list: same Rng draw (bound
+                 [n - 1]), same element the [List.filter]+[List.nth]
+                 version picked. *)
+              let cur_at = ref 0 in
+              Array.iteri (fun i x -> if x = !current then cur_at := i) elig;
               st.counters.sched_switches <- st.counters.sched_switches + 1;
-              List.nth others (Rng.int st.rng (List.length others))
+              let j = Rng.int st.rng (n - 1) in
+              elig.(if j >= !cur_at then j + 1 else j)
             end
             else !current
         in

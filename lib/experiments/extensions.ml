@@ -46,7 +46,9 @@ let ptwrite_row (bug : Bugbase.Common.t) =
   | _ -> None
 
 let ptwrite_rows_memo : ptwrite_row list Lazy.t =
-  lazy (List.filter_map ptwrite_row Bugbase.Registry.all)
+  lazy
+    (List.filter_map Fun.id
+       (Harness.map_bugs ptwrite_row Bugbase.Registry.all))
 
 let ptwrite_rows () = Lazy.force ptwrite_rows_memo
 
@@ -112,7 +114,9 @@ let range_row (bug : Bugbase.Common.t) =
         range_best_f = best "range" }
 
 let range_rows_memo : range_row list Lazy.t =
-  lazy (List.filter_map range_row Bugbase.Registry.all)
+  lazy
+    (List.filter_map Fun.id
+       (Harness.map_bugs range_row Bugbase.Registry.all))
 
 let range_rows () = Lazy.force range_rows_memo
 
@@ -202,7 +206,9 @@ let alias_row (bug : Bugbase.Common.t) =
       }
 
 let alias_rows_memo : alias_row list Lazy.t =
-  lazy (List.filter_map alias_row Bugbase.Registry.all)
+  lazy
+    (List.filter_map Fun.id
+       (Harness.map_bugs alias_row Bugbase.Registry.all))
 
 let alias_rows () = Lazy.force alias_rows_memo
 

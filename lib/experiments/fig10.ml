@@ -38,7 +38,7 @@ let cf_only_accuracy (r : Harness.bug_result) =
 
 let rows_memo : row list Lazy.t =
   lazy
-    (List.map
+    (Harness.map_bugs
        (fun (r : Harness.bug_result) ->
          {
            name = r.bug.name;

@@ -11,31 +11,40 @@ type point = { size : int; overhead_pct : float }
 
 (* Aggregate (fleet-wide) overhead of tracking the [size] statements
    closest to the failure, across all bugs. *)
+(* Per-bug cycle totals are independent, so bugs fan out across the
+   pool; the (base, extra) pairs are then summed in registry order. *)
 let overhead_at size =
-  let base = ref 0.0 and extra = ref 0.0 in
-  List.iter
-    (fun (bug : Bugbase.Common.t) ->
-      match Bugbase.Common.find_target_failure bug with
-      | None -> ()
-      | Some (_, failure) ->
-        let slice = Slicing.Slicer.compute bug.program failure in
-        let tracked = Slicing.Slicer.take slice size in
-        let plan = Instrument.Place.compute bug.program tracked in
-        let groups =
-          Gist.Server.wp_groups ~wp_capacity:4 plan.Instrument.Plan.wp_targets
-        in
-        let n_groups = List.length groups in
-        for c = 0 to clients_per_point - 1 do
-          let report =
-            Gist.Client.run_one ~preempt_prob:bug.preempt_prob ~plan
-              ~wp_allowed:(List.nth groups (c mod n_groups))
-              bug.program (bug.workload_of c)
+  let per_bug =
+    Harness.map_bugs
+      (fun (bug : Bugbase.Common.t) ->
+        match Bugbase.Common.find_target_failure bug with
+        | None -> (0.0, 0.0)
+        | Some (_, failure) ->
+          let slice = Slicing.Slicer.compute bug.program failure in
+          let tracked = Slicing.Slicer.take slice size in
+          let plan = Instrument.Place.compute bug.program tracked in
+          let groups =
+            Array.of_list
+              (Gist.Server.wp_groups ~wp_capacity:4
+                 plan.Instrument.Plan.wp_targets)
           in
-          base := !base +. report.r_base_cycles;
-          extra := !extra +. report.r_extra_cycles
-        done)
-    Bugbase.Registry.all;
-  if !base > 0.0 then 100.0 *. !extra /. !base else 0.0
+          let n_groups = Array.length groups in
+          let base = ref 0.0 and extra = ref 0.0 in
+          for c = 0 to clients_per_point - 1 do
+            let report =
+              Gist.Client.run_one ~preempt_prob:bug.preempt_prob ~plan
+                ~wp_allowed:groups.(c mod n_groups)
+                bug.program (bug.workload_of c)
+            in
+            base := !base +. report.r_base_cycles;
+            extra := !extra +. report.r_extra_cycles
+          done;
+          (!base, !extra))
+      Bugbase.Registry.all
+  in
+  let base = List.fold_left (fun acc (b, _) -> acc +. b) 0.0 per_bug in
+  let extra = List.fold_left (fun acc (_, e) -> acc +. e) 0.0 per_bug in
+  if base > 0.0 then 100.0 *. extra /. base else 0.0
 
 let points_memo : point list Lazy.t =
   lazy

@@ -16,11 +16,12 @@ type point = {
 
 let point_for sigma0 =
   let results =
-    List.filter_map
-      (fun (bug : Bugbase.Common.t) ->
-        let config = { Gist.Config.default with Gist.Config.sigma0 } in
-        Harness.diagnose_bug ~config bug)
-      Bugbase.Registry.all
+    List.filter_map Fun.id
+      (Harness.map_bugs
+         (fun (bug : Bugbase.Common.t) ->
+           let config = { Gist.Config.default with Gist.Config.sigma0 } in
+           Harness.diagnose_bug ~config bug)
+         Bugbase.Registry.all)
   in
   {
     sigma0;

@@ -45,7 +45,7 @@ let row_for (bug : Bugbase.Common.t) =
   }
 
 let rows_memo : row list Lazy.t =
-  lazy (List.map row_for Bugbase.Registry.all)
+  lazy (Harness.map_bugs row_for Bugbase.Registry.all)
 
 let rows () = Lazy.force rows_memo
 

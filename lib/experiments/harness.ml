@@ -10,14 +10,15 @@ type bug_result = {
   wall_time_s : float;
 }
 
-let diagnose_bug ?(config = Gist.Config.default) (bug : Bugbase.Common.t) =
+let diagnose_bug ?(config = Gist.Config.default) ?pool
+    (bug : Bugbase.Common.t) =
   match Bugbase.Common.find_target_failure bug with
   | None -> None
   | Some (_, failure) ->
     let t0 = Unix.gettimeofday () in
     let config = { config with Gist.Config.preempt_prob = bug.preempt_prob } in
     let diagnosis =
-      Gist.Server.diagnose ~config ~oracle:(Oracle.for_bug bug)
+      Gist.Server.diagnose ~config ?pool ~oracle:(Oracle.for_bug bug)
         ~bug_name:bug.name ~failure_type:bug.failure_type ~program:bug.program
         ~workload_of:bug.workload_of ~failure ()
     in
@@ -33,9 +34,17 @@ let diagnose_bug ?(config = Gist.Config.default) (bug : Bugbase.Common.t) =
         wall_time_s = Unix.gettimeofday () -. t0;
       }
 
+(* One diagnosis per bug is independent of the others, so the fleet
+   fans out across the shared pool (each bug's own client loop then
+   runs sequentially inside its worker: the outer loop already
+   saturates the domains, and results stay identical either way). *)
+let map_bugs : 'a 'b. ('a -> 'b) -> 'a list -> 'b list =
+ fun f l -> Parallel.Pool.map (Parallel.Jobs.global ()) f l
+
 let all_results : bug_result list Lazy.t =
   lazy
-    (List.filter_map (fun b -> diagnose_bug b) Bugbase.Registry.all)
+    (List.filter_map Fun.id
+       (map_bugs (fun b -> diagnose_bug b) Bugbase.Registry.all))
 
 let results () = Lazy.force all_results
 

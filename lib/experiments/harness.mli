@@ -11,11 +11,22 @@ type bug_result = {
 }
 
 (** Diagnose one bug end-to-end with its root-cause oracle; [None] when
-    the target failure never manifests. *)
+    the target failure never manifests.  [pool] parallelises the
+    monitored client runs (see {!Gist.Server.diagnose}); the result is
+    identical to the sequential run. *)
 val diagnose_bug :
-  ?config:Gist.Config.t -> Bugbase.Common.t -> bug_result option
+  ?config:Gist.Config.t ->
+  ?pool:Parallel.Pool.t ->
+  Bugbase.Common.t ->
+  bug_result option
 
-(** All 11 bugs, memoised across experiments. *)
+(** Fan [f] over independent per-bug work on the shared pool
+    ({!Parallel.Jobs.global}), preserving list order. *)
+val map_bugs : ('a -> 'b) -> 'a list -> 'b list
+
+(** All 11 bugs, memoised across experiments.  Diagnosed in parallel
+    across the shared pool (one bug per task); the per-bug results are
+    identical to a sequential sweep. *)
 val results : unit -> bug_result list
 
 val mean : float list -> float

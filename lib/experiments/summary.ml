@@ -19,19 +19,20 @@ type t = {
 let cf_df_split () =
   (* Per bug, aggregate the PT and watchpoint components separately
      over a fleet at the diagnosis' final tracked set. *)
-  List.map
+  Harness.map_bugs
     (fun (r : Harness.bug_result) ->
       let bug = r.bug in
       let plan = Instrument.Place.compute bug.program r.diagnosis.tracked in
       let groups =
-        Gist.Server.wp_groups ~wp_capacity:4 plan.Instrument.Plan.wp_targets
+        Array.of_list
+          (Gist.Server.wp_groups ~wp_capacity:4 plan.Instrument.Plan.wp_targets)
       in
-      let n_groups = List.length groups in
+      let n_groups = Array.length groups in
       let base = ref 0.0 and cf = ref 0.0 and df = ref 0.0 in
       for c = 0 to 15 do
         let report =
           Gist.Client.run_one ~preempt_prob:bug.preempt_prob ~plan
-            ~wp_allowed:(List.nth groups (c mod n_groups))
+            ~wp_allowed:groups.(c mod n_groups)
             bug.program (bug.workload_of c)
         in
         base := !base +. Exec.Cost.base_cycles report.r_counters;
@@ -43,7 +44,7 @@ let cf_df_split () =
     (Harness.results ())
 
 let sw_trace_overheads () =
-  List.map
+  Harness.map_bugs
     (fun (bug : Bugbase.Common.t) ->
       let total = ref 0.0 and base = ref 0.0 in
       for c = 0 to 7 do

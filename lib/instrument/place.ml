@@ -29,7 +29,7 @@ let block_terminator (cfg : Analysis.Cfg.t) b =
 
 let compute ?(enable_cf = true) ?(enable_df = true) program tracked : Plan.t =
   let plan = Plan.{ (empty ()) with tracked } in
-  let icfg = Analysis.Icfg.build program in
+  let icfg = Analysis.Cache.icfg program in
   (* Group tracked statements per function, in textual order (iids are
      assigned in textual order). *)
   let by_func = Hashtbl.create 8 in

@@ -1,0 +1,18 @@
+(** The fleet-wide parallelism knob shared by the CLI, the experiment
+    harness and the benchmarks. *)
+
+(** [Domain.recommended_domain_count ()]: what the hardware offers. *)
+val available : unit -> int
+
+(** Worker-domain count to use by default: an explicit {!set_default}
+    wins, then the [GIST_JOBS] environment variable, then
+    [available () - 1] (the submitting domain works too).  [0] means
+    fully sequential. *)
+val default : unit -> int
+
+(** Override the default (the CLI's [--jobs]).  Clamped to [>= 0];
+    retires a previously created {!global} pool of a different size. *)
+val set_default : int -> unit
+
+(** The shared pool, created lazily with [default ()] workers. *)
+val global : unit -> Pool.t

@@ -1,0 +1,164 @@
+(* A fixed-size domain work pool (OCaml 5, no external deps).
+
+   Design constraints, in order:
+
+   1. *Determinism.*  Results are delivered in submission order, never
+      in completion order, so callers that fold effects over results
+      (the AsT quota accounting in [Gist.Server.diagnose]) observe a
+      sequence bit-identical to a sequential run.
+   2. *No deadlock under nesting.*  A caller waiting for its tasks
+      *helps*: it drains the shared queue while its own work is
+      outstanding.  A worker that itself submits a nested [map]
+      therefore makes progress even when every other worker is busy.
+   3. *Graceful degradation.*  A pool with zero workers runs everything
+      inline on the caller, byte-for-byte the sequential code path --
+      that is the default on single-core machines. *)
+
+type t = {
+  jobs : int; (* worker domains, >= 0 *)
+  queue : (unit -> unit) Queue.t;
+  mutex : Mutex.t;
+  nonempty : Condition.t; (* a task was queued, or the pool is closing *)
+  finished : Condition.t; (* some task completed *)
+  mutable closing : bool;
+  mutable domains : unit Domain.t list;
+}
+
+let jobs t = t.jobs
+
+let rec worker t =
+  Mutex.lock t.mutex;
+  while Queue.is_empty t.queue && not t.closing do
+    Condition.wait t.nonempty t.mutex
+  done;
+  if Queue.is_empty t.queue then (* closing *) Mutex.unlock t.mutex
+  else begin
+    let task = Queue.pop t.queue in
+    Mutex.unlock t.mutex;
+    task ();
+    worker t
+  end
+
+let create ~jobs =
+  let jobs = max 0 jobs in
+  let t =
+    {
+      jobs;
+      queue = Queue.create ();
+      mutex = Mutex.create ();
+      nonempty = Condition.create ();
+      finished = Condition.create ();
+      closing = false;
+      domains = [];
+    }
+  in
+  t.domains <- List.init jobs (fun _ -> Domain.spawn (fun () -> worker t));
+  t
+
+let sequential = create ~jobs:0
+
+let shutdown t =
+  Mutex.lock t.mutex;
+  t.closing <- true;
+  Condition.broadcast t.nonempty;
+  Mutex.unlock t.mutex;
+  List.iter Domain.join t.domains;
+  t.domains <- []
+
+let with_pool ~jobs f =
+  let t = create ~jobs in
+  Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)
+
+(* Run [f xs.(i)] for every index, blocking until all are done.  The
+   caller participates: it executes queued tasks (its own or, under
+   nesting, anyone's) instead of sleeping, and only waits on
+   [finished] when the queue is momentarily empty. *)
+let map_array t f xs =
+  let n = Array.length xs in
+  if t.jobs = 0 || n <= 1 then Array.map f xs
+  else begin
+    let results = Array.make n None in
+    let remaining = ref n in
+    Mutex.lock t.mutex;
+    for i = 0 to n - 1 do
+      Queue.add
+        (fun () ->
+          let r = match f xs.(i) with v -> Ok v | exception e -> Error e in
+          Mutex.lock t.mutex;
+          results.(i) <- Some r;
+          decr remaining;
+          Condition.broadcast t.finished;
+          Mutex.unlock t.mutex)
+        t.queue
+    done;
+    Condition.broadcast t.nonempty;
+    Mutex.unlock t.mutex;
+    let rec drain () =
+      Mutex.lock t.mutex;
+      if !remaining = 0 then Mutex.unlock t.mutex
+      else if not (Queue.is_empty t.queue) then begin
+        let task = Queue.pop t.queue in
+        Mutex.unlock t.mutex;
+        task ();
+        drain ()
+      end
+      else begin
+        Condition.wait t.finished t.mutex;
+        Mutex.unlock t.mutex;
+        drain ()
+      end
+    in
+    drain ();
+    (* All writes to [results] synchronised through [mutex]; the first
+       exception (in submission order) is re-raised deterministically. *)
+    Array.map
+      (function
+        | Some (Ok v) -> v
+        | Some (Error e) -> raise e
+        | None -> assert false)
+      results
+  end
+
+let map t f l = Array.to_list (map_array t f (Array.of_list l))
+
+(* Speculative ordered streaming.  [next i] builds the i-th task (or
+   [None] past the end); batches run on the pool, then [consume i r]
+   folds results *in submission order* until it returns [false].
+   Tasks past the stop point may have run speculatively -- their
+   results are discarded unconsumed -- so [consume] must carry all the
+   side effects and tasks must be pure.  Returns the number of results
+   consumed.  With zero workers the batch size is 1: generate, run,
+   consume, re-check -- exactly the sequential loop. *)
+let map_until t ?batch ~next ~consume () =
+  let batch =
+    match batch with
+    | Some b -> max 1 b
+    | None -> if t.jobs = 0 then 1 else t.jobs * 4
+  in
+  let consumed = ref 0 in
+  let idx = ref 0 in
+  let continue_ = ref true in
+  let exhausted = ref false in
+  while !continue_ && not !exhausted do
+    let thunks = ref [] in
+    while List.length !thunks < batch && not !exhausted do
+      match next !idx with
+      | Some th ->
+        thunks := th :: !thunks;
+        incr idx
+      | None -> exhausted := true
+    done;
+    let arr = Array.of_list (List.rev !thunks) in
+    if Array.length arr = 0 then exhausted := true
+    else begin
+      let results = map_array t (fun th -> th ()) arr in
+      Array.iter
+        (fun r ->
+          if !continue_ then begin
+            incr consumed;
+            if not (consume (!consumed - 1) r) then continue_ := false
+          end)
+        results
+    end
+  done;
+  !consumed

@@ -1,0 +1,59 @@
+(** A fixed-size domain work pool with deterministic, submission-ordered
+    result delivery (OCaml 5 domains, no external dependencies).
+
+    The pool exists to parallelise the embarrassingly parallel loops of
+    the Gist pipeline (client fleet simulation, per-bug experiment
+    sweeps) without changing any observable result: [map] returns
+    results in submission order, and [map_until] consumes them in
+    submission order, so effects folded over the results are
+    bit-identical to a sequential run. *)
+
+type t
+
+(** [create ~jobs] spawns [jobs] worker domains ([jobs <= 0] spawns
+    none).  The caller also executes tasks while waiting, so total
+    parallelism is [jobs + 1]; nested [map]/[map_until] from inside a
+    task cannot deadlock (the submitter helps drain the queue). *)
+val create : jobs:int -> t
+
+(** A shared zero-worker pool: every operation runs inline on the
+    caller, byte-for-byte the sequential code path. *)
+val sequential : t
+
+(** Number of worker domains. *)
+val jobs : t -> int
+
+(** [map_array t f xs] applies [f] to every element on the pool and
+    returns the results in input order.  If any application raised, the
+    first exception in input order is re-raised after all tasks
+    finished. *)
+val map_array : t -> ('a -> 'b) -> 'a array -> 'b array
+
+(** List version of {!map_array}. *)
+val map : t -> ('a -> 'b) -> 'a list -> 'b list
+
+(** [map_until t ~next ~consume ()] streams an ordered task sequence
+    through the pool: [next i] builds the [i]-th task ([None] ends the
+    stream), batches execute in parallel, and [consume i result] folds
+    the results in submission order until it returns [false].  Tasks
+    beyond the stop point may have executed speculatively and are
+    discarded unconsumed, so tasks must be pure: all side effects
+    belong in [consume].  Returns how many results were consumed.
+    With zero workers the batch size is 1, which is exactly the
+    sequential check-run-consume loop. *)
+val map_until :
+  t ->
+  ?batch:int ->
+  next:(int -> (unit -> 'a) option) ->
+  consume:(int -> 'a -> bool) ->
+  unit ->
+  int
+
+(** Stop the workers and join their domains.  Queued-but-unstarted
+    tasks of in-flight maps are still executed by the submitter (it
+    helps drain), so no [map] is left incomplete. *)
+val shutdown : t -> unit
+
+(** [with_pool ~jobs f] runs [f] with a fresh pool and always shuts it
+    down. *)
+val with_pool : jobs:int -> (t -> 'a) -> 'a

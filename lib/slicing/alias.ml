@@ -136,7 +136,7 @@ let analyze program =
     (fun (g : global) ->
       ignore (add_objs t (V_global g.gname) ObjSet.empty))
     program.globals;
-  let icfg = Analysis.Icfg.build program in
+  let icfg = Analysis.Cache.icfg program in
   let rec fix n = if n > 0 && pass t icfg then fix (n - 1) in
   fix 50;
   t

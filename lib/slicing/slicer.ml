@@ -92,7 +92,7 @@ let defines ?alias needed fname i =
   | _ -> false
 
 let compute ?alias program (report : Exec.Failure.report) =
-  let icfg = Analysis.Icfg.build program in
+  let icfg = Analysis.Cache.icfg program in
   let failing = report.pc in
   let failing_instr = Ir.Program.instr_at program failing in
   let failing_pos = Ir.Program.position_of program failing in
