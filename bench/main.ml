@@ -106,9 +106,11 @@ let run_micro () =
   print_newline ()
 
 (* ------------------------------------------------------------------ *)
-(* PR 1 performance report: sequential vs parallel end-to-end
+(* PR 2 performance report: sequential vs parallel end-to-end
    diagnosis, cold vs warm instrumentation placement (the analysis
-   cache), and the per-stage micro numbers, emitted as BENCH_PR1.json. *)
+   cache), and the per-stage micro numbers, emitted as BENCH_PR2.json
+   with a [vs_pr1] block comparing against the committed
+   BENCH_PR1.json baseline. *)
 
 let time_wall f =
   let t0 = Unix.gettimeofday () in
@@ -129,6 +131,55 @@ let json_escape s =
   Buffer.contents b
 
 let json_num f = if Float.is_finite f then f else 0.0
+
+(* Every ["key": number] pair of a flat JSON report (the baseline
+   BENCH_PR1.json), by a plain character scan -- no JSON dependency.
+   Object-valued keys simply yield no number and are skipped. *)
+let json_numbers path =
+  let ic = open_in_bin path in
+  let s = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  let n = String.length s in
+  let out = ref [] in
+  let i = ref 0 in
+  while !i < n do
+    if s.[!i] = '"' then begin
+      let j = ref (!i + 1) in
+      while !j < n && s.[!j] <> '"' do incr j done;
+      let key = String.sub s (!i + 1) (!j - !i - 1) in
+      let k = ref (!j + 1) in
+      while !k < n && (s.[!k] = ' ' || s.[!k] = ':') do incr k done;
+      let m = ref !k in
+      while
+        !m < n
+        && (match s.[!m] with
+            | '0' .. '9' | '.' | '-' | '+' | 'e' | 'E' -> true
+            | _ -> false)
+      do
+        incr m
+      done;
+      (if !m > !k then
+         match float_of_string_opt (String.sub s !k (!m - !k)) with
+         | Some v -> out := (key, v) :: !out
+         | None -> ());
+      i := max (!j + 1) !m
+    end
+    else incr i
+  done;
+  List.rev !out
+
+let pr1_baseline () =
+  let candidates =
+    [
+      "BENCH_PR1.json";
+      "../BENCH_PR1.json";
+      "../../BENCH_PR1.json";
+      "../../../BENCH_PR1.json";
+    ]
+  in
+  match List.find_opt Sys.file_exists candidates with
+  | Some path -> json_numbers path
+  | None -> []
 
 let diagnose_all ?pool bugs =
   List.iter
@@ -173,17 +224,18 @@ let run_perf ?(smoke = false) () =
     if cold_s > 0.0 then 100.0 *. (cold_s -. warm_s) /. cold_s else 0.0
   in
   Printf.printf
-    "PR1 perf: %d bugs diagnosed, sequential %.3fs, parallel (%d domains) \
-     %.3fs, speedup %.2fx\n"
+    "PR2 perf: %d bugs diagnosed, sequential %.3fs, parallel (%d domains \
+     requested) %.3fs, speedup %.2fx\n"
     (List.length bugs) seq_s jobs par_s speedup;
   Printf.printf
-    "PR1 perf: placement cold %.1fus, warm (cached analysis) %.1fus, \
+    "PR2 perf: placement cold %.1fus, warm (cached analysis) %.1fus, \
      reduction %.1f%%\n"
     (1e6 *. cold_s) (1e6 *. warm_s) reduction;
   if not smoke then begin
+    let pr1 = pr1_baseline () in
     let buf = Buffer.create 1024 in
     Buffer.add_string buf "{\n";
-    Printf.bprintf buf "  \"pr\": 1,\n";
+    Printf.bprintf buf "  \"pr\": 2,\n";
     Printf.bprintf buf "  \"available_cores\": %d,\n"
       (Parallel.Jobs.available ());
     Printf.bprintf buf "  \"jobs\": %d,\n" jobs;
@@ -201,13 +253,48 @@ let run_perf ?(smoke = false) () =
       (List.length bugs) seq_s par_s speedup;
     Printf.bprintf buf
       "  \"placement\": {\"cold_us\": %.2f, \"warm_us\": %.2f, \
-       \"cache_reduction_pct\": %.1f}\n"
-      (1e6 *. cold_s) (1e6 *. warm_s) reduction;
+       \"cache_reduction_pct\": %.1f}%s\n"
+      (1e6 *. cold_s) (1e6 *. warm_s) reduction
+      (if pr1 = [] then "" else ",");
+    (* Speedups vs the committed PR1 baseline: baseline / this-run, so
+       > 1.0 means this PR is faster. *)
+    if pr1 <> [] then begin
+      Buffer.add_string buf "  \"vs_pr1\": {\n";
+      Buffer.add_string buf "    \"micro_speedup\": {\n";
+      let comparable =
+        List.filter_map
+          (fun (name, ns) ->
+            match List.assoc_opt name pr1 with
+            | Some base when base > 0.0 && ns > 0.0 ->
+              Some (name, base /. ns)
+            | _ -> None)
+          micro
+      in
+      List.iteri
+        (fun i (name, sp) ->
+          Printf.bprintf buf "      \"%s\": %.3f%s\n" (json_escape name)
+            (json_num sp)
+            (if i = List.length comparable - 1 then "" else ","))
+        comparable;
+      Buffer.add_string buf "    },\n";
+      let vs key now =
+        match List.assoc_opt key pr1 with
+        | Some base when base > 0.0 && now > 0.0 -> base /. now
+        | _ -> 0.0
+      in
+      Printf.bprintf buf
+        "    \"diagnosis_sequential_speedup\": %.3f,\n"
+        (json_num (vs "sequential_s" seq_s));
+      Printf.bprintf buf
+        "    \"diagnosis_parallel_speedup\": %.3f\n"
+        (json_num (vs "parallel_s" par_s));
+      Buffer.add_string buf "  }\n"
+    end;
     Buffer.add_string buf "}\n";
-    let oc = open_out "BENCH_PR1.json" in
+    let oc = open_out "BENCH_PR2.json" in
     output_string oc (Buffer.contents buf);
     close_out oc;
-    Printf.printf "PR1 perf: wrote %s/BENCH_PR1.json\n%!" (Sys.getcwd ())
+    Printf.printf "PR2 perf: wrote %s/BENCH_PR2.json\n%!" (Sys.getcwd ())
   end
 
 (* ------------------------------------------------------------------ *)

@@ -23,14 +23,15 @@ let bug_arg =
 let jobs_arg =
   let doc =
     "Worker domains for parallel client execution; 0 is fully sequential. \
-     Results are bit-identical at any value. Defaults to $(b,GIST_JOBS) \
-     when set, else to the machine's recommended domain count minus one."
+     Results are bit-identical at any value. Clamped to the machine's \
+     available core count. Defaults to $(b,GIST_JOBS) when set, else to \
+     the machine's recommended domain count minus one."
   in
   Arg.(value & opt (some int) None & info [ "j"; "jobs" ] ~docv:"N" ~doc)
 
 let resolve_jobs = function
-  | Some n -> max 0 n
-  | None -> Parallel.Jobs.default ()
+  | Some n -> min (max 0 n) (Parallel.Jobs.available ())
+  | None -> Parallel.Jobs.effective ()
 
 (* ------------------------------------------------------------------ *)
 

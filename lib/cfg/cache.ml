@@ -25,17 +25,21 @@ type stats = { mutable hits : int; mutable misses : int }
 
 let stats_ = { hits = 0; misses = 0 }
 let entries : (Ir.Types.program * Icfg.t) list ref = ref []
+let lstats_ = { hits = 0; misses = 0 }
+let lentries : (Ir.Types.program * Ir.Lowered.t) list ref = ref []
 let lock = Mutex.create ()
 
 let locked f =
   Mutex.lock lock;
   Fun.protect ~finally:(fun () -> Mutex.unlock lock) f
 
-let icfg program =
+(* One move-to-front lookup step, shared by both caches.  Holds [lock]
+   for the duration, including a miss's build. *)
+let find_or_build entries stats build program =
   locked (fun () ->
       match List.find_opt (fun (p, _) -> p == program) !entries with
       | Some (_, g) ->
-        stats_.hits <- stats_.hits + 1;
+        stats.hits <- stats.hits + 1;
         (match !entries with
          | (p0, _) :: _ when p0 == program -> ()
          | _ ->
@@ -43,8 +47,8 @@ let icfg program =
              (program, g) :: List.filter (fun (p, _) -> p != program) !entries);
         g
       | None ->
-        stats_.misses <- stats_.misses + 1;
-        let g = Icfg.build program in
+        stats.misses <- stats.misses + 1;
+        let g = build program in
         let kept =
           if List.length !entries >= max_entries then
             List.filteri (fun i _ -> i < max_entries - 1) !entries
@@ -53,14 +57,25 @@ let icfg program =
         entries := (program, g) :: kept;
         g)
 
+let icfg program = find_or_build entries stats_ Icfg.build program
+
+(* The lowered execution form (see [Ir.Lowered]): compiled once per
+   program, shared by every subsequent interpreter run and PT decode. *)
+let lowered program = find_or_build lentries lstats_ Ir.Lowered.lower program
+
 (* The per-function views, through the same cache. *)
 let cfg program fname = Icfg.cfg_of (icfg program) fname
 
 let hits () = stats_.hits
 let misses () = stats_.misses
+let lowered_hits () = lstats_.hits
+let lowered_misses () = lstats_.misses
 
 let clear () =
   locked (fun () ->
       entries := [];
       stats_.hits <- 0;
-      stats_.misses <- 0)
+      stats_.misses <- 0;
+      lentries := [];
+      lstats_.hits <- 0;
+      lstats_.misses <- 0)

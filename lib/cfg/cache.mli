@@ -11,10 +11,20 @@ val icfg : Ir.Types.program -> Icfg.t
 (** [cfg program fname]: a per-function CFG through the same cache. *)
 val cfg : Ir.Types.program -> string -> Cfg.t
 
-(** Cumulative cache hits / misses since start or [clear]. *)
+(** The (possibly cached) lowered execution form of [program] (see
+    [Ir.Lowered]): compiled once, then shared by every interpreter run
+    and PT decode of the same program.  Same keying and thread-safety
+    as {!icfg}. *)
+val lowered : Ir.Types.program -> Ir.Lowered.t
+
+(** Cumulative cache hits / misses since start or [clear].
+    [hits]/[misses] count the ICFG cache; [lowered_hits]/
+    [lowered_misses] count the lowering cache. *)
 val hits : unit -> int
 
 val misses : unit -> int
+val lowered_hits : unit -> int
+val lowered_misses : unit -> int
 
 (** Drop every entry and reset the counters (benchmarking cold paths). *)
 val clear : unit -> unit

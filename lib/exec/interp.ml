@@ -3,10 +3,21 @@
    concurrency failures) manifest as a function of the scheduling seed
    and the workload, and tracing layers (Intel PT, hardware
    watchpoints, record/replay) observe the execution through [hooks]
-   without perturbing it. *)
+   without perturbing it.
+
+   The engine executes the *lowered* form ([Ir.Lowered], memoised per
+   program by [Analysis.Cache.lowered]): frames are [Value.t array]
+   indexed by precompiled slots instead of string Hashtbls, jumps are
+   block indices instead of label scans, callees/globals are resolved
+   table indices, and builtins dispatch on an opcode variant instead of
+   string comparison.  Observable behaviour — hook firings, RNG draws,
+   scheduler choices, crash pcs/messages, counters — is bit-identical
+   to the nominal reference engine ([Refinterp], kept for the
+   differential test). *)
 
 open Ir.Types
 open Value
+module L = Ir.Lowered
 
 type rw = Read | Write
 
@@ -30,9 +41,14 @@ type hooks = {
   mutable sched : choice:int -> unit;
 }
 
+(* The default [pre_instr] is one shared physical closure so the hot
+   loop can recognise it with [==] and skip building the [pre_ctx]
+   record (and its [read_reg] closure) when nobody is listening. *)
+let ignore_pre_instr : pre_ctx -> unit = fun _ -> ()
+
 let no_hooks () =
   {
-    pre_instr = (fun _ -> ());
+    pre_instr = ignore_pre_instr;
     mem_access = (fun ~tid:_ ~instr:_ ~addr:_ ~rw:_ ~value:_ -> ());
     branch = (fun ~tid:_ ~instr:_ ~taken:_ -> ());
     ret = (fun ~tid:_ ~instr:_ ~resume:_ -> ());
@@ -69,12 +85,17 @@ type result = {
 
 (* ------------------------------------------------------------------ *)
 
+(* An unbound register slot.  The sentinel is a single physical value
+   only this module can install, so [==] distinguishes "never written"
+   from every value a program can produce (including equal strings). *)
+let unbound : Value.t = VStr "<unbound>"
+
 type frame = {
-  func : func;
+  lf : L.lfunc;
   mutable blk : int;
   mutable idx : int;
-  regs : (string, Value.t) Hashtbl.t;
-  ret_dst : reg option;
+  regs : Value.t array;  (* slot -> value; [unbound] when never set *)
+  ret_dst : int option;  (* caller slot receiving the return value *)
 }
 
 type status =
@@ -93,11 +114,16 @@ exception Crash of Failure.kind * string
 exception Crash_report of Failure.report
 
 type state = {
-  program : program;
+  low : L.t;
   mem : Memory.t;
-  globals : (string, int) Hashtbl.t; (* name -> address *)
+  gaddrs : int array;                  (* global index -> address *)
   locks : (int, int option) Hashtbl.t; (* lock addr -> holder tid *)
-  threads : (int, thread) Hashtbl.t;
+  threads : (int, thread) Hashtbl.t;   (* kept for the deadlock pick's
+                                          fold order; hot-path lookups
+                                          go through [thread_arr] *)
+  mutable thread_arr : thread array;   (* tid -> thread (tids are dense) *)
+  mutable elig_dirty : bool;           (* must rebuild [elig_cache]? *)
+  mutable elig_cache : int array;
   mutable next_tid : int;
   rng : Rng.t;
   counters : Cost.t;
@@ -117,21 +143,24 @@ let frame_of t =
   | f :: _ -> f
   | [] -> crash (Type_error "no frame") (Printf.sprintf "thread %d" t.tid)
 
-let current_instr t =
+let current_linstr t =
   match t.frames with
   | [] -> None
-  | f :: _ -> Some f.func.blocks.(f.blk).instrs.(f.idx)
+  | f :: _ -> Some f.lf.L.lf_blocks.(f.blk).(f.idx)
 
-let stack_trace t = List.map (fun f -> f.func.fname) t.frames
+let stack_trace t = List.map (fun f -> f.lf.L.lf_name) t.frames
 
-let eval_operand fr = function
-  | Imm n -> VInt n
-  | Str s -> VStr s
-  | Null -> VNull
-  | Reg r -> (
-    match Hashtbl.find_opt fr.regs r with
-    | Some v -> v
-    | None -> crash (Type_error ("unbound register " ^ r)) r)
+let eval_operand fr (op : L.lop) =
+  match op with
+  | LImm n -> VInt n
+  | LStr s -> VStr s
+  | LNull -> VNull
+  | LReg s ->
+    let v = Array.unsafe_get fr.regs s in
+    if v == unbound then
+      let r = fr.lf.L.lf_slot_names.(s) in
+      crash (Type_error ("unbound register " ^ r)) r
+    else v
 
 let as_int = function
   | VInt n -> n
@@ -169,10 +198,24 @@ let eval_binop op a b =
      | Ge -> bool_v (x >= y)
      | Eq | Ne | And | Or -> assert false)
 
-let eval_expr fr = function
-  | Bin (op, a, b) -> eval_binop op (eval_operand fr a) (eval_operand fr b)
-  | Mov a -> eval_operand fr a
-  | Not a -> VInt (if truthy (eval_operand fr a) then 0 else 1)
+let eval_expr fr (e : L.lexpr) =
+  match e with
+  | LBin (op, a, b) -> eval_binop op (eval_operand fr a) (eval_operand fr b)
+  | LMov a -> eval_operand fr a
+  | LNot a -> VInt (if truthy (eval_operand fr a) then 0 else 1)
+
+(* Evaluate an argument vector left to right (the order the nominal
+   engine's [List.map] used, which fixes *which* crash fires first). *)
+let eval_args fr (ops : L.lop array) =
+  let n = Array.length ops in
+  if n = 0 then [||]
+  else begin
+    let vs = Array.make n VUnit in
+    for k = 0 to n - 1 do
+      vs.(k) <- eval_operand fr ops.(k)
+    done;
+    vs
+  end
 
 (* Address of a memory operand, raising the right failure kind. *)
 let resolve_addr base_v offset =
@@ -186,111 +229,114 @@ let mem_fail_to_crash op = function
   | Memory.Fail_uaf -> crash Use_after_free op
   | Memory.Fail_dfree -> crash Double_free op
 
-let record_access st t i addr rw value =
+let record_access st t (li : L.linstr) addr rw value =
   st.seq <- st.seq + 1;
   st.counters.mem_accesses <- st.counters.mem_accesses + 1;
   if st.record_gt then
     st.gt_accesses <-
-      { a_seq = st.seq; a_tid = t.tid; a_iid = i.iid; a_addr = addr;
+      { a_seq = st.seq; a_tid = t.tid; a_iid = li.L.li_iid; a_addr = addr;
         a_rw = rw; a_value = value }
       :: st.gt_accesses;
-  st.hooks.mem_access ~tid:t.tid ~instr:i ~addr ~rw ~value
+  st.hooks.mem_access ~tid:t.tid ~instr:li.L.li_instr ~addr ~rw ~value
 
-let do_load st t i addr =
+let do_load st t li addr =
   match Memory.load st.mem addr with
   | Error e -> mem_fail_to_crash "load" e
   | Ok v ->
-    record_access st t i addr Read v;
+    record_access st t li addr Read v;
     v
 
-let do_store st t i addr v =
+let do_store st t li addr v =
   match Memory.store st.mem addr v with
   | Error e -> mem_fail_to_crash "store" e
-  | Ok () -> record_access st t i addr Write v
+  | Ok () -> record_access st t li addr Write v
 
-let spawn_thread st routine args =
-  let f = Ir.Program.find_func st.program routine in
-  let regs = Hashtbl.create 8 in
-  (try List.iter2 (fun p v -> Hashtbl.replace regs p v) f.params args
-   with Invalid_argument _ ->
-     crash (Type_error ("arity mismatch spawning " ^ routine)) "");
+(* Fresh callee frame with [values] bound to the parameter slots.
+   Duplicate parameter names share a slot, so the last binding wins —
+   as the nominal engine's repeated [Hashtbl.replace] did. *)
+let bind_frame ~what (lf : L.lfunc) values ret_dst =
+  if Array.length values <> Array.length lf.L.lf_params then
+    crash (Type_error ("arity mismatch " ^ what ^ " " ^ lf.L.lf_name)) "";
+  let regs = Array.make lf.L.lf_nslots unbound in
+  Array.iteri (fun k v -> regs.(lf.L.lf_params.(k)) <- v) values;
+  { lf; blk = 0; idx = 0; regs; ret_dst }
+
+let spawn_thread st fidx values =
+  let lf = st.low.L.l_funcs.(fidx) in
+  let fr = bind_frame ~what:"spawning" lf values None in
   let tid = st.next_tid in
   st.next_tid <- st.next_tid + 1;
-  let fr = { func = f; blk = 0; idx = 0; regs; ret_dst = None } in
-  Hashtbl.replace st.threads tid { tid; frames = [ fr ]; status = Runnable };
+  let t = { tid; frames = [ fr ]; status = Runnable } in
+  Hashtbl.replace st.threads tid t;
+  let cap = Array.length st.thread_arr in
+  if tid >= cap then begin
+    let bigger = Array.make (max 8 (2 * (tid + 1))) t in
+    Array.blit st.thread_arr 0 bigger 0 cap;
+    st.thread_arr <- bigger
+  end;
+  st.thread_arr.(tid) <- t;
+  st.elig_dirty <- true;
   tid
 
-let set_reg fr r v = Hashtbl.replace fr.regs r v
-
-let do_builtin st fr dst name args =
+let do_builtin st fr dst (op : L.builtin_op) name (args : Value.t array) =
   let v : Value.t =
-    match (name, args) with
-    | "print", [ v ] ->
+    match (op, args) with
+    | L.B_print, [| v |] ->
       st.out <- Value.to_string v :: st.out;
       VUnit
-    | "print_int", [ v ] ->
+    | L.B_print_int, [| v |] ->
       st.out <- string_of_int (as_int v) :: st.out;
       VUnit
-    | ("strlen" | "input_len"), [ VStr s ] -> VInt (String.length s)
-    | ("strlen" | "input_len"), [ VNull ] -> crash Segfault "strlen(NULL)"
-    | ("strlen" | "input_len"), [ v ] ->
+    | (L.B_strlen | L.B_input_len), [| VStr s |] -> VInt (String.length s)
+    | (L.B_strlen | L.B_input_len), [| VNull |] -> crash Segfault "strlen(NULL)"
+    | (L.B_strlen | L.B_input_len), [| v |] ->
       crash (Type_error "strlen of non-string") (Value.to_string v)
-    | "str_char", [ VStr s; i ] ->
+    | L.B_str_char, [| VStr s; i |] ->
       let k = as_int i in
       if k >= 0 && k < String.length s then VInt (Char.code s.[k])
       else VInt (-1)
-    | "str_char", [ VNull; _ ] -> crash Segfault "str_char(NULL)"
-    | "str_concat", [ VStr a; VStr b ] -> VStr (a ^ b)
-    | "atoi", [ VStr s ] ->
+    | L.B_str_char, [| VNull; _ |] -> crash Segfault "str_char(NULL)"
+    | L.B_str_concat, [| VStr a; VStr b |] -> VStr (a ^ b)
+    | L.B_atoi, [| VStr s |] ->
       VInt (match int_of_string_opt (String.trim s) with Some n -> n | None -> 0)
-    | "abs", [ v ] -> VInt (abs (as_int v))
-    | "min", [ a; b ] -> VInt (min (as_int a) (as_int b))
-    | "max", [ a; b ] -> VInt (max (as_int a) (as_int b))
-    | ("yield" | "sleep"), _ -> VUnit
+    | L.B_abs, [| v |] -> VInt (abs (as_int v))
+    | L.B_min, [| a; b |] -> VInt (min (as_int a) (as_int b))
+    | L.B_max, [| a; b |] -> VInt (max (as_int a) (as_int b))
+    | (L.B_yield | L.B_sleep), _ -> VUnit
     | _ -> crash (Type_error ("bad builtin call " ^ name)) ""
   in
-  match dst with Some r -> set_reg fr r v | None -> ()
-
-let goto fr l =
-  let rec find k =
-    if k >= Array.length fr.func.blocks then
-      crash (Type_error ("unknown label " ^ l)) ""
-    else if fr.func.blocks.(k).label = l then k
-    else find (k + 1)
-  in
-  fr.blk <- find 0;
-  fr.idx <- 0
+  match dst with Some s -> fr.regs.(s) <- v | None -> ()
 
 (* Execute one instruction of thread [t].  Blocking instructions leave
    the position unchanged and flip the thread status; the scheduler
    retries them when they become eligible again. *)
-let exec_instr st t i =
+let exec_instr st t (li : L.linstr) =
   let fr = frame_of t in
   let advance () = fr.idx <- fr.idx + 1 in
-  match i.kind with
-  | Assign (r, e) ->
-    set_reg fr r (eval_expr fr e);
+  match li.L.li_kind with
+  | LAssign (s, e) ->
+    fr.regs.(s) <- eval_expr fr e;
     advance ()
-  | Load (r, base, off) ->
+  | LLoad (s, base, off) ->
     let addr = resolve_addr (eval_operand fr base) off in
-    set_reg fr r (do_load st t i addr);
+    fr.regs.(s) <- do_load st t li addr;
     advance ()
-  | Store (base, off, v) ->
+  | LStore (base, off, v) ->
     let addr = resolve_addr (eval_operand fr base) off in
-    do_store st t i addr (eval_operand fr v);
+    do_store st t li addr (eval_operand fr v);
     advance ()
-  | Load_global (r, g) ->
-    let addr = Hashtbl.find st.globals g in
-    set_reg fr r (do_load st t i addr);
+  | LLoad_global (s, gi) ->
+    let addr = st.gaddrs.(gi) in
+    fr.regs.(s) <- do_load st t li addr;
     advance ()
-  | Store_global (g, v) ->
-    let addr = Hashtbl.find st.globals g in
-    do_store st t i addr (eval_operand fr v);
+  | LStore_global (gi, v) ->
+    let addr = st.gaddrs.(gi) in
+    do_store st t li addr (eval_operand fr v);
     advance ()
-  | Malloc (r, n) ->
-    set_reg fr r (VPtr (Memory.alloc st.mem n));
+  | LMalloc (s, n) ->
+    fr.regs.(s) <- VPtr (Memory.alloc st.mem n);
     advance ()
-  | Free p -> (
+  | LFree p -> (
     match eval_operand fr p with
     | VPtr base -> (
       match Memory.free st.mem base with
@@ -298,51 +344,54 @@ let exec_instr st t i =
       | Ok () -> advance ())
     | VNull -> advance () (* free(NULL) is a no-op, as in C *)
     | v -> crash (Type_error "free of non-pointer") (Value.to_string v))
-  | Call (dst, callee, args) ->
-    let f = Ir.Program.find_func st.program callee in
-    let values = List.map (eval_operand fr) args in
+  | LCall (dst, fidx, args) ->
+    let values = eval_args fr args in
     advance ();
-    let regs = Hashtbl.create 8 in
-    (try List.iter2 (fun p v -> Hashtbl.replace regs p v) f.params values
-     with Invalid_argument _ ->
-       crash (Type_error ("arity mismatch calling " ^ callee)) "");
-    t.frames <- { func = f; blk = 0; idx = 0; regs; ret_dst = dst } :: t.frames
-  | Builtin (dst, name, args) ->
-    do_builtin st fr dst name (List.map (eval_operand fr) args);
+    t.frames <-
+      bind_frame ~what:"calling" st.low.L.l_funcs.(fidx) values dst
+      :: t.frames
+  | LBuiltin (dst, op, name, args) ->
+    do_builtin st fr dst op name (eval_args fr args);
     advance ()
-  | Jmp l -> goto fr l
-  | Branch (c, lt, le) ->
+  | LJmp b ->
+    fr.blk <- b;
+    fr.idx <- 0
+  | LBranch (c, bt, be) ->
     let taken = truthy (eval_operand fr c) in
     st.counters.branches <- st.counters.branches + 1;
-    st.hooks.branch ~tid:t.tid ~instr:i ~taken;
-    goto fr (if taken then lt else le)
-  | Ret v -> (
+    st.hooks.branch ~tid:t.tid ~instr:li.L.li_instr ~taken;
+    fr.blk <- (if taken then bt else be);
+    fr.idx <- 0
+  | LRet v -> (
     let value = match v with Some op -> eval_operand fr op | None -> VUnit in
     let popped = fr in
     t.frames <- List.tl t.frames;
     match t.frames with
     | [] ->
-      st.hooks.ret ~tid:t.tid ~instr:i ~resume:None;
-      t.status <- Finished
+      st.hooks.ret ~tid:t.tid ~instr:li.L.li_instr ~resume:None;
+      t.status <- Finished;
+      st.elig_dirty <- true
     | caller :: _ ->
-      let resume = caller.func.blocks.(caller.blk).instrs.(caller.idx).iid in
-      st.hooks.ret ~tid:t.tid ~instr:i ~resume:(Some resume);
+      let resume = caller.lf.L.lf_blocks.(caller.blk).(caller.idx).L.li_iid in
+      st.hooks.ret ~tid:t.tid ~instr:li.L.li_instr ~resume:(Some resume);
       (match popped.ret_dst with
-       | Some r -> set_reg caller r value
+       | Some s -> caller.regs.(s) <- value
        | None -> ()))
-  | Spawn (r, routine, args) ->
-    let values = List.map (eval_operand fr) args in
-    let tid = spawn_thread st routine values in
-    set_reg fr r (VTid tid);
+  | LSpawn (s, fidx, args) ->
+    let values = eval_args fr args in
+    let tid = spawn_thread st fidx values in
+    fr.regs.(s) <- VTid tid;
     advance ()
-  | Join target -> (
+  | LJoin target -> (
     match eval_operand fr target with
     | VTid tid -> (
       match Hashtbl.find_opt st.threads tid with
-      | Some th when th.status <> Finished -> t.status <- Blocked_join tid
+      | Some th when th.status <> Finished ->
+        t.status <- Blocked_join tid;
+        st.elig_dirty <- true
       | _ -> advance ())
     | v -> crash (Type_error "join of non-thread") (Value.to_string v))
-  | Lock m -> (
+  | LLock m -> (
     let addr =
       match eval_operand fr m with
       | VPtr a -> a
@@ -353,11 +402,14 @@ let exec_instr st t i =
      | Error e -> mem_fail_to_crash "lock" e
      | Ok () -> ());
     match Hashtbl.find_opt st.locks addr with
-    | Some (Some holder) when holder <> t.tid -> t.status <- Blocked_lock addr
+    | Some (Some holder) when holder <> t.tid ->
+      t.status <- Blocked_lock addr;
+      st.elig_dirty <- true
     | _ ->
       Hashtbl.replace st.locks addr (Some t.tid);
+      st.elig_dirty <- true;
       advance ())
-  | Unlock m ->
+  | LUnlock m ->
     let addr =
       match eval_operand fr m with
       | VPtr a -> a
@@ -368,8 +420,9 @@ let exec_instr st t i =
      | Error e -> mem_fail_to_crash "unlock" e
      | Ok () -> ());
     Hashtbl.replace st.locks addr None;
+    st.elig_dirty <- true;
     advance ()
-  | Assert (c, msg) ->
+  | LAssert (c, msg) ->
     if truthy (eval_operand fr c) then advance ()
     else crash (Assert_fail msg) msg
 
@@ -384,51 +437,53 @@ let eligible st t =
     match Hashtbl.find_opt st.locks addr with
     | Some (Some _) -> false
     | _ -> true)
-  | Blocked_join tid -> (
-    match Hashtbl.find_opt st.threads tid with
-    | Some th -> th.status = Finished
-    | None -> true)
+  | Blocked_join tid -> st.thread_arr.(tid).status = Finished
 
 (* Sorted array of runnable thread ids.  The scheduler indexes into it
-   directly (this is the interpreter's innermost loop; [List.nth] here
-   was a measurable share of every production run). *)
+   directly (this is the interpreter's innermost loop), so the array is
+   cached and only rebuilt after an event that can change eligibility:
+   a spawn, a status change, or a lock transfer ([elig_dirty]).  Tids
+   are dense and scanned in order, so the result needs no sort. *)
 let eligible_tids st =
-  let a =
-    Array.of_list
-      (Hashtbl.fold
-         (fun tid t acc -> if eligible st t then tid :: acc else acc)
-         st.threads [])
-  in
-  Array.sort compare a;
-  a
+  if st.elig_dirty then begin
+    let n = st.next_tid in
+    let buf = Array.make (max n 1) 0 in
+    let k = ref 0 in
+    for tid = 0 to n - 1 do
+      if eligible st st.thread_arr.(tid) then begin
+        buf.(!k) <- tid;
+        incr k
+      end
+    done;
+    st.elig_cache <- Array.sub buf 0 !k;
+    st.elig_dirty <- false
+  end;
+  st.elig_cache
 
 let all_finished st =
-  Hashtbl.fold (fun _ t acc -> acc && t.status = Finished) st.threads true
+  let rec go i =
+    i >= st.next_tid || (st.thread_arr.(i).status = Finished && go (i + 1))
+  in
+  go 0
 
-(* Scheduling points: shared-memory and synchronisation operations (the
-   places where interleavings matter for the Fig. 5 patterns). *)
-let interesting i =
-  match i.kind with
-  | Load _ | Store _ | Load_global _ | Store_global _ | Lock _ | Unlock _
-  | Free _ | Join _ | Spawn _ ->
-    true
-  | Builtin (_, ("yield" | "sleep"), _) -> true
-  | _ -> false
-
-let is_yield i =
-  match i.kind with Builtin (_, ("yield" | "sleep"), _) -> true | _ -> false
+let rec array_mem x (a : int array) i =
+  i < Array.length a && (Array.unsafe_get a i = x || array_mem x a (i + 1))
 
 let run ?hooks ?counters ?pick ?(max_steps = 400_000) ?(record_gt = false)
     ?(preempt_prob = 0.35) program (w : workload) : result =
   let hooks = match hooks with Some h -> h | None -> no_hooks () in
   let counters = match counters with Some c -> c | None -> Cost.create () in
+  let low = Analysis.Cache.lowered program in
   let st =
     {
-      program;
+      low;
       mem = Memory.create ();
-      globals = Hashtbl.create 16;
+      gaddrs = Array.make (Array.length low.L.l_globals) 0;
       locks = Hashtbl.create 16;
       threads = Hashtbl.create 8;
+      thread_arr = [||];
+      elig_dirty = true;
+      elig_cache = [||];
       next_tid = 0;
       rng = Rng.create w.seed;
       counters;
@@ -441,11 +496,12 @@ let run ?hooks ?counters ?pick ?(max_steps = 400_000) ?(record_gt = false)
       preempt_prob;
     }
   in
-  (* Allocate globals. *)
-  List.iter
-    (fun (g : global) ->
+  (* Allocate globals, in declaration order (addresses must match the
+     nominal engine's allocation sequence). *)
+  Array.iteri
+    (fun gi (g : global) ->
       let addr = Memory.alloc st.mem 1 in
-      Hashtbl.replace st.globals g.gname addr;
+      st.gaddrs.(gi) <- addr;
       let v =
         match g.init with
         | Imm n -> VInt n
@@ -454,7 +510,14 @@ let run ?hooks ?counters ?pick ?(max_steps = 400_000) ?(record_gt = false)
         | Reg _ -> invalid "global %s: register initialiser" g.gname
       in
       ignore (Memory.store st.mem addr v))
-    program.globals;
+    low.L.l_globals;
+  (* [pre_ctx] name lookups resolve through the lowering tables; the
+     observable answers are those of the nominal engine. *)
+  let global_addr g =
+    match Hashtbl.find_opt low.L.l_global_index g with
+    | Some gi -> Some st.gaddrs.(gi)
+    | None -> None
+  in
   let steps = ref 0 in
   let finish outcome =
     {
@@ -467,21 +530,25 @@ let run ?hooks ?counters ?pick ?(max_steps = 400_000) ?(record_gt = false)
     }
   in
   let report_for t kind msg =
-    let pc = match current_instr t with Some i -> i.iid | None -> 0 in
+    let pc = match current_linstr t with Some li -> li.L.li_iid | None -> 0 in
     Failure.{ kind; pc; tid = t.tid; stack = stack_trace t; message = msg }
   in
   (* A malformed main invocation (arity mismatch) is a failed run, not
      an interpreter exception. *)
-  match spawn_thread st program.main w.args with
+  let main_args = Array.of_list w.args in
+  match spawn_thread st low.L.l_main main_args with
   | exception Crash (kind, msg) ->
     finish
       (Failed
-         Failure.{ kind; pc = 0; tid = 0; stack = [ program.main ]; message = msg })
+         Failure.{
+           kind; pc = 0; tid = 0; stack = [ low.L.l_program.main ];
+           message = msg;
+         })
   | main_tid ->
   let current = ref main_tid in
   let rec loop () =
     if !steps >= max_steps then
-      let t = Hashtbl.find st.threads !current in
+      let t = st.thread_arr.(!current) in
       finish (Failed (report_for t Hang "step budget exhausted"))
     else
       let elig = eligible_tids st in
@@ -508,21 +575,21 @@ let run ?hooks ?counters ?pick ?(max_steps = 400_000) ?(record_gt = false)
                must still be eligible in the replay, which determinism
                guarantees. *)
             match choose ~eligible:(Array.to_list elig) with
-            | Some t when Array.exists (Int.equal t) elig -> t
+            | Some t when array_mem t elig 0 -> t
             | Some t ->
               invalid "forced schedule chose ineligible thread %d" t
             | None -> elig.(0))
           | None ->
-          if not (Array.exists (Int.equal !current) elig) then begin
+          if not (array_mem !current elig 0) then begin
             st.counters.sched_switches <- st.counters.sched_switches + 1;
             elig.(Rng.int st.rng (Array.length elig))
           end
           else
-            let t = Hashtbl.find st.threads !current in
+            let t = st.thread_arr.(!current) in
             let p =
-              match current_instr t with
-              | Some i when is_yield i -> 0.9
-              | Some i when interesting i -> st.preempt_prob
+              match current_linstr t with
+              | Some li when li.L.li_yield -> 0.9
+              | Some li when li.L.li_interesting -> st.preempt_prob
               | _ -> 0.02
             in
             let n = Array.length elig in
@@ -541,34 +608,48 @@ let run ?hooks ?counters ?pick ?(max_steps = 400_000) ?(record_gt = false)
         in
         current := tid;
         st.hooks.sched ~choice:tid;
-        let t = Hashtbl.find st.threads tid in
-        (* Blocked instructions are retried once eligible again. *)
+        let t = st.thread_arr.(tid) in
+        (* Blocked instructions are retried once eligible again.  The
+           flip does not change the eligible set (the thread was just
+           chosen from it), so the cache stays valid. *)
         (match t.status with
          | Blocked_lock _ | Blocked_join _ -> t.status <- Runnable
          | _ -> ());
-        (match current_instr t with
-         | None -> t.status <- Finished
-         | Some i -> (
+        (match current_linstr t with
+         | None ->
+           t.status <- Finished;
+           st.elig_dirty <- true
+         | Some li -> (
            incr steps;
            st.counters.instrs <- st.counters.instrs + 1;
-           if st.record_gt then st.gt_executed <- (tid, i.iid) :: st.gt_executed;
-           let fr = frame_of t in
-           let ctx =
-             {
-               ctx_tid = tid;
-               ctx_instr = i;
-               read_reg = (fun r -> Hashtbl.find_opt fr.regs r);
-               global_addr = (fun g -> Hashtbl.find_opt st.globals g);
-             }
-           in
-           st.hooks.pre_instr ctx;
-           st.hooks.step ~tid ~instr:i;
-           try exec_instr st t i
+           if st.record_gt then
+             st.gt_executed <- (tid, li.L.li_iid) :: st.gt_executed;
+           if st.hooks.pre_instr != ignore_pre_instr then begin
+             let fr = frame_of t in
+             let ctx =
+               {
+                 ctx_tid = tid;
+                 ctx_instr = li.L.li_instr;
+                 read_reg =
+                   (fun r ->
+                     match Hashtbl.find_opt fr.lf.L.lf_slots r with
+                     | Some s ->
+                       let v = fr.regs.(s) in
+                       if v == unbound then None else Some v
+                     | None -> None);
+                 global_addr;
+               }
+             in
+             st.hooks.pre_instr ctx
+           end;
+           st.hooks.step ~tid ~instr:li.L.li_instr;
+           try exec_instr st t li
            with Crash (kind, msg) ->
              raise
                (Crash_report
                   Failure.{
-                    kind; pc = i.iid; tid; stack = stack_trace t; message = msg;
+                    kind; pc = li.L.li_iid; tid; stack = stack_trace t;
+                    message = msg;
                   })));
         loop ()
   in

@@ -10,9 +10,21 @@
    - carries no data values;
    - has a byte-accounted trace volume feeding the overhead model.
 
+   Streams are packed: each per-thread stream is a growable packet
+   array appended in place (real PT writes into a ring of physical
+   pages), and pending TNT bits live in a fixed 8-slot buffer, so
+   recording allocates nothing per packet beyond the packet itself.
+   [packets_of] reads the array front to back — the same oldest-first
+   order the previous newest-first list representation produced after
+   its reversal.
+
    The decoder reconstructs the executed instruction sequence between
    each PGE/PGD pair by re-walking the program, consuming one TNT bit
-   per conditional branch and one TIP per return. *)
+   per conditional branch and one TIP per return.  The walk runs on the
+   lowered successor table ([Ir.Lowered.l_dsteps], memoised by
+   [Analysis.Cache.lowered]): one array load per reconstructed
+   instruction, instead of a by-iid Hashtbl probe, a function-table
+   lookup and an O(blocks) label scan. *)
 
 open Ir.Types
 
@@ -47,8 +59,10 @@ let packet_bytes = function
 type stream = {
   s_tid : int;
   mutable enabled : bool;
-  mutable packets : packet list; (* newest first *)
-  mutable tnt_buf : bool list;   (* newest first, < 8 entries *)
+  mutable buf : packet array;    (* packed ring; [buf.(0 .. len-1)] used *)
+  mutable len : int;
+  tnt_buf : bool array;          (* pending TNT bits, oldest first *)
+  mutable tnt_len : int;         (* < 8 *)
   mutable last_pc : int;         (* last pc seen while enabled (FUP) *)
 }
 
@@ -60,25 +74,43 @@ type recorder = {
 
 let create counters = { counters; streams = Hashtbl.create 8; tsc = 0 }
 
+(* The array slots beyond [len] need a placeholder; PGD (-1) is as good
+   as any and never read. *)
+let placeholder = PGD (-1)
+
 let stream r tid =
   match Hashtbl.find_opt r.streams tid with
   | Some s -> s
   | None ->
     let s =
-      { s_tid = tid; enabled = false; packets = []; tnt_buf = []; last_pc = -1 }
+      {
+        s_tid = tid;
+        enabled = false;
+        buf = Array.make 64 placeholder;
+        len = 0;
+        tnt_buf = Array.make 8 false;
+        tnt_len = 0;
+        last_pc = -1;
+      }
     in
     Hashtbl.replace r.streams tid s;
     s
 
 let emit r s p =
-  s.packets <- p :: s.packets;
+  if s.len = Array.length s.buf then begin
+    let bigger = Array.make (2 * s.len) placeholder in
+    Array.blit s.buf 0 bigger 0 s.len;
+    s.buf <- bigger
+  end;
+  s.buf.(s.len) <- p;
+  s.len <- s.len + 1;
   r.counters.pt_packets <- r.counters.pt_packets + 1;
   r.counters.pt_bytes <- r.counters.pt_bytes + packet_bytes p
 
 let flush_tnt r s =
-  if s.tnt_buf <> [] then begin
-    emit r s (TNT (List.rev s.tnt_buf));
-    s.tnt_buf <- []
+  if s.tnt_len > 0 then begin
+    emit r s (TNT (Array.to_list (Array.sub s.tnt_buf 0 s.tnt_len)));
+    s.tnt_len <- 0
   end
 
 let enabled r tid = (stream r tid).enabled
@@ -109,8 +141,9 @@ let note_pc r ~tid ~pc =
 let on_branch r ~tid ~taken =
   let s = stream r tid in
   if s.enabled then begin
-    s.tnt_buf <- taken :: s.tnt_buf;
-    if List.length s.tnt_buf >= 8 then flush_tnt r s
+    s.tnt_buf.(s.tnt_len) <- taken;
+    s.tnt_len <- s.tnt_len + 1;
+    if s.tnt_len >= 8 then flush_tnt r s
   end
 
 let on_ret r ~tid ~resume =
@@ -158,7 +191,9 @@ let finish r =
       end)
     r.streams
 
-let packets_of r tid = List.rev (stream r tid).packets
+let packets_of r tid =
+  let s = stream r tid in
+  Array.to_list (Array.sub s.buf 0 s.len)
 
 let all_tids r =
   Hashtbl.fold (fun tid _ acc -> tid :: acc) r.streams [] |> List.sort compare
@@ -203,6 +238,7 @@ let rec take_bit c =
 let at_segment_end c = c.bits = [] && (match c.rest with PGD _ :: _ -> true | _ -> false)
 
 let decode program packets =
+  let dsteps = (Analysis.Cache.lowered program).Ir.Lowered.l_dsteps in
   (* Data packets carry their own timestamps; split them out so the
      control-flow walk sees a pure branch/transfer stream. *)
   let data, control =
@@ -213,55 +249,39 @@ let decode program packets =
   let data = List.sort (fun a b -> compare a.p_tsc b.p_tsc) data in
   let c = { rest = control; bits = [] } in
   let iids = ref [] and branches = ref [] in
-  let first_iid_of_block f bi = f.blocks.(bi).instrs.(0).iid in
-  let block_index f l =
-    let rec find k =
-      if k >= Array.length f.blocks then raise (Malformed ("label " ^ l))
-      else if f.blocks.(k).label = l then k
-      else find (k + 1)
-    in
-    find 0
-  in
   (* Decode one segment starting at [pc], until the PGD. *)
   let rec walk pc stop_pc =
     if pc = stop_pc then ()
     else begin
-      let i, pos = Hashtbl.find program.by_iid pc in
-      let f = Ir.Program.find_func program pos.p_func in
       iids := pc :: !iids;
-      let fallthrough () =
-        let bl = f.blocks.(pos.p_block) in
-        if pos.p_index + 1 < Array.length bl.instrs then
-          walk bl.instrs.(pos.p_index + 1).iid stop_pc
-        else raise (Malformed "fell off block end")
+      (* Straight-line instructions fall through — unless the trace is
+         truncated (the run crashed while tracing), in which case the
+         walk stops at the last packet-backed point rather than walking
+         past the crash. *)
+      let fall next =
+        if stop_pc = -1 && c.bits = [] && c.rest = [] then ()
+        else if stop_pc = -1 && at_segment_end c then ()
+        else next ()
       in
-      match i.kind with
-      | Jmp l -> walk (first_iid_of_block f (block_index f l)) stop_pc
-      | Branch (_, lt, le) -> (
+      match dsteps.(pc) with
+      | Ir.Lowered.D_jump target -> walk target stop_pc
+      | Ir.Lowered.D_branch (bt, be) -> (
         match take_bit c with
         | None ->
           (* Truncated trace: execution crashed at/just after this branch. *)
           ()
         | Some taken ->
           branches := (pc, taken) :: !branches;
-          let l = if taken then lt else le in
-          walk (first_iid_of_block f (block_index f l)) stop_pc)
-      | Call (_, callee, _) ->
-        let cf = Ir.Program.find_func program callee in
-        walk (first_iid_of_block cf 0) stop_pc
-      | Ret _ -> (
+          walk (if taken then bt else be) stop_pc)
+      | Ir.Lowered.D_call entry -> walk entry stop_pc
+      | Ir.Lowered.D_ret -> (
         match next_packet c with
         | Some (TIP 0) -> () (* thread exit *)
         | Some (TIP resume) -> walk resume stop_pc
         | Some (PGD _) | None -> () (* truncated *)
         | Some _ -> raise (Malformed "expected TIP after return"))
-      | _ ->
-        (* Straight-line instruction.  If the trace is truncated (the
-           run crashed while tracing), stop at the last packet-backed
-           point rather than walking past the crash. *)
-        if stop_pc = -1 && c.bits = [] && c.rest = [] then ()
-        else if stop_pc = -1 && at_segment_end c then ()
-        else fallthrough ()
+      | Ir.Lowered.D_fall next_pc -> fall (fun () -> walk next_pc stop_pc)
+      | Ir.Lowered.D_stop -> fall (fun () -> raise (Malformed "fell off block end"))
     end
   in
   let rec segments () =

@@ -8,9 +8,17 @@
     no data values, and with byte-accounted trace volume feeding the
     cost model.
 
+    Per-thread streams are packed: packets append into a growable
+    array (real PT writes into a ring of physical pages) and pending
+    TNT bits fill a fixed 8-slot buffer, so recording does no list
+    consing; {!packets_of} still returns the oldest-first packet list.
+
     The decoder reconstructs the executed instruction sequence between
     each PGE/PGD pair by re-walking the program, consuming one TNT bit
-    per conditional branch and one TIP per return. *)
+    per conditional branch and one TIP per return.  The walk runs on
+    the lowered successor table ([Ir.Lowered.l_dsteps], memoised via
+    [Analysis.Cache.lowered]) — one array load per reconstructed
+    instruction. *)
 
 open Ir.Types
 

@@ -10,11 +10,20 @@
 
 type t
 
-(** [create ~jobs] spawns [jobs] worker domains ([jobs <= 0] spawns
-    none).  The caller also executes tasks while waiting, so total
-    parallelism is [jobs + 1]; nested [map]/[map_until] from inside a
-    task cannot deadlock (the submitter helps drain the queue). *)
+(** [create ~jobs] spawns [effective ~jobs] worker domains.  The
+    caller also executes tasks while waiting, so total parallelism is
+    [jobs + 1]; nested [map]/[map_until] from inside a task cannot
+    deadlock (the submitter helps drain the queue). *)
 val create : jobs:int -> t
+
+(** The worker count {!create} actually spawns for a requested [jobs]:
+    [0] when [jobs <= 1] (a lone worker only contends with the helping
+    caller) or on a single-core host (any worker is pure scheduling
+    overhead there), otherwise [jobs] clamped to the core count.  Zero
+    workers means every operation runs inline on the caller --
+    byte-for-byte the sequential code path, so oversubscribed settings
+    degrade to sequential speed instead of below it. *)
+val effective : jobs:int -> int
 
 (** A shared zero-worker pool: every operation runs inline on the
     caller, byte-for-byte the sequential code path. *)
@@ -24,9 +33,10 @@ val sequential : t
 val jobs : t -> int
 
 (** [map_array t f xs] applies [f] to every element on the pool and
-    returns the results in input order.  If any application raised, the
-    first exception in input order is re-raised after all tasks
-    finished. *)
+    returns the results in input order.  Elements are submitted in
+    chunks (about four per executor) so queue overhead amortises; every
+    element still runs, and if any application raised, the first
+    exception in input order is re-raised after all tasks finished. *)
 val map_array : t -> ('a -> 'b) -> 'a array -> 'b array
 
 (** List version of {!map_array}. *)

@@ -1,0 +1,223 @@
+(* Differential testing of the two execution engines.
+
+   [Exec.Interp] runs the lowered form ([Ir.Lowered], PR 2);
+   [Exec.Refinterp] preserves the original engine that interprets
+   [Ir.Types.program] directly.  The lowering pass is only a valid
+   optimisation if the two are bit-identical on every observable:
+   outcome (including the full failure report), printed output, step
+   count, the ground-truth access and execution logs, every cost
+   counter, and the PT packet streams produced under full tracing.
+   This suite asserts exactly that over the whole Bugbase -- whose
+   entries exercise every failure kind, locks, spawns and preemption --
+   plus generated random programs, across several scheduling seeds. *)
+
+module I = Exec.Interp
+
+let seeds = [ 0; 1; 2; 7; 42 ]
+
+let check_counters name (a : Exec.Cost.t) (b : Exec.Cost.t) =
+  let ck field x y = Alcotest.(check int) (name ^ ": " ^ field) x y in
+  ck "instrs" a.instrs b.instrs;
+  ck "branches" a.branches b.branches;
+  ck "mem_accesses" a.mem_accesses b.mem_accesses;
+  ck "sched_switches" a.sched_switches b.sched_switches;
+  ck "pt_packets" a.pt_packets b.pt_packets;
+  ck "pt_bytes" a.pt_bytes b.pt_bytes;
+  ck "pt_toggles" a.pt_toggles b.pt_toggles;
+  ck "wp_traps" a.wp_traps b.wp_traps;
+  ck "wp_arms" a.wp_arms b.wp_arms;
+  ck "rr_events" a.rr_events b.rr_events;
+  ck "sw_trace_events" a.sw_trace_events b.sw_trace_events
+
+let outcome_str = function
+  | I.Success -> "success"
+  | I.Failed r -> Exec.Failure.report_to_string r
+
+(* Run [program] on both engines with identical parameters and assert
+   every observable equal.  When [trace] is set, both runs record full
+   PT streams and those must match packet for packet too. *)
+let check_engines ?(trace = false) name ?preempt_prob program workload =
+  let run engine =
+    let counters = Exec.Cost.create () in
+    let pt = if trace then Some (Hw.Pt.create counters) else None in
+    let hooks =
+      match pt with
+      | Some pt -> Instrument.Runtime.full_tracing_hooks ~pt
+      | None -> I.no_hooks ()
+    in
+    let res =
+      engine ~hooks ~counters ?preempt_prob ~record_gt:true program workload
+    in
+    Option.iter Hw.Pt.finish pt;
+    let packets =
+      match pt with
+      | None -> []
+      | Some pt ->
+        List.map (fun tid -> (tid, Hw.Pt.packets_of pt tid)) (Hw.Pt.all_tids pt)
+    in
+    (res, counters, packets)
+  in
+  let r_ref, c_ref, p_ref =
+    run (fun ~hooks ~counters ?preempt_prob ~record_gt p w ->
+        Exec.Refinterp.run ~hooks ~counters ?preempt_prob ~record_gt p w)
+  in
+  let r_low, c_low, p_low =
+    run (fun ~hooks ~counters ?preempt_prob ~record_gt p w ->
+        I.run ~hooks ~counters ?preempt_prob ~record_gt p w)
+  in
+  Alcotest.(check string)
+    (name ^ ": outcome")
+    (outcome_str r_ref.I.outcome)
+    (outcome_str r_low.I.outcome);
+  Alcotest.(check bool)
+    (name ^ ": outcome (full report)")
+    true
+    (r_ref.I.outcome = r_low.I.outcome);
+  Alcotest.(check (list string)) (name ^ ": output") r_ref.I.output r_low.I.output;
+  Alcotest.(check int) (name ^ ": steps") r_ref.I.steps r_low.I.steps;
+  Alcotest.(check bool)
+    (name ^ ": access log")
+    true
+    (r_ref.I.accesses = r_low.I.accesses);
+  Alcotest.(check bool)
+    (name ^ ": executed log")
+    true
+    (r_ref.I.executed = r_low.I.executed);
+  check_counters name c_ref c_low;
+  if trace then
+    Alcotest.(check bool)
+      (name ^ ": PT packet streams")
+      true (p_ref = p_low)
+
+(* ------------------------------------------------------------------ *)
+(* Every Bugbase entry, several seeds, bare and under full tracing. *)
+
+let bugbase_cases =
+  List.map
+    (fun (bug : Bugbase.Common.t) ->
+      Alcotest.test_case
+        (Printf.sprintf "%s across %d seeds" bug.name (List.length seeds))
+        `Quick
+        (fun () ->
+          List.iter
+            (fun seed ->
+              let name = Printf.sprintf "%s/seed %d" bug.name seed in
+              let w = bug.workload_of seed in
+              check_engines name ~preempt_prob:bug.preempt_prob bug.program w;
+              check_engines ~trace:true (name ^ "/traced")
+                ~preempt_prob:bug.preempt_prob bug.program w)
+            seeds))
+    Bugbase.Registry.all
+
+(* ------------------------------------------------------------------ *)
+(* Generated random programs: single-threaded and racy two-worker. *)
+
+let gen_cases =
+  [
+    Alcotest.test_case "random single-thread programs" `Quick (fun () ->
+        List.iter
+          (fun pseed ->
+            let program = Tsupport.Gen_prog.random pseed in
+            List.iter
+              (fun seed ->
+                check_engines
+                  (Printf.sprintf "gen %d/seed %d" pseed seed)
+                  program
+                  (I.workload ~args:[ Exec.Value.VInt (pseed + seed) ] seed))
+              seeds)
+          [ 3; 17; 99; 256 ]);
+    Alcotest.test_case "random multithreaded programs, traced" `Quick
+      (fun () ->
+        List.iter
+          (fun pseed ->
+            let program = Tsupport.Gen_prog.random_threaded pseed in
+            List.iter
+              (fun seed ->
+                check_engines ~trace:true
+                  (Printf.sprintf "gen-mt %d/seed %d" pseed seed)
+                  program
+                  (I.workload ~args:[ Exec.Value.VInt 3 ] seed))
+              seeds)
+          [ 5; 21; 77 ]);
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Unknown labels are a load-time [Lower_error], not a runtime crash. *)
+
+let contains ~sub s =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  go 0
+
+(* [Ir.Program.make] rejects unknown labels itself, so a program
+   containing one can only be hand-assembled behind its back -- which
+   is exactly the hole the old engine's runtime [Type_error "unknown
+   label ..."] in [goto] covered.  The lowering pass must close it at
+   load time instead. *)
+let bad_program kinds =
+  let open Ir.Types in
+  let instrs =
+    Array.of_list
+      (List.mapi
+         (fun i kind ->
+           {
+             iid = i + 1;
+             kind;
+             loc = { file = "bad.c"; line = i + 1 };
+             text = "";
+           })
+         kinds)
+  in
+  let f =
+    { fname = "main"; params = []; blocks = [| { label = "entry"; instrs } |] }
+  in
+  let by_iid = Hashtbl.create 4 in
+  Array.iteri
+    (fun i ins ->
+      Hashtbl.replace by_iid ins.iid
+        (ins, { p_func = "main"; p_block = 0; p_index = i }))
+    instrs;
+  let func_tbl = Hashtbl.create 1 in
+  Hashtbl.replace func_tbl "main" f;
+  {
+    globals = [];
+    funcs = [ f ];
+    main = "main";
+    by_iid;
+    func_tbl;
+    n_instrs = Array.length instrs;
+  }
+
+let lower_errors =
+  [
+    Alcotest.test_case "jump to unknown label fails at lowering time"
+      `Quick (fun () ->
+        let bad = bad_program [ Ir.Types.Jmp "nowhere" ] in
+        match Ir.Lowered.lower bad with
+        | exception Ir.Lowered.Lower_error msg ->
+          Alcotest.(check bool)
+            "message names the label" true
+            (contains ~sub:"nowhere" msg && contains ~sub:"label" msg)
+        | _ -> Alcotest.fail "expected Lower_error");
+    Alcotest.test_case "running such a program raises before execution"
+      `Quick (fun () ->
+        let bad =
+          bad_program
+            Ir.Types.
+              [
+                Assign ("x", Mov (Imm 1));
+                Branch (Reg "x", "gone", "entry");
+              ]
+        in
+        match I.run bad (I.workload 0) with
+        | exception Ir.Lowered.Lower_error _ -> ()
+        | _ -> Alcotest.fail "expected Lower_error from run");
+  ]
+
+let () =
+  Alcotest.run "differential"
+    [
+      ("bugbase", bugbase_cases);
+      ("generated", gen_cases);
+      ("lower-errors", lower_errors);
+    ]
