@@ -298,6 +298,41 @@ let run_perf ?(smoke = false) () =
   end
 
 (* ------------------------------------------------------------------ *)
+(* Fuzzer throughput: labelled-bug generation alone, then a small
+   campaign (generate, probe, diagnose, score) sequential vs
+   parallel. *)
+
+let run_fuzz () =
+  let n_gen = 500 in
+  let patterns = Array.of_list Fuzz.Gen.all_patterns in
+  let (), gen_s =
+    time_wall (fun () ->
+        for i = 0 to n_gen - 1 do
+          ignore
+            (Fuzz.Gen.generate patterns.(i mod Array.length patterns) i)
+        done)
+  in
+  let count = 54 in
+  let r, seq_s =
+    time_wall (fun () ->
+        Fuzz.Runner.run ~jobs:0 ~shrink:false ~seed:7 ~count ())
+  in
+  let jobs = max 2 (Parallel.Jobs.default ()) in
+  let _, par_s =
+    time_wall (fun () ->
+        Fuzz.Runner.run ~jobs ~shrink:false ~seed:7 ~count ())
+  in
+  Printf.printf "fuzz: generation %.0f cases/s\n"
+    (float_of_int n_gen /. gen_s);
+  Printf.printf
+    "fuzz: campaign of %d (accuracy %.3f): sequential %.3fs, parallel \
+     (%d jobs) %.3fs, speedup %.2fx\n"
+    count
+    (Fuzz.Runner.overall_accuracy r)
+    seq_s jobs par_s
+    (if par_s > 0.0 then seq_s /. par_s else 0.0)
+
+(* ------------------------------------------------------------------ *)
 
 let experiments =
   [
@@ -310,6 +345,7 @@ let experiments =
     ("summary", Experiments.Summary.print);
     ("extensions", Experiments.Extensions.print);
     ("micro", run_micro);
+    ("fuzz", run_fuzz);
     ("perf", fun () -> run_perf ());
     ("smoke", fun () -> run_perf ~smoke:true ());
   ]

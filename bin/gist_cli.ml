@@ -277,6 +277,150 @@ let experiments_cmd =
 
 (* ------------------------------------------------------------------ *)
 
+(* gist fuzz: the self-checking bug-injection fuzzer (lib/fuzz).
+   Generates programs with labelled root causes, diagnoses each
+   end-to-end, scores the sketch against the label, shrinks failures. *)
+
+let corpus_case_name i (case : Fuzz.Gen.case) =
+  Printf.sprintf "%02d-%s" i case.Fuzz.Gen.c_name
+
+let save_cases dir cases =
+  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  List.iteri
+    (fun i case ->
+      let file = Filename.concat dir (corpus_case_name i case ^ ".gir") in
+      Fuzz.Corpus.save file case;
+      Printf.printf "wrote %s (%d instrs)\n" file
+        (Fuzz.Shrink.instr_count case))
+    cases
+
+let fuzz_replay path =
+  let cases =
+    if Sys.is_directory path then Fuzz.Corpus.load_dir path
+    else Result.map (fun c -> [ c ]) (Fuzz.Corpus.load path)
+  in
+  match cases with
+  | Error e -> prerr_endline e; 1
+  | Ok cases ->
+    let bad = ref 0 in
+    List.iter
+      (fun (case : Fuzz.Gen.case) ->
+        let o = Fuzz.Check.check case in
+        let v = o.Fuzz.Check.verdict in
+        if v <> Fuzz.Check.Correct then incr bad;
+        Printf.printf "%-28s %-8s %s\n" case.c_name
+          (Fuzz.Gen.pattern_name case.c_pattern)
+          (Fuzz.Check.verdict_to_string v))
+      cases;
+    Printf.printf "replayed %d corpus cases, %d failed\n" (List.length cases)
+      !bad;
+    if !bad = 0 then 0 else 1
+
+(* Corpus generation: fuzz until [count] correctly diagnosed cases are
+   in hand, shrink each while it *stays* correctly diagnosed, and save
+   the minimal programs with their ground truth. *)
+let fuzz_gen_corpus dir seed count jobs =
+  let report = Fuzz.Runner.run ~jobs ~shrink:false ~seed ~count () in
+  let correct =
+    List.filter
+      (fun (cr : Fuzz.Runner.case_report) ->
+        cr.cr_verdict = Fuzz.Check.Correct)
+      report.r_cases
+  in
+  let shrunk =
+    Parallel.Pool.with_pool ~jobs (fun pool ->
+        Parallel.Pool.map pool
+          (fun (cr : Fuzz.Runner.case_report) ->
+            let case = Fuzz.Gen.generate cr.cr_pattern cr.cr_seed in
+            (Fuzz.Shrink.run case Fuzz.Check.Correct).Fuzz.Shrink.shrunk)
+          correct)
+  in
+  save_cases dir shrunk;
+  Printf.printf "corpus: %d/%d cases diagnosed correctly and shrunk\n"
+    (List.length shrunk) count;
+  if List.length shrunk = count then 0 else 1
+
+let fuzz_run seed count jobs json no_shrink min_accuracy save_failures
+    gen_corpus replay =
+  let jobs = resolve_jobs jobs in
+  match (replay, gen_corpus) with
+  | Some path, _ -> fuzz_replay path
+  | None, Some dir -> fuzz_gen_corpus dir seed count jobs
+  | None, None ->
+    let report =
+      Fuzz.Runner.run ~jobs ~shrink:(not no_shrink) ~seed ~count ()
+    in
+    if json then print_string (Fuzz.Runner.to_json report)
+    else Fmt.pr "%a" Fuzz.Runner.pp report;
+    (match save_failures with
+     | Some dir ->
+       let shrunk =
+         List.filter_map
+           (fun (cr : Fuzz.Runner.case_report) ->
+             Option.map
+               (fun s -> s.Fuzz.Shrink.shrunk)
+               cr.Fuzz.Runner.cr_shrink)
+           (Fuzz.Runner.failures report)
+       in
+       if shrunk <> [] then save_cases dir shrunk
+     | None -> ());
+    if Fuzz.Runner.min_pattern_accuracy report >= min_accuracy then 0 else 1
+
+let fuzz_cmd =
+  let seed =
+    Arg.(value & opt int 42
+         & info [ "seed" ] ~doc:"Campaign seed; the whole report is a pure \
+                                 function of (seed, count).")
+  in
+  let count =
+    Arg.(value & opt int 200
+         & info [ "count" ] ~docv:"N"
+             ~doc:"Cases to generate, round-robin over the 9 root-cause \
+                   patterns.")
+  in
+  let json =
+    Arg.(value & flag
+         & info [ "json" ] ~doc:"Emit the campaign report as JSON.")
+  in
+  let no_shrink =
+    Arg.(value & flag
+         & info [ "no-shrink" ] ~doc:"Skip minimizing failing cases.")
+  in
+  let min_accuracy =
+    Arg.(value & opt float 0.9
+         & info [ "min-accuracy" ] ~docv:"A"
+             ~doc:"Exit non-zero when any pattern's root-cause accuracy \
+                   falls below this bar.")
+  in
+  let save_failures =
+    Arg.(value & opt (some string) None
+         & info [ "save-failures" ] ~docv:"DIR"
+             ~doc:"Save shrunk failing cases as corpus .gir files.")
+  in
+  let gen_corpus =
+    Arg.(value & opt (some string) None
+         & info [ "gen-corpus" ] ~docv:"DIR"
+             ~doc:"Generate a seed corpus instead: fuzz $(b,--count) cases, \
+                   shrink the correctly diagnosed ones while they stay \
+                   correct, save them with their ground truth.")
+  in
+  let replay =
+    Arg.(value & opt (some string) None
+         & info [ "replay" ] ~docv:"PATH"
+             ~doc:"Replay a corpus file or directory through the pipeline \
+                   and re-check every verdict.")
+  in
+  Cmd.v
+    (Cmd.info "fuzz"
+       ~doc:
+         "Generate programs with injected, labelled root causes; diagnose \
+          each end-to-end; score the sketches against the ground truth")
+    Term.(
+      const fuzz_run $ seed $ count $ jobs_arg $ json $ no_shrink
+      $ min_accuracy $ save_failures $ gen_corpus $ replay)
+
+(* ------------------------------------------------------------------ *)
+
 let () =
   let doc = "failure sketching for automated root cause diagnosis" in
   let info = Cmd.info "gist" ~version:"1.0.0" ~doc in
@@ -285,5 +429,5 @@ let () =
        (Cmd.group info
           [
             list_cmd; diagnose_cmd; slice_cmd; baseline_cmd; experiments_cmd;
-            run_cmd; show_cmd;
+            run_cmd; show_cmd; fuzz_cmd;
           ]))

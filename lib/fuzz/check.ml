@@ -1,0 +1,222 @@
+(* The ground-truth oracle: run the full diagnosis pipeline on an
+   injected-bug case and score the sketch's top-ranked predictor
+   against the labelled root cause.
+
+   All comparisons are in source-line terms ([describe],
+   [matches_accept]): lines survive iid renumbering through the .gir
+   corpus round-trip and padding removal during shrinking, iids do
+   not. *)
+
+module F = Exec.Failure
+module I = Exec.Interp
+
+type verdict =
+  | Correct
+  | Wrong_root_cause of string  (* normalized top predictor *)
+  | No_predictor
+  | No_failure
+  | Divergence of string        (* engines disagree on an observable *)
+  | Crash of string             (* pipeline raised *)
+
+let verdict_name = function
+  | Correct -> "correct"
+  | Wrong_root_cause _ -> "wrong-root-cause"
+  | No_predictor -> "no-predictor"
+  | No_failure -> "no-failure"
+  | Divergence _ -> "divergence"
+  | Crash _ -> "crash"
+
+let verdict_to_string = function
+  | Correct -> "correct"
+  | Wrong_root_cause d -> "wrong-root-cause: " ^ d
+  | No_predictor -> "no-predictor"
+  | No_failure -> "no-failure"
+  | Divergence d -> "divergence: " ^ d
+  | Crash d -> "crash: " ^ d
+
+let verdict_equal a b = (a : verdict) = b
+
+(* ------------------------------------------------------------------ *)
+(* Line-based predictor descriptions. *)
+
+let line_of program iid = (Ir.Program.loc_of program iid).Ir.Types.line
+
+let describe program (p : Predict.Predictor.t) =
+  let l iid = line_of program iid in
+  match p with
+  | Branch_taken (iid, taken) ->
+    Printf.sprintf "branch@%d=%s" (l iid)
+      (if taken then "taken" else "not-taken")
+  | Data_value (iid, v) -> Printf.sprintf "value@%d=%s" (l iid) v
+  | Value_range (iid, pred) -> Printf.sprintf "range@%d %s" (l iid) pred
+  | Race (pat, a, b) -> Printf.sprintf "race:%s@%d->%d" pat (l a) (l b)
+  | Atomicity (pat, a, b, c) ->
+    Printf.sprintf "atom:%s@%d,%d,%d" pat (l a) (l b) (l c)
+
+let matches_accept program (acc : Gen.accept) (p : Predict.Predictor.t) =
+  let l iid = line_of program iid in
+  match (acc, p) with
+  | Gen.A_race (pat, la, lb), Race (pat', a, b) ->
+    pat = pat' && l a = la && l b = lb
+  | Gen.A_atom (pat, la, lb, lc), Atomicity (pat', a, b, c) ->
+    pat = pat' && l a = la && l b = lb && l c = lc
+  | Gen.A_value (line, v), Data_value (iid, v') -> l iid = line && v = v'
+  | Gen.A_branch (line, taken), Branch_taken (iid, taken') ->
+    l iid = line && taken = taken'
+  | _ -> false
+
+let accepted (case : Gen.case) (p : Predict.Predictor.t) =
+  List.exists
+    (fun acc -> matches_accept case.c_program acc p)
+    case.c_truth.t_accept
+
+(* ------------------------------------------------------------------ *)
+(* Probing: engine divergence and the target failure. *)
+
+let probe_max_steps = 50_000
+
+(* A cheap differential smoke on two workloads: the lowered engine and
+   the reference engine must agree on outcome, output and step count
+   (the full observable set is covered by test_differential; this
+   catches generator-exposed divergence at fuzz time). *)
+let divergence case =
+  let check c =
+    let w = Gen.workload_of case c in
+    let run engine =
+      let r =
+        engine ~max_steps:probe_max_steps ~preempt_prob:case.Gen.c_preempt
+          case.Gen.c_program w
+      in
+      let out =
+        match r.I.outcome with
+        | I.Success -> "success"
+        | I.Failed f -> F.report_to_string f
+      in
+      (out, r.I.output, r.I.steps)
+    in
+    let a =
+      run (fun ~max_steps ~preempt_prob p w ->
+          I.run ~max_steps ~preempt_prob p w)
+    in
+    let b =
+      run (fun ~max_steps ~preempt_prob p w ->
+          Exec.Refinterp.run ~max_steps ~preempt_prob p w)
+    in
+    if a <> b then
+      let (oa, _, sa) = a and (ob, _, sb) = b in
+      Some
+        (Printf.sprintf "client %d: lowered=(%s,%d steps) ref=(%s,%d steps)" c
+           oa sa ob sb)
+    else None
+  in
+  match check 0 with Some d -> Some d | None -> check 1
+
+type probe = {
+  p_target : F.report option;  (* first failure matching the truth *)
+  p_fails : int;               (* matching failures among probed clients *)
+  p_succs : int;
+}
+
+let target_matches (case : Gen.case) (f : F.report) =
+  F.kind_tag f.kind = case.c_truth.t_kind_tag
+  && line_of case.c_program f.pc = case.c_truth.t_fail_line
+
+(* Scan the client sequence the way [Server.first_failure] scans
+   production runs, keeping counts so callers can tell an unviable
+   case (never fails / never succeeds) from a diagnosable one. *)
+let probe ?(max_clients = 96) (case : Gen.case) =
+  let target = ref None and fails = ref 0 and succs = ref 0 in
+  for c = 0 to max_clients - 1 do
+    let r =
+      I.run ~max_steps:probe_max_steps ~preempt_prob:case.c_preempt
+        case.c_program
+        (Gen.workload_of case c)
+    in
+    match r.I.outcome with
+    | I.Success -> incr succs
+    | I.Failed f when target_matches case f ->
+      incr fails;
+      if !target = None then target := Some f
+    | I.Failed _ -> ()
+  done;
+  { p_target = !target; p_fails = !fails; p_succs = !succs }
+
+let viable ?(min_fails = 3) ?(min_succs = 3) p =
+  p.p_fails >= min_fails && p.p_succs >= min_succs
+
+(* ------------------------------------------------------------------ *)
+(* Diagnosis. *)
+
+(* Statistical power matters more than fleet size here: an AsT
+   iteration whose client window contains no failing run correlates
+   nothing (every predictor mined in it has zero failing
+   observations), and windows advance across iterations.  200 clients
+   per iteration keeps >= 3 expected failures even at the ~3% failure
+   rate the viability probe admits. *)
+let config_of (case : Gen.case) =
+  {
+    Gist.Config.default with
+    fail_quota = 3;
+    succ_quota = 8;
+    max_clients_per_iter = 200;
+    max_iterations = 6;
+    max_steps = probe_max_steps;
+    preempt_prob = case.c_preempt;
+  }
+
+type outcome = {
+  verdict : verdict;
+  top : string option;  (* normalized top predictor, if any *)
+  iterations : int;
+  total_runs : int;
+}
+
+let verdict_of_sketch (case : Gen.case) (sk : Fsketch.Sketch.t) =
+  match sk.predictors with
+  | [] -> No_predictor
+  | top :: _ ->
+    if accepted case top.Predict.Stats.predictor then Correct
+    else Wrong_root_cause (describe case.c_program top.Predict.Stats.predictor)
+
+(* [check case]: divergence probe, failure probe, full [diagnose],
+   verdict.  Deterministic: every stage is a pure function of the
+   case. *)
+let check ?pool (case : Gen.case) =
+  match divergence case with
+  | Some d -> { verdict = Divergence d; top = None; iterations = 0; total_runs = 0 }
+  | None ->
+    (match probe case with
+     | { p_target = None; _ } ->
+       { verdict = No_failure; top = None; iterations = 0; total_runs = 0 }
+     | { p_target = Some failure; _ } ->
+       (try
+          let d =
+            Gist.Server.diagnose ~config:(config_of case) ?pool
+              ~oracle:(fun sk ->
+                match sk.Fsketch.Sketch.predictors with
+                | top :: _ -> accepted case top.Predict.Stats.predictor
+                | [] -> false)
+              ~bug_name:case.c_name
+              ~failure_type:(F.kind_to_string failure.F.kind)
+              ~program:case.c_program
+              ~workload_of:(Gen.workload_of case)
+              ~failure ()
+          in
+          let top =
+            match d.Gist.Server.sketch.predictors with
+            | t :: _ -> Some (describe case.c_program t.Predict.Stats.predictor)
+            | [] -> None
+          in
+          {
+            verdict = verdict_of_sketch case d.Gist.Server.sketch;
+            top;
+            iterations = d.Gist.Server.iterations;
+            total_runs = d.Gist.Server.total_runs;
+          }
+        with e ->
+          {
+            verdict = Crash (Printexc.to_string e);
+            top = None;
+            iterations = 0;
+            total_runs = 0;
+          }))

@@ -1,0 +1,66 @@
+(** The ground-truth oracle: diagnose an injected-bug case end-to-end
+    and score the sketch's top-ranked predictor against the label. *)
+
+(** Everything a case can get wrong, most severe last.  Payload strings
+    are normalized (source-line based), so two checks of equivalent
+    programs — e.g. a case and its shrunk reproducer — yield equal
+    verdicts exactly when they fail the same way. *)
+type verdict =
+  | Correct
+  | Wrong_root_cause of string  (** normalized top predictor *)
+  | No_predictor
+  | No_failure
+  | Divergence of string        (** execution engines disagree *)
+  | Crash of string             (** the pipeline raised *)
+
+val verdict_name : verdict -> string
+val verdict_to_string : verdict -> string
+val verdict_equal : verdict -> verdict -> bool
+
+(** Line-based rendering of a predictor ("race:WR\@101->102"). *)
+val describe : Ir.Types.program -> Predict.Predictor.t -> string
+
+val matches_accept : Ir.Types.program -> Gen.accept -> Predict.Predictor.t -> bool
+val accepted : Gen.case -> Predict.Predictor.t -> bool
+
+(** {1 Probing} *)
+
+val probe_max_steps : int
+
+(** Quick two-workload differential check of the lowered engine against
+    the reference engine; [Some detail] when they disagree. *)
+val divergence : Gen.case -> string option
+
+type probe = {
+  p_target : Exec.Failure.report option;
+      (** first failure matching the injected truth *)
+  p_fails : int;
+  p_succs : int;
+}
+
+val target_matches : Gen.case -> Exec.Failure.report -> bool
+
+(** Scan the first [max_clients] (default 96) production runs. *)
+val probe : ?max_clients:int -> Gen.case -> probe
+
+(** A case is diagnosable when both outcomes occur in the probe
+    window (defaults: 3 of each). *)
+val viable : ?min_fails:int -> ?min_succs:int -> probe -> bool
+
+(** {1 Diagnosis} *)
+
+(** The bounded fleet configuration fuzzing runs under. *)
+val config_of : Gen.case -> Gist.Config.t
+
+type outcome = {
+  verdict : verdict;
+  top : string option;  (** normalized top predictor, if any *)
+  iterations : int;
+  total_runs : int;
+}
+
+val verdict_of_sketch : Gen.case -> Fsketch.Sketch.t -> verdict
+
+(** Divergence probe, failure probe, full {!Gist.Server.diagnose},
+    verdict.  A pure function of the case. *)
+val check : ?pool:Parallel.Pool.t -> Gen.case -> outcome

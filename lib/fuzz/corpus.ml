@@ -1,0 +1,219 @@
+(* The seed-corpus format: a shrunk case saved as an ordinary [.gir]
+   file whose leading [#] comments carry the ground truth.  Comments
+   are ignored by [Ir.Text.parse], so a corpus file is also a plain
+   program for every other tool; iids are renumbered on reload, which
+   is why the truth is expressed in source lines. *)
+
+let accept_to_string = function
+  | Gen.A_race (pat, a, b) -> Printf.sprintf "race:%s@%d->%d" pat a b
+  | Gen.A_atom (pat, a, b, c) -> Printf.sprintf "atom:%s@%d,%d,%d" pat a b c
+  | Gen.A_value (l, v) -> Printf.sprintf "value@%d=%s" l v
+  | Gen.A_branch (l, t) ->
+    Printf.sprintf "branch@%d=%s" l (if t then "taken" else "not-taken")
+
+let split_first c s =
+  match String.index_opt s c with
+  | Some i ->
+    Some (String.sub s 0 i, String.sub s (i + 1) (String.length s - i - 1))
+  | None -> None
+
+let strip_prefix ~prefix s =
+  let n = String.length prefix in
+  if String.length s >= n && String.sub s 0 n = prefix then
+    Some (String.sub s n (String.length s - n))
+  else None
+
+let accept_of_string s =
+  let bad () = Error (Printf.sprintf "bad accept %S" s) in
+  let int_of x = int_of_string_opt (String.trim x) in
+  match strip_prefix ~prefix:"race:" s with
+  | Some rest -> (
+    match split_first '@' rest with
+    | Some (pat, nums) -> (
+      match String.split_on_char '-' nums with
+      | [ a; gt_b ] when String.length gt_b > 0 && gt_b.[0] = '>' -> (
+        let b = String.sub gt_b 1 (String.length gt_b - 1) in
+        match (int_of a, int_of b) with
+        | Some a, Some b -> Ok (Gen.A_race (pat, a, b))
+        | _ -> bad ())
+      | _ -> bad ())
+    | None -> bad ())
+  | None -> (
+    match strip_prefix ~prefix:"atom:" s with
+    | Some rest -> (
+      match split_first '@' rest with
+      | Some (pat, nums) -> (
+        match List.map int_of (String.split_on_char ',' nums) with
+        | [ Some a; Some b; Some c ] -> Ok (Gen.A_atom (pat, a, b, c))
+        | _ -> bad ())
+      | None -> bad ())
+    | None -> (
+      match strip_prefix ~prefix:"value@" s with
+      | Some rest -> (
+        match split_first '=' rest with
+        | Some (l, v) -> (
+          match int_of l with
+          | Some l -> Ok (Gen.A_value (l, v))
+          | None -> bad ())
+        | None -> bad ())
+      | None -> (
+        match strip_prefix ~prefix:"branch@" s with
+        | Some rest -> (
+          match split_first '=' rest with
+          | Some (l, t) -> (
+            match (int_of l, t) with
+            | Some l, "taken" -> Ok (Gen.A_branch (l, true))
+            | Some l, "not-taken" -> Ok (Gen.A_branch (l, false))
+            | _ -> bad ())
+          | None -> bad ())
+        | None -> bad ())))
+
+(* ------------------------------------------------------------------ *)
+
+let to_string (case : Gen.case) =
+  let t = case.Gen.c_truth in
+  let buf = Buffer.create 2048 in
+  let p fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  p "# gist fuzz corpus case (shrunk reproducer; ground truth below)\n";
+  p "# pattern: %s\n" (Gen.pattern_name case.c_pattern);
+  p "# kind: %s\n" t.t_kind_tag;
+  p "# fail-line: %d\n" t.t_fail_line;
+  p "# kernel-lines: %s\n"
+    (String.concat "," (List.map string_of_int t.t_kernel_lines));
+  p "# accept: %s\n" (String.concat "; " (List.map accept_to_string t.t_accept));
+  p "# args: %s\n"
+    (String.concat "," (List.map string_of_int case.c_args_cycle));
+  p "# preempt: %.6f\n" case.c_preempt;
+  p "\n";
+  Buffer.add_string buf (Ir.Text.emit case.c_program);
+  Buffer.contents buf
+
+let save path case =
+  let oc = open_out path in
+  output_string oc (to_string case);
+  close_out oc
+
+(* ------------------------------------------------------------------ *)
+
+let headers_of_string text =
+  String.split_on_char '\n' text
+  |> List.filter_map (fun line ->
+         match strip_prefix ~prefix:"# " (String.trim line) with
+         | Some rest -> (
+           match split_first ':' rest with
+           | Some (k, v) -> Some (String.trim k, String.trim v)
+           | None -> None)
+         | None -> None)
+
+let ( let* ) = Result.bind
+
+let require headers key =
+  match List.assoc_opt key headers with
+  | Some v -> Ok v
+  | None -> Error (Printf.sprintf "missing '# %s:' header" key)
+
+let int_list_of s =
+  let parts =
+    List.filter (fun x -> x <> "")
+      (List.map String.trim (String.split_on_char ',' s))
+  in
+  let rec go acc = function
+    | [] -> Ok (List.rev acc)
+    | x :: tl -> (
+      match int_of_string_opt x with
+      | Some n -> go (n :: acc) tl
+      | None -> Error (Printf.sprintf "bad integer %S" x))
+  in
+  go [] parts
+
+let of_string ~name text =
+  let headers = headers_of_string text in
+  let* pattern_s = require headers "pattern" in
+  let* pattern =
+    match Gen.pattern_of_name pattern_s with
+    | Some p -> Ok p
+    | None -> Error (Printf.sprintf "unknown pattern %S" pattern_s)
+  in
+  let* kind = require headers "kind" in
+  let* fail_line_s = require headers "fail-line" in
+  let* fail_line =
+    match int_of_string_opt fail_line_s with
+    | Some n -> Ok n
+    | None -> Error "bad fail-line"
+  in
+  let* kernel_s = require headers "kernel-lines" in
+  let* kernel_lines = int_list_of kernel_s in
+  let* accept_s = require headers "accept" in
+  let* accepts =
+    let rec go acc = function
+      | [] -> Ok (List.rev acc)
+      | x :: tl -> (
+        match accept_of_string (String.trim x) with
+        | Ok a -> go (a :: acc) tl
+        | Error e -> Error e)
+    in
+    go []
+      (List.filter (fun x -> String.trim x <> "")
+         (String.split_on_char ';' accept_s))
+  in
+  let* args_s = require headers "args" in
+  let* args = int_list_of args_s in
+  let* () = if args = [] then Error "empty args cycle" else Ok () in
+  let* preempt_s = require headers "preempt" in
+  let* preempt =
+    match float_of_string_opt preempt_s with
+    | Some f -> Ok f
+    | None -> Error "bad preempt"
+  in
+  let* program = Ir.Text.parse_result text in
+  Ok
+    {
+      Gen.c_name = name;
+      c_pattern = pattern;
+      c_seed = -1;
+      c_program = program;
+      c_scenario = None;
+      c_truth =
+        {
+          Gen.t_kind_tag = kind;
+          t_fail_line = fail_line;
+          t_kernel_lines = kernel_lines;
+          t_accept = accepts;
+        };
+      c_args_cycle = args;
+      c_preempt = preempt;
+    }
+
+let load path =
+  match
+    let ic = open_in_bin path in
+    let n = in_channel_length ic in
+    let s = really_input_string ic n in
+    close_in ic;
+    s
+  with
+  | exception Sys_error e -> Error e
+  | text -> (
+    let name = Filename.remove_extension (Filename.basename path) in
+    match of_string ~name text with
+    | Ok case -> Ok case
+    | Error e -> Error (Printf.sprintf "%s: %s" path e))
+
+(* All [.gir] files of a directory, in filename order. *)
+let load_dir dir =
+  match Sys.readdir dir with
+  | exception Sys_error e -> Error e
+  | files ->
+    let files =
+      Array.to_list files
+      |> List.filter (fun f -> Filename.check_suffix f ".gir")
+      |> List.sort compare
+    in
+    let rec go acc = function
+      | [] -> Ok (List.rev acc)
+      | f :: tl -> (
+        match load (Filename.concat dir f) with
+        | Ok c -> go (c :: acc) tl
+        | Error e -> Error e)
+    in
+    go [] files

@@ -1,0 +1,22 @@
+(** The seed-corpus format: a shrunk case as an ordinary [.gir] file
+    whose leading [#] comments carry the ground truth (pattern, failure
+    kind and line, kernel lines, accept set, args cycle, preempt).
+    Comments are ignored by {!Ir.Text.parse}, so every corpus file is
+    also a plain program; the truth is line-based because reloading
+    renumbers iids. *)
+
+val accept_to_string : Gen.accept -> string
+val accept_of_string : string -> (Gen.accept, string) result
+
+val to_string : Gen.case -> string
+val save : string -> Gen.case -> unit
+
+(** Loaded cases have no scenario (they are already shrunk) and seed
+    [-1]; the name is the file's basename. *)
+val of_string : name:string -> string -> (Gen.case, string) result
+
+val load : string -> (Gen.case, string) result
+
+(** All [.gir] files of a directory, in filename order; fails on the
+    first unparsable file. *)
+val load_dir : string -> (Gen.case list, string) result

@@ -1,0 +1,46 @@
+(** The fuzz campaign driver: generate, check, shrink, aggregate.
+    Deterministic for a given (seed, count) whatever the job count. *)
+
+type case_report = {
+  cr_name : string;
+  cr_pattern : Gen.pattern;
+  cr_seed : int;
+  cr_verdict : Check.verdict;
+  cr_top : string option;
+  cr_iterations : int;
+  cr_total_runs : int;
+  cr_shrink : Shrink.result option; (** present for shrunk failures *)
+}
+
+type pattern_stats = {
+  ps_pattern : Gen.pattern;
+  ps_total : int;
+  ps_correct : int;
+}
+
+val ps_accuracy : pattern_stats -> float
+
+type report = {
+  r_seed : int;
+  r_count : int;
+  r_cases : case_report list;
+  r_stats : pattern_stats list;
+      (** per pattern actually generated, in {!Gen.all_patterns} order *)
+}
+
+val failures : report -> case_report list
+val overall_accuracy : report -> float
+
+(** Worst per-pattern accuracy — the acceptance gate. *)
+val min_pattern_accuracy : report -> float
+
+(** [run ~seed ~count ()] fuzzes [count] cases round-robin over the
+    taxonomy.  [jobs] sizes the case-level pool; [shrink] (default on)
+    minimizes every failing case; [retries] candidate seeds are
+    pre-drawn per slot and the first diagnosable one is used. *)
+val run :
+  ?jobs:int -> ?shrink:bool -> ?retries:int -> seed:int -> count:int ->
+  unit -> report
+
+val to_json : report -> string
+val pp : Format.formatter -> report -> unit

@@ -1,0 +1,18 @@
+(** Greedy verdict-preserving minimization of injected-bug cases. *)
+
+val instr_count : Gen.case -> int
+
+type result = {
+  shrunk : Gen.case;
+  target : Check.verdict;  (** the verdict being preserved *)
+  rounds : int;            (** accepted reductions *)
+  checks : int;            (** candidate evaluations *)
+  size_before : int;       (** instruction count before *)
+  size_after : int;
+}
+
+(** [run case target] strips padding while {!Check.check} keeps
+    returning exactly [target].  Terminates (each accepted reduction
+    strictly shrinks the scenario); cases without a scenario are
+    returned unchanged. *)
+val run : ?pool:Parallel.Pool.t -> Gen.case -> Check.verdict -> result

@@ -1,0 +1,76 @@
+(* Replay the checked-in seed corpus: every shrunk reproducer must
+   still diagnose end-to-end to its recorded root cause.  The corpus
+   directory is a dune dep, so the files sit next to the test binary. *)
+
+module G = Fuzz.Gen
+module C = Fuzz.Check
+
+let cases =
+  lazy
+    (match Fuzz.Corpus.load_dir "corpus" with
+     | Ok cases -> cases
+     | Error e -> Alcotest.failf "corpus load: %s" e)
+
+let corpus =
+  [
+    Alcotest.test_case "corpus holds at least 10 cases" `Quick (fun () ->
+        Alcotest.(check bool) "size" true
+          (List.length (Lazy.force cases) >= 10));
+    Alcotest.test_case "corpus covers every concurrency pattern" `Quick
+      (fun () ->
+        let seen =
+          List.map (fun c -> c.G.c_pattern) (Lazy.force cases)
+        in
+        List.iter
+          (fun p ->
+            if not (List.mem p seen) then
+              Alcotest.failf "pattern %s missing" (G.pattern_name p))
+          G.all_patterns);
+    Alcotest.test_case "every reproducer is at most 25 instructions"
+      `Quick (fun () ->
+        List.iter
+          (fun c ->
+            let n = c.G.c_program.Ir.Types.n_instrs in
+            if n > 25 then Alcotest.failf "%s: %d instrs" c.G.c_name n)
+          (Lazy.force cases));
+    Alcotest.test_case "loaded cases are shrunk artifacts" `Quick
+      (fun () ->
+        List.iter
+          (fun c ->
+            Alcotest.(check bool) (c.G.c_name ^ " no scenario") true
+              (c.G.c_scenario = None);
+            Alcotest.(check int) (c.G.c_name ^ " seed") (-1) c.G.c_seed)
+          (Lazy.force cases));
+    Alcotest.test_case "saved text reloads to the same case" `Quick
+      (fun () ->
+        List.iter
+          (fun c ->
+            match
+              Fuzz.Corpus.of_string ~name:c.G.c_name
+                (Fuzz.Corpus.to_string c)
+            with
+            | Error e -> Alcotest.failf "%s: %s" c.G.c_name e
+            | Ok c' ->
+              Alcotest.(check bool) (c.G.c_name ^ " truth") true
+                (c.G.c_truth = c'.G.c_truth);
+              Alcotest.(check string) (c.G.c_name ^ " program")
+                (Ir.Text.emit c.G.c_program)
+                (Ir.Text.emit c'.G.c_program))
+          (Lazy.force cases));
+  ]
+
+let replay =
+  [
+    Alcotest.test_case "every corpus case diagnoses correctly" `Slow
+      (fun () ->
+        List.iter
+          (fun c ->
+            let o = C.check c in
+            match o.C.verdict with
+            | C.Correct -> ()
+            | v ->
+              Alcotest.failf "%s: %s" c.G.c_name (C.verdict_to_string v))
+          (Lazy.force cases));
+  ]
+
+let () = Alcotest.run "corpus" [ ("corpus", corpus); ("replay", replay) ]

@@ -117,7 +117,7 @@ let gen_cases =
     Alcotest.test_case "random single-thread programs" `Quick (fun () ->
         List.iter
           (fun pseed ->
-            let program = Tsupport.Gen_prog.random pseed in
+            let program = Fuzz.Gen.random pseed in
             List.iter
               (fun seed ->
                 check_engines
@@ -130,7 +130,7 @@ let gen_cases =
       (fun () ->
         List.iter
           (fun pseed ->
-            let program = Tsupport.Gen_prog.random_threaded pseed in
+            let program = Fuzz.Gen.random_threaded pseed in
             List.iter
               (fun seed ->
                 check_engines ~trace:true
@@ -154,39 +154,62 @@ let contains ~sub s =
    is exactly the hole the old engine's runtime [Type_error "unknown
    label ..."] in [goto] covered.  The lowering pass must close it at
    load time instead. *)
-let bad_program kinds =
+(* Hand-rolled program records that bypass [Program.make]'s validation:
+   the lowering pass must reject these on its own, at lowering time,
+   wherever the bad name hides. *)
+let bad_funcs ?(main = "main") funcs =
   let open Ir.Types in
-  let instrs =
-    Array.of_list
-      (List.mapi
-         (fun i kind ->
-           {
-             iid = i + 1;
-             kind;
-             loc = { file = "bad.c"; line = i + 1 };
-             text = "";
-           })
-         kinds)
+  let counter = ref 0 in
+  let funcs =
+    List.map
+      (fun (fname, params, blocks) ->
+        let blocks =
+          Array.of_list
+            (List.map
+               (fun (label, kinds) ->
+                 let instrs =
+                   Array.of_list
+                     (List.map
+                        (fun kind ->
+                          incr counter;
+                          {
+                            iid = !counter;
+                            kind;
+                            loc = { file = "bad.c"; line = !counter };
+                            text = "";
+                          })
+                        kinds)
+                 in
+                 { label; instrs })
+               blocks)
+        in
+        { fname; params; blocks })
+      funcs
   in
-  let f =
-    { fname = "main"; params = []; blocks = [| { label = "entry"; instrs } |] }
-  in
-  let by_iid = Hashtbl.create 4 in
-  Array.iteri
-    (fun i ins ->
-      Hashtbl.replace by_iid ins.iid
-        (ins, { p_func = "main"; p_block = 0; p_index = i }))
-    instrs;
-  let func_tbl = Hashtbl.create 1 in
-  Hashtbl.replace func_tbl "main" f;
-  {
-    globals = [];
-    funcs = [ f ];
-    main = "main";
-    by_iid;
-    func_tbl;
-    n_instrs = Array.length instrs;
-  }
+  let by_iid = Hashtbl.create 16 in
+  List.iter
+    (fun f ->
+      Array.iteri
+        (fun bi b ->
+          Array.iteri
+            (fun k ins ->
+              Hashtbl.replace by_iid ins.iid
+                (ins, { p_func = f.fname; p_block = bi; p_index = k }))
+            b.instrs)
+        f.blocks)
+    funcs;
+  let func_tbl = Hashtbl.create 4 in
+  List.iter (fun f -> Hashtbl.replace func_tbl f.fname f) funcs;
+  { globals = []; funcs; main; by_iid; func_tbl; n_instrs = !counter }
+
+let bad_program kinds = bad_funcs [ ("main", [], [ ("entry", kinds) ]) ]
+
+let expect_lower_error ~sub bad =
+  match Ir.Lowered.lower bad with
+  | exception Ir.Lowered.Lower_error msg ->
+    if not (contains ~sub msg) then
+      Alcotest.failf "message %S does not mention %S" msg sub
+  | _ -> Alcotest.fail "expected Lower_error"
 
 let lower_errors =
   [
@@ -212,6 +235,105 @@ let lower_errors =
         match I.run bad (I.workload 0) with
         | exception Ir.Lowered.Lower_error _ -> ()
         | _ -> Alcotest.fail "expected Lower_error from run");
+    Alcotest.test_case "branch with an unknown then-label" `Quick (fun () ->
+        expect_lower_error ~sub:"nowhere"
+          (bad_program
+             Ir.Types.
+               [
+                 Assign ("x", Mov (Imm 1));
+                 Branch (Reg "x", "nowhere", "entry");
+               ]));
+    Alcotest.test_case "branch with an unknown else-label" `Quick (fun () ->
+        expect_lower_error ~sub:"nowhere"
+          (bad_program
+             Ir.Types.
+               [
+                 Assign ("x", Mov (Imm 1));
+                 Branch (Reg "x", "entry", "nowhere");
+               ]));
+    Alcotest.test_case "bad label behind a jump chain" `Quick (fun () ->
+        (* entry -> mid -> (bad): the bad jump sits in a block only
+           reachable through another jump. *)
+        expect_lower_error ~sub:"nowhere"
+          (bad_funcs
+             Ir.Types.
+               [
+                 ( "main", [],
+                   [
+                     ("entry", [ Jmp "mid" ]);
+                     ("mid", [ Jmp "nowhere" ]);
+                   ] );
+               ]));
+    Alcotest.test_case "bad label behind a branch arm" `Quick (fun () ->
+        expect_lower_error ~sub:"nowhere"
+          (bad_funcs
+             Ir.Types.
+               [
+                 ( "main", [],
+                   [
+                     ( "entry",
+                       [
+                         Assign ("c", Mov (Imm 0));
+                         Branch (Reg "c", "t", "f");
+                       ] );
+                     ("t", [ Jmp "nowhere" ]);
+                     ("f", [ Ret None ]);
+                   ] );
+               ]));
+    Alcotest.test_case "bad label in an unreachable block" `Quick (fun () ->
+        (* no control flow reaches [dead], but lowering is eager *)
+        expect_lower_error ~sub:"nowhere"
+          (bad_funcs
+             Ir.Types.
+               [
+                 ( "main", [],
+                   [
+                     ("entry", [ Ret None ]);
+                     ("dead", [ Jmp "nowhere" ]);
+                   ] );
+               ]));
+    Alcotest.test_case "bad label in a spawned thread routine" `Quick
+      (fun () ->
+        (* the routine is entered only indirectly, through Spawn *)
+        expect_lower_error ~sub:"wnowhere"
+          (bad_funcs
+             Ir.Types.
+               [
+                 ( "main", [],
+                   [
+                     ( "entry",
+                       [
+                         Spawn ("t", "worker", []);
+                         Join (Reg "t");
+                         Ret None;
+                       ] );
+                   ] );
+                 ( "worker", [],
+                   [
+                     ("entry", [ Jmp "wnowhere" ]);
+                     ("w2", [ Ret None ]);
+                   ] );
+               ]));
+    Alcotest.test_case "spawn of an undefined routine" `Quick (fun () ->
+        expect_lower_error ~sub:"ghost"
+          (bad_program
+             Ir.Types.[ Spawn ("t", "ghost", []); Ret None ]));
+    Alcotest.test_case "call to an undefined function" `Quick (fun () ->
+        expect_lower_error ~sub:"ghost"
+          (bad_program
+             Ir.Types.[ Call (Some "x", "ghost", []); Ret None ]));
+    Alcotest.test_case "unknown global" `Quick (fun () ->
+        expect_lower_error ~sub:"gmissing"
+          (bad_program
+             Ir.Types.[ Load_global ("x", "gmissing"); Ret None ]));
+    Alcotest.test_case "unknown builtin" `Quick (fun () ->
+        expect_lower_error ~sub:"frobnicate"
+          (bad_program
+             Ir.Types.[ Builtin (None, "frobnicate", []); Ret None ]));
+    Alcotest.test_case "undefined main function" `Quick (fun () ->
+        expect_lower_error ~sub:"nomain"
+          (bad_funcs ~main:"nomain"
+             Ir.Types.[ ("main", [], [ ("entry", [ Ret None ]) ]) ]));
   ]
 
 let () =

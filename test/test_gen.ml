@@ -1,4 +1,4 @@
-(* Property tests over randomly generated programs (Tsupport.Gen_prog):
+(* Property tests over randomly generated programs [Fuzz.Gen]:
    interpreter safety, PT round-trip fidelity, instrumentation
    coverage, and slicer invariants hold for arbitrary well-formed
    code, not just the hand-written corpus. *)
@@ -8,7 +8,7 @@ module I = Exec.Interp
 let seed_arb = QCheck.(int_bound 100_000)
 
 let run_random seed run_seed =
-  let program = Tsupport.Gen_prog.random seed in
+  let program = Fuzz.Gen.random seed in
   ( program,
     Exec.Interp.run ~record_gt:true ~max_steps:100_000 program
       (I.workload ~args:[ Exec.Value.VInt (seed mod 7) ] run_seed) )
@@ -37,7 +37,7 @@ let pt_props =
       ~name:"PT round trip: decode equals execution on random programs"
       ~count:200 seed_arb
       (fun seed ->
-        let program = Tsupport.Gen_prog.random seed in
+        let program = Fuzz.Gen.random seed in
         let counters = Exec.Cost.create () in
         let pt = Hw.Pt.create counters in
         let hooks = Instrument.Runtime.full_tracing_hooks ~pt in
@@ -61,7 +61,7 @@ let coverage_props =
       ~count:150
       QCheck.(pair seed_arb (int_range 1 6))
       (fun (seed, stride) ->
-        let program = Tsupport.Gen_prog.random seed in
+        let program = Fuzz.Gen.random seed in
         let all =
           Ir.Program.all_instrs program
           |> List.map (fun (x : Ir.Types.instr) -> x.iid)
@@ -97,7 +97,7 @@ let slicing_props =
   [
     QCheck.Test.make ~name:"slice contains the failing statement first"
       ~count:150 seed_arb (fun seed ->
-        let program = Tsupport.Gen_prog.random seed in
+        let program = Fuzz.Gen.random seed in
         let _, res = run_random seed 1 in
         (* slice from the last executed instruction *)
         match List.rev res.I.executed with
@@ -114,7 +114,7 @@ let slicing_props =
     QCheck.Test.make ~name:"take is a prefix of the slice order" ~count:150
       QCheck.(pair seed_arb (int_range 1 12))
       (fun (seed, n) ->
-        let program = Tsupport.Gen_prog.random seed in
+        let program = Fuzz.Gen.random seed in
         let _, res = run_random seed 1 in
         match List.rev res.I.executed with
         | [] -> true
@@ -136,7 +136,7 @@ let mt_props =
       ~count:150
       QCheck.(pair (int_bound 100_000) (int_bound 500))
       (fun (seed, run_seed) ->
-        let program = Tsupport.Gen_prog.random_threaded seed in
+        let program = Fuzz.Gen.random_threaded seed in
         let res =
           Exec.Interp.run ~max_steps:100_000 program
             (I.workload ~args:[ Exec.Value.VInt (seed mod 5) ] run_seed)
@@ -147,7 +147,7 @@ let mt_props =
       ~count:120
       QCheck.(pair (int_bound 100_000) (int_bound 500))
       (fun (seed, run_seed) ->
-        let program = Tsupport.Gen_prog.random_threaded seed in
+        let program = Fuzz.Gen.random_threaded seed in
         let counters = Exec.Cost.create () in
         let pt = Hw.Pt.create counters in
         let hooks = Instrument.Runtime.full_tracing_hooks ~pt in
@@ -168,7 +168,7 @@ let mt_props =
       ~name:"record/replay reproduces racy random programs" ~count:80
       QCheck.(pair (int_bound 100_000) (int_bound 500))
       (fun (seed, run_seed) ->
-        let program = Tsupport.Gen_prog.random_threaded seed in
+        let program = Fuzz.Gen.random_threaded seed in
         let rec_ =
           Baseline.Rr.record ~max_steps:100_000 program
             (I.workload ~args:[ Exec.Value.VInt 3 ] run_seed)
@@ -178,7 +178,7 @@ let mt_props =
       ~name:"coverage invariant under racy interleavings" ~count:80
       QCheck.(pair (int_bound 100_000) (int_range 1 5))
       (fun (seed, stride) ->
-        let program = Tsupport.Gen_prog.random_threaded seed in
+        let program = Fuzz.Gen.random_threaded seed in
         let all =
           Ir.Program.all_instrs program
           |> List.map (fun (x : Ir.Types.instr) -> x.iid)
@@ -214,7 +214,7 @@ let rr_props =
   [
     QCheck.Test.make ~name:"record/replay reproduces random programs"
       ~count:100 seed_arb (fun seed ->
-        let program = Tsupport.Gen_prog.random seed in
+        let program = Fuzz.Gen.random seed in
         let rec_ =
           Baseline.Rr.record ~max_steps:100_000 program
             (I.workload ~args:[ Exec.Value.VInt 3 ] 5)

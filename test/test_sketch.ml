@@ -95,6 +95,108 @@ let rendering =
           (Astring.String.is_infix ~affix:"{null}" (Fsketch.Render.render s)));
   ]
 
+(* Degenerate and oversized inputs: the renderer and exporter must
+   stay total whatever the pipeline hands them. *)
+let adversarial =
+  let balanced json =
+    let depth = ref 0 and ok = ref true and in_str = ref false in
+    String.iteri
+      (fun k c ->
+        if !in_str then begin
+          if c = '"' && json.[k - 1] <> '\\' then in_str := false
+        end
+        else
+          match c with
+          | '"' -> in_str := true
+          | '{' | '[' -> incr depth
+          | '}' | ']' ->
+            decr depth;
+            if !depth < 0 then ok := false
+          | _ -> ())
+      json;
+    !ok && !depth = 0
+  in
+  [
+    Alcotest.test_case "empty slice still renders and exports" `Quick
+      (fun () ->
+        let s = build [] in
+        let out = Fsketch.Render.render s in
+        Alcotest.(check bool) "header" true
+          (Astring.String.is_infix ~affix:"Failure Sketch for test" out);
+        Alcotest.(check bool) "failure line" true
+          (Astring.String.is_infix ~affix:"Failure: segfault" out);
+        Alcotest.(check (list int)) "no steps" [] (Sk.statement_order s);
+        let json = Fsketch.Export.to_json s in
+        Alcotest.(check bool) "balanced json" true (balanced json);
+        Alcotest.(check bool) "empty steps array" true
+          (Astring.String.is_infix ~affix:{|"steps":[]|} json));
+    Alcotest.test_case "thread with an empty slice renders" `Quick
+      (fun () ->
+        let s = build [ (1, []); (2, [ 3 ]) ] in
+        let out = Fsketch.Render.render s in
+        Alcotest.(check bool) "t1 column" true
+          (Astring.String.is_infix ~affix:"Thread T1" out);
+        Alcotest.(check (list int)) "only t2's step" [ 3 ]
+          (Sk.statement_order s);
+        Alcotest.(check bool) "balanced" true
+          (balanced (Fsketch.Export.to_json s)));
+    Alcotest.test_case "single thread needs no traps to order" `Quick
+      (fun () ->
+        let s = build [ (1, [ 1; 2; 3; 4; 5 ]) ] in
+        Alcotest.(check (list int)) "program order" [ 1; 2; 3; 4; 5 ]
+          (Sk.statement_order s);
+        Alcotest.(check bool) "balanced" true
+          (balanced (Fsketch.Export.to_json s)));
+    Alcotest.test_case "more trap sites than debug registers" `Quick
+      (fun () ->
+        (* Six watchpoint candidates across three threads — more than
+           the four DR slots; the builder must keep the full trap
+           order, the hardware cap is the monitor's problem. *)
+        let traps =
+          [
+            trap 1 3 5; trap 2 1 1; trap 3 2 3; trap 4 1 2; trap 5 3 6;
+            trap 6 2 4;
+          ]
+        in
+        let s =
+          build ~traps [ (1, [ 1; 2 ]); (2, [ 3; 4 ]); (3, [ 5; 6 ]) ]
+        in
+        Alcotest.(check (list int)) "trap-sequenced order"
+          [ 5; 1; 3; 2; 6; 4 ] (Sk.statement_order s);
+        let out = Fsketch.Render.render s in
+        List.iter
+          (fun needle ->
+            if not (Astring.String.is_infix ~affix:needle out) then
+              Alcotest.failf "missing %S" needle)
+          [ "Thread T1"; "Thread T2"; "Thread T3" ];
+        Alcotest.(check bool) "balanced" true
+          (balanced (Fsketch.Export.to_json s)));
+    Alcotest.test_case "trap for a statement outside the slice" `Quick
+      (fun () ->
+        (* watchpoints can fire on statements AsT later dropped *)
+        let traps = [ trap 1 2 6; trap 2 1 3 ] in
+        let s = build ~traps [ (1, [ 3 ]); (2, [ 4 ]) ] in
+        Alcotest.(check bool) "renders" true
+          (String.length (Fsketch.Render.render s) > 0);
+        Alcotest.(check bool) "balanced" true
+          (balanced (Fsketch.Export.to_json s)));
+    Alcotest.test_case "predictor on a statement outside the steps" `Quick
+      (fun () ->
+        let ranked =
+          Predict.Stats.rank
+            [
+              { predictors = [ Predict.Predictor.Data_value (6, "9") ];
+                failing = true };
+            ]
+        in
+        let s = build ~ranked [ (1, [ 1; 2 ]) ] in
+        let out = Fsketch.Render.render s in
+        Alcotest.(check bool) "predictor listed" true
+          (Astring.String.is_infix ~affix:"Top failure predictors" out);
+        Alcotest.(check bool) "balanced" true
+          (balanced (Fsketch.Export.to_json s)));
+  ]
+
 let kendall =
   [
     Alcotest.test_case "identical orders: tau = 0" `Quick (fun () ->
@@ -226,6 +328,7 @@ let () =
     [
       ("construction", construction);
       ("rendering", rendering);
+      ("adversarial", adversarial);
       ("kendall-tau", kendall);
       ("accuracy", accuracy);
       ("export", export);

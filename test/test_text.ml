@@ -24,7 +24,7 @@ let roundtrips =
       QCheck_alcotest.to_alcotest
         (QCheck.Test.make ~name:"round trip on random programs" ~count:200
            QCheck.(int_bound 100_000)
-           (fun seed -> roundtrip_equal (Tsupport.Gen_prog.random seed)));
+           (fun seed -> roundtrip_equal (Fuzz.Gen.random seed)));
     ]
 
 let behaviour =
