@@ -333,6 +333,222 @@ let run_fuzz () =
     (if par_s > 0.0 then seq_s /. par_s else 0.0)
 
 (* ------------------------------------------------------------------ *)
+(* PR 4 robustness report: the cost of the always-on report protocol
+   (seal + validate on every delivery) at fault rate 0 — the < 2%
+   budget — and the fleet's behaviour under a seeded fault sweep,
+   emitted as BENCH_PR4.json with a [vs_pr2] block against the
+   committed BENCH_PR2.json baseline. *)
+
+let pr2_baseline () =
+  let candidates =
+    [
+      "BENCH_PR2.json";
+      "../BENCH_PR2.json";
+      "../../BENCH_PR2.json";
+      "../../../BENCH_PR2.json";
+    ]
+  in
+  match List.find_opt Sys.file_exists candidates with
+  | Some path -> json_numbers path
+  | None -> []
+
+let run_faults ?(smoke = false) () =
+  let bug = Bugbase.Pbzip2.bug in
+  let _, failure = Option.get (Bugbase.Common.find_target_failure bug) in
+  let tracked =
+    Slicing.Slicer.take (Slicing.Slicer.compute bug.program failure) 8
+  in
+  let plan = Instrument.Place.compute bug.program tracked in
+  let plan_id = Instrument.Plan.id plan in
+  let n_instrs =
+    1
+    + List.fold_left
+        (fun m (i : Ir.Types.instr) -> max m i.iid)
+        0
+        (Ir.Program.all_instrs bug.program)
+  in
+  let client () =
+    Gist.Client.run_one ~plan ~wp_allowed:plan.Instrument.Plan.wp_targets
+      ~preempt_prob:bug.preempt_prob bug.program (bug.workload_of 0)
+  in
+  let report = client () in
+  (* Protocol cost per delivery, relative to the client run it wraps:
+     this ratio is the validation overhead a zero-fault fleet pays. *)
+  let reps = if smoke then 300 else 3000 in
+  let (), run_s = time_wall (fun () ->
+      for _ = 1 to reps / 10 do ignore (client ()) done)
+  in
+  let (), proto_s = time_wall (fun () ->
+      for c = 1 to reps do
+        let env = Gist.Protocol.seal ~client:c ~plan_id report in
+        ignore (Gist.Protocol.validate ~n_instrs ~plan_id env)
+      done)
+  in
+  let run_ns = 1e9 *. run_s /. float_of_int (reps / 10) in
+  let proto_ns = 1e9 *. proto_s /. float_of_int reps in
+  let per_run_pct = 100.0 *. proto_ns /. run_ns in
+  Printf.printf
+    "PR4 faults: seal+validate %.0f ns vs client run %.0f ns \
+     (%.3f%% of a delivery)\n"
+    proto_ns run_ns per_run_pct;
+  (* End-to-end fault sweep over the whole registry. *)
+  let bugs =
+    if smoke then List.filteri (fun i _ -> i < 2) Bugbase.Registry.all
+    else Bugbase.Registry.all
+  in
+  let sweep_rates = [ 0.0; 0.05; 0.10 ] in
+  let sweep =
+    List.map
+      (fun rate ->
+        let stats = ref Gist.Server.{
+            f_dispatched = 0; f_delivered = 0; f_valid = 0; f_lost = 0;
+            f_rejected = 0; f_retried = 0; f_quarantined = 0;
+            f_degraded_iters = 0; f_by_kind = []; f_by_reason = [] }
+        in
+        let online = ref 0.0 in
+        let (), wall_s =
+          time_wall (fun () ->
+              List.iter
+                (fun (b : Bugbase.Common.t) ->
+                  let _, failure =
+                    Option.get (Bugbase.Common.find_target_failure b)
+                  in
+                  let config =
+                    {
+                      Gist.Config.default with
+                      preempt_prob = b.preempt_prob;
+                      fault_rates = Faults.Fault.spread rate;
+                      fault_seed = 42;
+                    }
+                  in
+                  let d =
+                    Gist.Server.diagnose ~config
+                      ~oracle:(Experiments.Oracle.for_bug b)
+                      ~bug_name:b.name ~failure_type:b.failure_type
+                      ~program:b.program ~workload_of:b.workload_of ~failure
+                      ()
+                  in
+                  let f = d.Gist.Server.fleet in
+                  online := !online +. d.Gist.Server.online_time_s;
+                  stats :=
+                    Gist.Server.{
+                      f_dispatched = !stats.f_dispatched + f.f_dispatched;
+                      f_delivered = !stats.f_delivered + f.f_delivered;
+                      f_valid = !stats.f_valid + f.f_valid;
+                      f_lost = !stats.f_lost + f.f_lost;
+                      f_rejected = !stats.f_rejected + f.f_rejected;
+                      f_retried = !stats.f_retried + f.f_retried;
+                      f_quarantined = !stats.f_quarantined + f.f_quarantined;
+                      f_degraded_iters =
+                        !stats.f_degraded_iters + f.f_degraded_iters;
+                      f_by_kind = []; f_by_reason = [] })
+                bugs)
+        in
+        let f = !stats in
+        Printf.printf
+          "PR4 faults: rate %4.0f%%: %d bugs in %.3fs (simulated online \
+           %.1fs) -- %d dispatched, %d lost, %d rejected, %d retried, %d \
+           quarantined, %d degraded iterations\n"
+          (100.0 *. rate) (List.length bugs) wall_s !online
+          f.Gist.Server.f_dispatched f.Gist.Server.f_lost
+          f.Gist.Server.f_rejected f.Gist.Server.f_retried
+          f.Gist.Server.f_quarantined f.Gist.Server.f_degraded_iters;
+        (rate, wall_s, !online, f))
+      sweep_rates
+  in
+  (* The budget number: the protocol's share of a whole zero-fault
+     diagnosis — per-delivery seal+validate cost times deliveries,
+     over the measured wall time (a diagnosis also probes for the
+     failure, slices, places instrumentation and ranks predictors, so
+     this is far below the per-delivery ratio). *)
+  let overhead_pct =
+    match sweep with
+    | (0.0, wall_s, _, f) :: _ when wall_s > 0.0 ->
+      100.0
+      *. (float_of_int f.Gist.Server.f_dispatched *. proto_ns /. 1e9)
+      /. wall_s
+    | _ -> 0.0
+  in
+  Printf.printf
+    "PR4 faults: validation overhead at rate 0: %.3f%% of end-to-end \
+     diagnosis (budget 2%%)\n"
+    overhead_pct;
+  (* Campaign accuracy at the acceptance point: 10% aggregate. *)
+  let count = if smoke then 9 else 27 in
+  let jobs = max 2 (Parallel.Jobs.default ()) in
+  let campaign, campaign_s =
+    time_wall (fun () ->
+        Fuzz.Runner.run ~jobs ~shrink:false
+          ~faults:(Faults.Fault.spread 0.10, 42)
+          ~seed:42 ~count ())
+  in
+  Printf.printf
+    "PR4 faults: campaign of %d at 10%% faults: accuracy %.3f \
+     (worst pattern %.3f) in %.3fs\n"
+    count
+    (Fuzz.Runner.overall_accuracy campaign)
+    (Fuzz.Runner.min_pattern_accuracy campaign)
+    campaign_s;
+  if not smoke then begin
+    let pr2 = pr2_baseline () in
+    let zero_wall =
+      match sweep with (0.0, w, _, _) :: _ -> w | _ -> 0.0
+    in
+    let buf = Buffer.create 2048 in
+    Buffer.add_string buf "{\n";
+    Printf.bprintf buf "  \"pr\": 4,\n";
+    Printf.bprintf buf "  \"available_cores\": %d,\n"
+      (Parallel.Jobs.available ());
+    Printf.bprintf buf
+      "  \"protocol\": {\"seal_validate_ns\": %.0f, \"client_run_ns\": \
+       %.0f, \"per_delivery_pct\": %.4f, \"validation_overhead_pct\": \
+       %.4f, \"budget_pct\": 2.0},\n"
+      (json_num proto_ns) (json_num run_ns) (json_num per_run_pct)
+      (json_num overhead_pct);
+    Buffer.add_string buf "  \"sweep\": [\n";
+    List.iteri
+      (fun i (rate, wall_s, online, (f : Gist.Server.fleet_stats)) ->
+        Printf.bprintf buf
+          "    {\"aggregate_rate\": %.2f, \"bugs\": %d, \"wall_s\": %.4f, \
+           \"online_s\": %.2f, \"dispatched\": %d, \"lost\": %d, \
+           \"rejected\": %d, \"retried\": %d, \"quarantined\": %d, \
+           \"degraded_iterations\": %d}%s\n"
+          rate (List.length bugs) (json_num wall_s) (json_num online)
+          f.f_dispatched f.f_lost f.f_rejected f.f_retried f.f_quarantined
+          f.f_degraded_iters
+          (if i = List.length sweep - 1 then "" else ","))
+      sweep;
+    Buffer.add_string buf "  ],\n";
+    Printf.bprintf buf
+      "  \"campaign\": {\"count\": %d, \"aggregate_rate\": 0.10, \
+       \"accuracy\": %.4f, \"min_pattern_accuracy\": %.4f, \"wall_s\": \
+       %.4f}%s\n"
+      count
+      (json_num (Fuzz.Runner.overall_accuracy campaign))
+      (json_num (Fuzz.Runner.min_pattern_accuracy campaign))
+      (json_num campaign_s)
+      (if pr2 = [] then "" else ",");
+    (* The zero-fault sweep repeats PR2's sequential diagnosis of the
+       whole registry, now with every report sealed and validated:
+       the ratio is the end-to-end price of the protocol. *)
+    if pr2 <> [] then begin
+      let vs key now =
+        match List.assoc_opt key pr2 with
+        | Some base when base > 0.0 && now > 0.0 -> now /. base
+        | _ -> 0.0
+      in
+      Printf.bprintf buf
+        "  \"vs_pr2\": {\"diagnosis_sequential_ratio\": %.3f}\n"
+        (json_num (vs "sequential_s" zero_wall))
+    end;
+    Buffer.add_string buf "}\n";
+    let oc = open_out "BENCH_PR4.json" in
+    output_string oc (Buffer.contents buf);
+    close_out oc;
+    Printf.printf "PR4 faults: wrote %s/BENCH_PR4.json\n%!" (Sys.getcwd ())
+  end
+
+(* ------------------------------------------------------------------ *)
 
 let experiments =
   [
@@ -347,7 +563,11 @@ let experiments =
     ("micro", run_micro);
     ("fuzz", run_fuzz);
     ("perf", fun () -> run_perf ());
-    ("smoke", fun () -> run_perf ~smoke:true ());
+    ("faults", fun () -> run_faults ());
+    ("smoke",
+     fun () ->
+       run_perf ~smoke:true ();
+       run_faults ~smoke:true ());
   ]
 
 let () =

@@ -33,6 +33,102 @@ let resolve_jobs = function
   | Some n -> min (max 0 n) (Parallel.Jobs.available ())
   | None -> Parallel.Jobs.effective ()
 
+(* Exit codes: 1 = usage/other error, 2 = program under test failed,
+   3 = no failing run found (nothing to diagnose). *)
+let exit_no_failure = 3
+
+(* ------------------------------------------------------------------ *)
+(* Fault-injection knobs, shared by diagnose and fuzz.  [--faults]
+   alone spreads a 10% aggregate rate uniformly over the taxonomy;
+   [--fault-rate] picks the aggregate; per-kind flags override the
+   spread for their kind. *)
+
+let faults_flag =
+  Arg.(
+    value & flag
+    & info [ "faults" ]
+        ~doc:
+          "Enable seeded fault injection against the simulated fleet \
+           (default aggregate rate 0.10, spread uniformly over the seven \
+           fault kinds).")
+
+let fault_rate_arg =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "fault-rate" ] ~docv:"P"
+        ~doc:
+          "Aggregate per-dispatch fault probability, spread uniformly over \
+           the seven fault kinds; implies $(b,--faults).")
+
+let fault_seed_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "fault-seed" ] ~docv:"N"
+        ~doc:
+          "Seed of the fault-injection stream, independent of run seeds; \
+           every injection decision is a pure function of (seed, client, \
+           attempt), so campaigns replay bit-identically.")
+
+let per_kind_term =
+  List.fold_left
+    (fun acc kind ->
+      let name = "fault-" ^ Faults.Fault.kind_name kind in
+      let arg =
+        Arg.(
+          value
+          & opt (some float) None
+          & info [ name ] ~docv:"P"
+              ~doc:
+                (Printf.sprintf
+                   "Per-dispatch probability of a %s fault; implies \
+                    $(b,--faults)."
+                   (Faults.Fault.kind_name kind)))
+      in
+      Term.(const (fun l v -> (kind, v) :: l) $ acc $ arg))
+    (Term.const []) Faults.Fault.all_kinds
+
+let faults_term =
+  Term.(
+    const (fun enabled rate fseed per_kind ->
+        let clamp r = min 1.0 (max 0.0 r) in
+        let per_kind =
+          List.filter_map
+            (fun (k, v) -> Option.map (fun r -> (k, clamp r)) v)
+            per_kind
+        in
+        if (not enabled) && rate = None && per_kind = [] then None
+        else
+          let base =
+            match rate with
+            | Some r -> Faults.Fault.spread (clamp r)
+            | None ->
+              if per_kind = [] then Faults.Fault.spread 0.10
+              else Faults.Fault.zero
+          in
+          let rates =
+            List.fold_left
+              (fun acc (k, r) -> Faults.Fault.with_rate acc k r)
+              base per_kind
+          in
+          Some (rates, fseed))
+    $ faults_flag $ fault_rate_arg $ fault_seed_arg $ per_kind_term)
+
+let print_fleet (f : Gist.Server.fleet_stats) =
+  Printf.printf
+    "fleet: %d dispatched, %d delivered, %d valid; %d lost, %d rejected, %d \
+     retried, %d quarantined, %d degraded iteration(s)\n"
+    f.f_dispatched f.f_delivered f.f_valid f.f_lost f.f_rejected f.f_retried
+    f.f_quarantined f.f_degraded_iters;
+  let line label l =
+    if l <> [] then
+      Printf.printf "  %s: %s\n" label
+        (String.concat ", "
+           (List.map (fun (k, v) -> Printf.sprintf "%s=%d" k v) l))
+  in
+  line "injected" f.f_by_kind;
+  line "rejections" f.f_by_reason
+
 (* ------------------------------------------------------------------ *)
 
 let list_cmd =
@@ -71,14 +167,16 @@ let json_arg =
   let doc = "Emit the sketch as JSON instead of the ASCII rendering." in
   Arg.(value & flag & info [ "json" ] ~doc)
 
-let diagnose_run name sigma0 no_cf no_df verbose json jobs =
+let diagnose_run name sigma0 no_cf no_df verbose json jobs faults =
   match find_bug name with
   | Error e -> prerr_endline e; 1
   | Ok bug -> (
     match Bugbase.Common.find_target_failure bug with
     | None ->
-      prerr_endline "the target failure did not manifest in production";
-      1
+      prerr_endline
+        "no failing run found: the target failure did not manifest in any \
+         probed production run; nothing to diagnose";
+      exit_no_failure
     | Some (_, failure) ->
       Printf.printf "failure report: %s\n\n"
         (Exec.Failure.report_to_string failure);
@@ -90,6 +188,12 @@ let diagnose_run name sigma0 no_cf no_df verbose json jobs =
           enable_df = not no_df;
           preempt_prob = bug.preempt_prob;
         }
+      in
+      let config =
+        match faults with
+        | None -> config
+        | Some (rates, fault_seed) ->
+          { config with Gist.Config.fault_rates = rates; fault_seed }
       in
       let d =
         Parallel.Pool.with_pool ~jobs:(resolve_jobs jobs) (fun pool ->
@@ -103,10 +207,23 @@ let diagnose_run name sigma0 no_cf no_df verbose json jobs =
         Fmt.pr "%a@." Slicing.Slicer.pp d.slice;
         List.iter
           (fun (it : Gist.Server.iteration_info) ->
+            (* The fleet-health suffix is empty on a healthy fleet, so
+               zero-fault output is unchanged. *)
+            let health =
+              if
+                it.it_lost + it.it_rejected + it.it_quarantined = 0
+                && not it.it_degraded
+              then ""
+              else
+                Printf.sprintf " lost=%d rejected=%d quarantined=%d%s"
+                  it.it_lost it.it_rejected it.it_quarantined
+                  (if it.it_degraded then " DEGRADED" else "")
+            in
             Printf.printf
-              "iteration: sigma=%d tracked=%d fails=%d succs=%d overhead=%.2f%%\n"
+              "iteration: sigma=%d tracked=%d fails=%d succs=%d \
+               overhead=%.2f%%%s\n"
               it.it_sigma it.it_tracked it.it_fails it.it_succs
-              it.it_avg_overhead)
+              it.it_avg_overhead health)
           d.trace;
         print_newline ()
       end;
@@ -116,6 +233,16 @@ let diagnose_run name sigma0 no_cf no_df verbose json jobs =
           "diagnosis: %d iterations, %d failure recurrences, %d monitored \
            runs, %.2f%% fleet overhead\n\n"
           d.iterations d.recurrences d.total_runs d.avg_overhead_pct;
+        (let f = d.fleet in
+         if
+           faults <> None
+           || f.Gist.Server.f_lost + f.Gist.Server.f_rejected
+              + f.Gist.Server.f_quarantined + f.Gist.Server.f_degraded_iters
+              > 0
+         then begin
+           print_fleet f;
+           print_newline ()
+         end);
         Fsketch.Render.print d.sketch;
         let acc =
           Fsketch.Accuracy.of_sketch d.sketch ~ideal:(Bugbase.Common.ideal bug)
@@ -133,7 +260,7 @@ let diagnose_cmd =
        ~doc:"Diagnose a Bugbase failure end-to-end and print its sketch")
     Term.(
       const diagnose_run $ bug_arg $ sigma0_arg $ no_cf_arg $ no_df_arg
-      $ verbose_arg $ json_arg $ jobs_arg)
+      $ verbose_arg $ json_arg $ jobs_arg $ faults_term)
 
 (* ------------------------------------------------------------------ *)
 
@@ -142,7 +269,11 @@ let slice_run name =
   | Error e -> prerr_endline e; 1
   | Ok bug -> (
     match Bugbase.Common.find_target_failure bug with
-    | None -> prerr_endline "no target failure"; 1
+    | None ->
+      prerr_endline
+        "no failing run found: the target failure did not manifest in any \
+         probed production run; nothing to slice from";
+      exit_no_failure
     | Some (_, failure) ->
       let slice = Slicing.Slicer.compute bug.program failure in
       Printf.printf "static backward slice: %d IR instructions / %d lines\n"
@@ -319,8 +450,8 @@ let fuzz_replay path =
 (* Corpus generation: fuzz until [count] correctly diagnosed cases are
    in hand, shrink each while it *stays* correctly diagnosed, and save
    the minimal programs with their ground truth. *)
-let fuzz_gen_corpus dir seed count jobs =
-  let report = Fuzz.Runner.run ~jobs ~shrink:false ~seed ~count () in
+let fuzz_gen_corpus dir seed count jobs faults =
+  let report = Fuzz.Runner.run ~jobs ~shrink:false ?faults ~seed ~count () in
   let correct =
     List.filter
       (fun (cr : Fuzz.Runner.case_report) ->
@@ -332,6 +463,11 @@ let fuzz_gen_corpus dir seed count jobs =
         Parallel.Pool.map pool
           (fun (cr : Fuzz.Runner.case_report) ->
             let case = Fuzz.Gen.generate cr.cr_pattern cr.cr_seed in
+            let case =
+              match faults with
+              | None -> case
+              | Some _ -> { case with Fuzz.Gen.c_faults = faults }
+            in
             (Fuzz.Shrink.run case Fuzz.Check.Correct).Fuzz.Shrink.shrunk)
           correct)
   in
@@ -341,14 +477,14 @@ let fuzz_gen_corpus dir seed count jobs =
   if List.length shrunk = count then 0 else 1
 
 let fuzz_run seed count jobs json no_shrink min_accuracy save_failures
-    gen_corpus replay =
+    gen_corpus replay faults =
   let jobs = resolve_jobs jobs in
   match (replay, gen_corpus) with
   | Some path, _ -> fuzz_replay path
-  | None, Some dir -> fuzz_gen_corpus dir seed count jobs
+  | None, Some dir -> fuzz_gen_corpus dir seed count jobs faults
   | None, None ->
     let report =
-      Fuzz.Runner.run ~jobs ~shrink:(not no_shrink) ~seed ~count ()
+      Fuzz.Runner.run ~jobs ~shrink:(not no_shrink) ?faults ~seed ~count ()
     in
     if json then print_string (Fuzz.Runner.to_json report)
     else Fmt.pr "%a" Fuzz.Runner.pp report;
@@ -417,7 +553,7 @@ let fuzz_cmd =
           each end-to-end; score the sketches against the ground truth")
     Term.(
       const fuzz_run $ seed $ count $ jobs_arg $ json $ no_shrink
-      $ min_accuracy $ save_failures $ gen_corpus $ replay)
+      $ min_accuracy $ save_failures $ gen_corpus $ replay $ faults_term)
 
 (* ------------------------------------------------------------------ *)
 

@@ -17,6 +17,7 @@ type report = {
   r_base_cycles : float;   (* un-instrumented work, cost-model cycles *)
   r_extra_cycles : float;  (* PT + watchpoint cycles added by Gist *)
   r_steps : int;
+  r_pt_errors : (int * Hw.Pt.error) list; (* per-tid decode faults *)
 }
 
 let failing r = r.r_signature <> None
@@ -39,7 +40,7 @@ let redact_trap (t : Hw.Watchpoint.trap) =
    paper's hardware watchpoints and the §6 PTWRITE extension (data
    packets in the PT stream: no register budget, no rotation). *)
 let run_one ?(wp_capacity = 4) ?(preempt_prob = 0.35) ?(max_steps = 400_000)
-    ?(data_source = Config.Watchpoints) ?(redact = false)
+    ?(data_source = Config.Watchpoints) ?(redact = false) ?tamper
     ~(plan : Instrument.Plan.t) ~wp_allowed program
     (w : Exec.Interp.workload) : report =
   let counters = Exec.Cost.create () in
@@ -54,7 +55,24 @@ let run_one ?(wp_capacity = 4) ?(preempt_prob = 0.35) ?(max_steps = 400_000)
     Exec.Interp.run ~hooks ~counters ~max_steps ~preempt_prob program w
   in
   Hw.Pt.finish pt;
-  let decoded = Hw.Pt.decode_all pt program in
+  (* Decode each stream through the checked decoder: the fault layer's
+     [tamper] hook damages the raw packets first (in-ring harm, before
+     the report is sealed), and a damaged stream yields its clean
+     decoded prefix plus a typed error the server validates against. *)
+  let decoded, pt_errors =
+    List.fold_left
+      (fun (ds, es) tid ->
+        let packets = Hw.Pt.packets_of pt tid in
+        let packets =
+          match tamper with None -> packets | Some f -> f ~tid packets
+        in
+        let d, err = Hw.Pt.decode_checked program packets in
+        ( (tid, d) :: ds,
+          match err with None -> es | Some e -> (tid, e) :: es ))
+      ([], []) (Hw.Pt.all_tids pt)
+  in
+  let decoded = List.rev decoded in
+  let pt_errors = List.rev pt_errors in
   let signature =
     match result.outcome with
     | Exec.Interp.Failed rep -> Some (Exec.Failure.signature rep)
@@ -129,6 +147,7 @@ let run_one ?(wp_capacity = 4) ?(preempt_prob = 0.35) ?(max_steps = 400_000)
     r_extra_cycles =
       Exec.Cost.pt_extra_cycles counters +. Exec.Cost.wp_extra_cycles counters;
     r_steps = result.steps;
+    r_pt_errors = pt_errors;
   }
 
 (* All statements this run is known to have executed. *)

@@ -20,6 +20,9 @@ type report = {
   r_base_cycles : float;   (** un-instrumented work, cost-model cycles *)
   r_extra_cycles : float;  (** PT + watchpoint cycles added by Gist *)
   r_steps : int;
+  r_pt_errors : (int * Hw.Pt.error) list;
+      (** per-thread decode faults: non-empty when the PT ring was
+          damaged; the decoded prefix is still reported *)
 }
 
 val failing : report -> bool
@@ -32,14 +35,16 @@ val redact_value : Exec.Value.t -> Exec.Value.t
     client.  [wp_allowed] is this client's share of the cooperative
     watchpoint rotation.  [data_source] (default [Watchpoints]) selects
     the §6 PTWRITE extension instead of debug registers; [redact]
-    (default false) hashes string values before they leave the
-    client. *)
+    (default false) hashes string values before they leave the client;
+    [tamper] (fault injection) damages a thread's raw packet stream
+    before decoding, as if the PT ring itself were harmed. *)
 val run_one :
   ?wp_capacity:int ->
   ?preempt_prob:float ->
   ?max_steps:int ->
   ?data_source:Config.data_source ->
   ?redact:bool ->
+  ?tamper:(tid:int -> Hw.Pt.packet list -> Hw.Pt.packet list) ->
   plan:Instrument.Plan.t ->
   wp_allowed:iid list ->
   program ->

@@ -22,6 +22,12 @@ type t = {
   data_source : data_source; (* extension: Ptwrite replaces watchpoints *)
   range_predicates : bool;   (* extension: mine §6 range/inequality predicates *)
   redact_values : bool;      (* extension: hash string values leaving clients *)
+  fault_rates : Faults.Fault.rates; (* injected fleet faults (zero = off) *)
+  fault_seed : int;          (* fault-injection stream, independent of run seeds *)
+  max_retries : int;         (* re-dispatches per client slot before quarantine *)
+  retry_backoff_s : float;   (* base of the exponential retry backoff (simulated) *)
+  straggler_timeout_s : float; (* give-up deadline per dispatch (simulated) *)
+  quorum_frac : float;       (* valid-report fraction below which an iteration degrades *)
 }
 
 let default =
@@ -39,4 +45,10 @@ let default =
     data_source = Watchpoints;
     range_predicates = false;
     redact_values = false;
+    fault_rates = Faults.Fault.zero;
+    fault_seed = 1;
+    max_retries = 2;
+    retry_backoff_s = 0.5;
+    straggler_timeout_s = 5.0;
+    quorum_frac = 0.5;
   }

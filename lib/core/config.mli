@@ -22,6 +22,18 @@ type t = {
   data_source : data_source;  (** extension: Ptwrite replaces watchpoints *)
   range_predicates : bool;    (** extension: §6 range/inequality predicates *)
   redact_values : bool;       (** extension: hash string values leaving clients *)
+  fault_rates : Faults.Fault.rates;
+      (** injected fleet faults ({!Faults.Fault.zero} = off) *)
+  fault_seed : int;
+      (** seeds the fault-injection stream, independent of run seeds *)
+  max_retries : int;
+      (** re-dispatches per client slot before the slot is quarantined *)
+  retry_backoff_s : float;
+      (** base of the exponential retry backoff, in simulated fleet time *)
+  straggler_timeout_s : float;
+      (** per-dispatch give-up deadline, in simulated fleet time *)
+  quorum_frac : float;
+      (** valid-report fraction below which an iteration degrades *)
 }
 
 val default : t

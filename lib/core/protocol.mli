@@ -1,0 +1,49 @@
+(** The fleet wire protocol: a versioned, checksummed envelope around
+    each client report, validated by the server before anything reaches
+    aggregation or predictor ranking.
+
+    Layers, checked in order: protocol version; an explicit full-walk
+    checksum over every report field (transit integrity); the plan
+    digest the client echoes back (freshness — a report built under a
+    previous iteration's plan is useless because its tracked set and
+    watchpoint rotation no longer match); the client-side PT decoder's
+    typed damage flags (structure); and statement-id range checks
+    (semantics). *)
+
+(** Current protocol version. *)
+val version : int
+
+type envelope = {
+  e_version : int;
+  e_client : int;   (** fleet slot that produced the report *)
+  e_plan_id : int;  (** digest of the plan the client ran under *)
+  e_checksum : int; (** full-walk digest of [e_report] *)
+  e_report : Client.report;
+}
+
+(** Why a report was refused.  A rejected report never reaches
+    predictor ranking. *)
+type reject =
+  | Bad_version of int
+  | Bad_checksum
+  | Stale_plan of { expected : int; got : int }
+  | Damaged_trace of string  (** client-side PT decode fault *)
+  | Bad_payload of string    (** statement id outside the program *)
+
+(** Stable key for per-reason counters ("bad-checksum", ...). *)
+val reject_label : reject -> string
+
+val reject_to_string : reject -> string
+
+(** Explicit digest over every report field ([Hashtbl.hash] truncates
+    its traversal and would miss tail tampering). *)
+val checksum : Client.report -> int
+
+val seal : client:int -> plan_id:int -> Client.report -> envelope
+
+(** [validate ~n_instrs ~plan_id env] runs every validation layer;
+    [Error] carries the first failure.  [n_instrs] is the exclusive
+    upper bound on valid statement ids (iids are 1-based, so pass
+    max iid + 1). *)
+val validate :
+  n_instrs:int -> plan_id:int -> envelope -> (Client.report, reject) result

@@ -17,6 +17,26 @@ type iteration_info = {
   it_clients : int;
   it_avg_overhead : float;
   it_oracle_pass : bool;
+  it_dispatched : int;   (* dispatches, including retries *)
+  it_lost : int;         (* crashed / dropped / timed-out dispatches *)
+  it_rejected : int;     (* reports refused by validation *)
+  it_retried : int;      (* re-dispatches after a loss or rejection *)
+  it_quarantined : int;  (* slots abandoned after [max_retries] *)
+  it_degraded : bool;    (* valid reports stayed below quorum *)
+}
+
+(* Fleet-protocol health across the whole diagnosis. *)
+type fleet_stats = {
+  f_dispatched : int;
+  f_delivered : int;     (* reports that arrived (valid + rejected) *)
+  f_valid : int;
+  f_lost : int;
+  f_rejected : int;
+  f_retried : int;
+  f_quarantined : int;
+  f_degraded_iters : int;
+  f_by_kind : (string * int) list;   (* injected fault kind -> count *)
+  f_by_reason : (string * int) list; (* rejection reason -> count *)
 }
 
 type diagnosis = {
@@ -27,10 +47,11 @@ type diagnosis = {
   total_runs : int;      (* monitored production runs *)
   avg_overhead_pct : float; (* fleet-wide: aggregate extra / aggregate base *)
   offline_time_s : float; (* static analysis + instrumentation time *)
-  online_time_s : float;  (* simulated fleet wall-clock *)
+  online_time_s : float;  (* simulated fleet wall-clock, incl. retry backoff *)
   final_sigma : int;
   tracked : iid list;     (* statements tracked in the last iteration *)
   trace : iteration_info list; (* per-AsT-iteration progress *)
+  fleet : fleet_stats;
 }
 
 (* Find the first production failure (unmonitored runs): what a
@@ -53,6 +74,10 @@ let first_failure ?(max_runs = 2000) ?(preempt_prob = 0.35)
    [wp_capacity]; client [c] arms group [c mod n_groups] (§3.2.3's
    cooperative approach when targets exceed the debug registers). *)
 let wp_groups ~wp_capacity targets =
+  if wp_capacity <= 0 then
+    invalid_arg
+      (Printf.sprintf "Server.wp_groups: wp_capacity must be positive (got %d)"
+         wp_capacity);
   let rec chunks = function
     | [] -> []
     | l ->
@@ -76,6 +101,16 @@ let diagnose ?(config = Config.default) ?(pool = Parallel.Pool.sequential)
      one-time lowering cost is charged to the offline phase where it
      belongs, not to the first monitored client. *)
   ignore (Analysis.Cache.lowered program);
+  (* Exclusive upper bound on valid statement ids for payload
+     validation (iids are 1-based, so this is max iid + 1, not the
+     instruction count). *)
+  let n_instrs =
+    1
+    + List.fold_left
+        (fun m (i : Ir.Types.instr) -> max m i.iid)
+        0
+        (Ir.Program.all_instrs program)
+  in
   let slice = Slicing.Slicer.compute program failure in
   let target_sig = Exec.Failure.signature failure in
   let offline_time = ref (Sys.time () -. t_offline0) in
@@ -95,6 +130,20 @@ let diagnose ?(config = Config.default) ?(pool = Parallel.Pool.sequential)
   let slice_size = Slicing.Slicer.instr_count slice in
   let stop = ref false in
   let trace = ref [] in
+  (* Fleet-protocol accounting (faults, rejections, retries). *)
+  let rates = config.Config.fault_rates in
+  let f_dispatched = ref 0 and f_valid = ref 0 and f_lost = ref 0 in
+  let f_rejected = ref 0 and f_retried = ref 0 in
+  let f_quarantined = ref 0 and f_degraded = ref 0 in
+  let by_kind : (string, int) Hashtbl.t = Hashtbl.create 8 in
+  let by_reason : (string, int) Hashtbl.t = Hashtbl.create 8 in
+  let bump tbl k =
+    Hashtbl.replace tbl k (1 + Option.value ~default:0 (Hashtbl.find_opt tbl k))
+  in
+  let sim_delay = ref 0.0 in
+  (* Previous iteration's (plan, digest, rotation groups): what a
+     stale client runs under. *)
+  let prev_plan = ref None in
   while not !stop do
     incr iteration;
     (* --- offline: choose the tracked portion, build the patch --- *)
@@ -115,62 +164,245 @@ let diagnose ?(config = Config.default) ?(pool = Parallel.Pool.sequential)
         (wp_groups ~wp_capacity:config.wp_capacity
            plan.Instrument.Plan.wp_targets)
     in
-    let n_groups = Array.length groups in
+    let plan_id = Instrument.Plan.id plan in
+    let prev = !prev_plan in
     offline_time := !offline_time +. (Sys.time () -. t0);
     (* --- online: gather monitored failing and successful runs ---
 
-       Client runs are dispatched in batches across [pool]; each run is
-       a pure function of (client index, plan), so speculative surplus
-       runs are discarded without trace.  All accounting happens in
-       [consume], in client order, making quotas, recurrence counts and
-       the representative failing run bit-identical to the sequential
-       loop. *)
+       Fleet slots are dispatched in batches across [pool]; each slot
+       -- its run, any injected faults, retries with exponential
+       backoff, and protocol validation -- is a pure function of (slot
+       index, plan), so speculative surplus slots are discarded without
+       trace.  All accounting happens in [consume], in slot order,
+       making quotas, recurrence counts and the representative failing
+       run bit-identical to the sequential loop at any pool size, with
+       or without fault injection. *)
     let fails = ref 0 and succs = ref 0 and clients = ref 0 in
     let iter_overheads = ref [] in
     let iter_reports = ref [] in
-    let base = !client_counter in
+    let it_dispatched = ref 0 and it_lost = ref 0 and it_rejected = ref 0 in
+    let it_retried = ref 0 and it_quarantined = ref 0 and it_valid = ref 0 in
     let quota_open () = !fails < config.fail_quota || !succs < config.succ_quota in
-    let consumed =
-      if not (quota_open ()) then 0
-      else
-        Parallel.Pool.map_until pool
-          ~next:(fun i ->
-            if i >= config.max_clients_per_iter then None
-            else
-              let c = base + i in
-              Some
-                (fun () ->
-                  Client.run_one ~wp_capacity:config.wp_capacity
-                    ~preempt_prob:config.preempt_prob
-                    ~max_steps:config.max_steps
-                    ~data_source:config.data_source
-                    ~redact:config.redact_values ~plan
-                    ~wp_allowed:groups.(c mod n_groups) program
-                    (workload_of c)))
-          ~consume:(fun _ (report : Client.report) ->
-            incr clients;
-            incr total_runs;
-            overheads := report.r_overhead_pct :: !overheads;
-            iter_overheads := report.r_overhead_pct :: !iter_overheads;
-            base_cycles := !base_cycles +. report.r_base_cycles;
-            extra_cycles := !extra_cycles +. report.r_extra_cycles;
-            let matches = report.r_signature = Some target_sig in
-            if matches then begin
-              (* Recurrences (the Table 1 latency metric) count only the
-                 failing runs AsT actually needed, not surplus failures
-                 that happen while waiting for enough successful runs. *)
-              if !fails < config.fail_quota then incr recurrences;
-              incr fails;
-              repr_failing := Some report
-            end
-            else if report.r_signature = None then incr succs;
-            (* Other failures are different bugs: ignored here. *)
-            if matches || report.r_signature = None then
-              iter_reports := (report, matches) :: !iter_reports;
-            quota_open () && !clients < config.max_clients_per_iter)
-          ()
+    (* One fleet slot: dispatch, injected faults, bounded retry with
+       exponential backoff in simulated fleet time, quarantine once
+       [max_retries] re-dispatches are spent.  A crashed client, a
+       dropped report and a straggler all look the same to the server
+       (nothing arrives by the deadline), so each costs a full
+       [straggler_timeout_s] wait and the run itself is skipped --
+       nothing it produced could have arrived. *)
+    let run_slot c =
+      let lost = ref 0 and rejects = ref [] and kinds = ref [] in
+      let delay = ref 0.0 in
+      let valid = ref None in
+      let attempt = ref 0 in
+      let quarantined = ref false in
+      let running = ref true in
+      while !running do
+        let inj =
+          Faults.Fault.draw rates ~seed:config.Config.fault_seed ~client:c
+            ~attempt:!attempt
+        in
+        (if
+           inj.Faults.Fault.j_crash || inj.Faults.Fault.j_drop
+           || inj.Faults.Fault.j_straggler
+         then begin
+           incr lost;
+           delay := !delay +. config.Config.straggler_timeout_s;
+           kinds :=
+             (if inj.Faults.Fault.j_crash then Faults.Fault.Crash
+              else if inj.Faults.Fault.j_drop then Faults.Fault.Drop
+              else Faults.Fault.Straggler)
+             :: !kinds
+         end
+         else begin
+           (* A stale client runs under the previous iteration's plan
+              and rotation, and seals with that plan's digest; the
+              server's freshness check rejects the report.  On the
+              first iteration there is no previous plan to be stale
+              against. *)
+           let stale = inj.Faults.Fault.j_stale_plan && prev <> None in
+           let use_plan, use_plan_id, use_groups =
+             if stale then Option.get prev else (plan, plan_id, groups)
+           in
+           if stale then kinds := Faults.Fault.Stale_plan :: !kinds;
+           let tamper =
+             match
+               (inj.Faults.Fault.j_pt_truncate, inj.Faults.Fault.j_pt_corrupt)
+             with
+             | None, None -> None
+             | tr, co ->
+               Some
+                 (fun ~tid packets ->
+                   let packets =
+                     match tr with
+                     | Some salt ->
+                       Faults.Tamper.truncate_packets
+                         ~salt:(Faults.Fault.mix salt tid) packets
+                     | None -> packets
+                   in
+                   match co with
+                   | Some salt ->
+                     Faults.Tamper.corrupt_packets
+                       ~salt:(Faults.Fault.mix salt tid) ~n_instrs packets
+                   | None -> packets)
+           in
+           if inj.Faults.Fault.j_pt_truncate <> None then
+             kinds := Faults.Fault.Pt_truncate :: !kinds;
+           if inj.Faults.Fault.j_pt_corrupt <> None then
+             kinds := Faults.Fault.Pt_corrupt :: !kinds;
+           let n_g = Array.length use_groups in
+           let report =
+             Client.run_one ~wp_capacity:config.wp_capacity
+               ~preempt_prob:config.preempt_prob ~max_steps:config.max_steps
+               ~data_source:config.data_source ~redact:config.redact_values
+               ?tamper ~plan:use_plan ~wp_allowed:use_groups.(c mod n_g)
+               program (workload_of c)
+           in
+           (* Watchpoint-log corruption: either in-ring (pre-seal, so
+              the checksum matches the damaged payload and only the
+              semantic range check can catch it) or in transit
+              (post-seal, caught by the checksum).  Both validation
+              layers stay exercised under any fault mix. *)
+           let report, flip_in_transit =
+             match inj.Faults.Fault.j_wp_corrupt with
+             | None -> (report, false)
+             | Some salt ->
+               kinds := Faults.Fault.Wp_corrupt :: !kinds;
+               if Faults.Tamper.wp_corrupt_in_transit ~salt then (report, true)
+               else
+                 ( {
+                     report with
+                     Client.r_traps =
+                       Faults.Tamper.corrupt_traps ~salt ~n_instrs
+                         report.Client.r_traps;
+                   },
+                   false )
+           in
+           let env = Protocol.seal ~client:c ~plan_id:use_plan_id report in
+           let env =
+             if flip_in_transit then
+               { env with Protocol.e_checksum = env.Protocol.e_checksum lxor 1 }
+             else env
+           in
+           match Protocol.validate ~n_instrs ~plan_id env with
+           | Ok r ->
+             valid := Some r;
+             running := false
+           | Error rej -> rejects := rej :: !rejects
+         end);
+        if !running then
+          if !attempt >= config.Config.max_retries then begin
+            quarantined := true;
+            running := false
+          end
+          else begin
+            delay :=
+              !delay
+              +. (config.Config.retry_backoff_s *. (2.0 ** float_of_int !attempt));
+            incr attempt
+          end
+      done;
+      ( !valid,
+        !attempt + 1,
+        !lost,
+        List.rev !rejects,
+        List.rev !kinds,
+        !delay,
+        !quarantined )
     in
-    client_counter := base + consumed;
+    let run_pass () =
+      let base = !client_counter in
+      let pass_valid = ref 0 and pass_slots = ref 0 in
+      let budget = config.max_clients_per_iter - !clients in
+      let consumed =
+        if budget <= 0 || not (quota_open ()) then 0
+        else
+          Parallel.Pool.map_until pool
+            ~next:(fun i ->
+              if i >= budget then None
+              else
+                let c = base + i in
+                Some (fun () -> run_slot c))
+            ~consume:(fun _
+                          ( valid,
+                            attempts,
+                            lost,
+                            rejects,
+                            kinds,
+                            delay,
+                            quarantined ) ->
+              incr clients;
+              incr pass_slots;
+              it_dispatched := !it_dispatched + attempts;
+              it_lost := !it_lost + lost;
+              it_rejected := !it_rejected + List.length rejects;
+              it_retried := !it_retried + (attempts - 1);
+              if quarantined then incr it_quarantined;
+              sim_delay := !sim_delay +. delay;
+              (* Runs that executed (everything but lost dispatches)
+                 are monitored production runs, valid or not. *)
+              total_runs := !total_runs + (attempts - lost);
+              List.iter (fun k -> bump by_kind (Faults.Fault.kind_name k)) kinds;
+              List.iter
+                (fun rej -> bump by_reason (Protocol.reject_label rej))
+                rejects;
+              (match valid with
+               | None -> ()
+               | Some (report : Client.report) ->
+                 incr pass_valid;
+                 incr it_valid;
+                 overheads := report.r_overhead_pct :: !overheads;
+                 iter_overheads := report.r_overhead_pct :: !iter_overheads;
+                 base_cycles := !base_cycles +. report.r_base_cycles;
+                 extra_cycles := !extra_cycles +. report.r_extra_cycles;
+                 let matches = report.r_signature = Some target_sig in
+                 if matches then begin
+                   (* Recurrences (the Table 1 latency metric) count
+                      only the failing runs AsT actually needed, not
+                      surplus failures that happen while waiting for
+                      enough successful runs. *)
+                   if !fails < config.fail_quota then incr recurrences;
+                   incr fails;
+                   repr_failing := Some report
+                 end
+                 else if report.r_signature = None then incr succs;
+                 (* Other failures are different bugs: ignored here. *)
+                 if matches || report.r_signature = None then
+                   iter_reports := (report, matches) :: !iter_reports);
+              quota_open () && !clients < config.max_clients_per_iter)
+            ()
+      in
+      client_counter := base + consumed;
+      (!pass_valid, !pass_slots)
+    in
+    (* Quorum with graceful degradation: if fewer than [quorum_frac]
+       of a pass's slots delivered a valid report, re-run once with
+       fresh clients (lost and rejected slots stay consumed); if the
+       fleet still cannot reach quorum the iteration is degraded and
+       sigma is carried forward instead of doubled -- never steer AsT
+       from a sample the faults have thinned out. *)
+    let below_quorum v s =
+      s > 0 && float_of_int v < config.Config.quorum_frac *. float_of_int s
+    in
+    let v1, s1 = run_pass () in
+    let degraded =
+      if
+        below_quorum v1 s1 && quota_open ()
+        && !clients < config.max_clients_per_iter
+      then begin
+        let v2, s2 = run_pass () in
+        below_quorum (v1 + v2) (s1 + s2)
+      end
+      else below_quorum v1 s1
+    in
+    if degraded then incr f_degraded;
+    f_dispatched := !f_dispatched + !it_dispatched;
+    f_valid := !f_valid + !it_valid;
+    f_lost := !f_lost + !it_lost;
+    f_rejected := !f_rejected + !it_rejected;
+    f_retried := !f_retried + !it_retried;
+    f_quarantined := !f_quarantined + !it_quarantined;
+    prev_plan := Some (plan, plan_id, groups);
     (* --- refinement (§3.2): keep tracked statements that executed in
        failing runs; adopt watchpoint-discovered statements the
        alias-free slice missed --- *)
@@ -256,11 +488,21 @@ let diagnose ?(config = Config.default) ?(pool = Parallel.Pool.sequential)
          it_clients = !clients;
          it_avg_overhead = avg_l !iter_overheads;
          it_oracle_pass = !stop;
+         it_dispatched = !it_dispatched;
+         it_lost = !it_lost;
+         it_rejected = !it_rejected;
+         it_retried = !it_retried;
+         it_quarantined = !it_quarantined;
+         it_degraded = degraded;
        }
        :: !trace);
     if not !stop then begin
-      if !sigma >= slice_size || !iteration >= config.max_iterations then
-        stop := true
+      if !iteration >= config.max_iterations then stop := true
+      else if degraded then
+        (* Degraded mode: hold sigma for another iteration rather than
+           doubling on evidence the faults thinned out. *)
+        ()
+      else if !sigma >= slice_size then stop := true
       else sigma := !sigma * 2
     end
   done;
@@ -290,10 +532,29 @@ let diagnose ?(config = Config.default) ?(pool = Parallel.Pool.sequential)
       (if !base_cycles > 0.0 then 100.0 *. !extra_cycles /. !base_cycles
        else avg !overheads);
     offline_time_s = !offline_time;
-    online_time_s = max online_time 0.0;
+    (* Retry backoff and straggler deadlines happen in fleet time, not
+       server CPU time: charge them to the online phase. *)
+    online_time_s = max online_time 0.0 +. !sim_delay;
     final_sigma = !sigma;
     tracked =
       List.sort_uniq compare
         (Slicing.Slicer.take slice !sigma @ IntSet.elements !discovered);
     trace = List.rev !trace;
+    fleet =
+      {
+        f_dispatched = !f_dispatched;
+        f_delivered = !f_dispatched - !f_lost;
+        f_valid = !f_valid;
+        f_lost = !f_lost;
+        f_rejected = !f_rejected;
+        f_retried = !f_retried;
+        f_quarantined = !f_quarantined;
+        f_degraded_iters = !f_degraded;
+        f_by_kind =
+          Hashtbl.fold (fun k v acc -> (k, v) :: acc) by_kind []
+          |> List.sort compare;
+        f_by_reason =
+          Hashtbl.fold (fun k v acc -> (k, v) :: acc) by_reason []
+          |> List.sort compare;
+      };
   }

@@ -14,6 +14,28 @@ type iteration_info = {
   it_clients : int;
   it_avg_overhead : float;
   it_oracle_pass : bool;
+  it_dispatched : int;  (** dispatches, including retries *)
+  it_lost : int;        (** crashed / dropped / timed-out dispatches *)
+  it_rejected : int;    (** reports refused by {!Protocol.validate} *)
+  it_retried : int;     (** re-dispatches after a loss or rejection *)
+  it_quarantined : int; (** slots abandoned after [max_retries] *)
+  it_degraded : bool;   (** valid reports stayed below quorum *)
+}
+
+(** Fleet-protocol health across the whole diagnosis. *)
+type fleet_stats = {
+  f_dispatched : int;
+  f_delivered : int;  (** reports that arrived (valid + rejected) *)
+  f_valid : int;
+  f_lost : int;
+  f_rejected : int;
+  f_retried : int;
+  f_quarantined : int;
+  f_degraded_iters : int;
+  f_by_kind : (string * int) list;
+      (** injected fault kind ({!Faults.Fault.kind_name}) -> count *)
+  f_by_reason : (string * int) list;
+      (** rejection reason ({!Protocol.reject_label}) -> count *)
 }
 
 type diagnosis = {
@@ -25,10 +47,13 @@ type diagnosis = {
   avg_overhead_pct : float;
       (** fleet-wide: aggregate extra cycles over aggregate base cycles *)
   offline_time_s : float; (** static analysis + instrumentation time *)
-  online_time_s : float;  (** simulated fleet wall-clock *)
+  online_time_s : float;
+      (** simulated fleet wall-clock, including retry backoff and
+          straggler deadlines *)
   final_sigma : int;
   tracked : iid list; (** statements tracked in the last iteration *)
   trace : iteration_info list;
+  fleet : fleet_stats;
 }
 
 (** Scan unmonitored production runs for the first failure: the
@@ -44,7 +69,8 @@ val first_failure :
 (** Split watchpoint targets into rotation groups of at most
     [wp_capacity]; client [c] arms group [c mod n] (§3.2.3's
     cooperative approach).  Always returns at least one (possibly
-    empty) group. *)
+    empty) group.
+    @raise Invalid_argument if [wp_capacity <= 0]. *)
 val wp_groups : wp_capacity:int -> iid list -> iid list list
 
 (** [diagnose ~bug_name ~failure_type ~program ~workload_of ~failure ()]
@@ -55,12 +81,23 @@ val wp_groups : wp_capacity:int -> iid list -> iid list list
     satisfied, sigma exceeds the slice, or [config.max_iterations] is
     reached.
 
-    [pool] (default: sequential) dispatches the monitored client runs
-    of each AsT iteration across domains.  Each client run is a pure
-    function of its index and the iteration's instrumentation plan, and
-    reports are consumed in client order, so the resulting diagnosis —
-    sketch, recurrences, total runs, per-iteration trace — is
-    bit-identical to the sequential run whatever the pool size. *)
+    Every report travels in a {!Protocol} envelope and is validated
+    before aggregation; when [config.fault_rates] is non-zero, faults
+    are injected deterministically from [config.fault_seed].  Lost and
+    rejected dispatches are retried with exponential backoff (in
+    simulated fleet time) up to [config.max_retries], then the slot is
+    quarantined; an iteration whose valid reports stay below
+    [config.quorum_frac] re-runs once with fresh clients and, still
+    short of quorum, degrades — sigma is carried forward instead of
+    doubled.
+
+    [pool] (default: sequential) dispatches the fleet slots of each
+    AsT iteration across domains.  Each slot — its run, any injected
+    faults, retries and validation — is a pure function of its index
+    and the iteration's instrumentation plan, and results are consumed
+    in slot order, so the resulting diagnosis — sketch, recurrences,
+    total runs, per-iteration trace, fleet stats — is bit-identical to
+    the sequential run whatever the pool size. *)
 val diagnose :
   ?config:Config.t ->
   ?pool:Parallel.Pool.t ->

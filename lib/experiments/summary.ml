@@ -14,6 +14,8 @@ type t = {
   sw_trace_range : float * float; (* software CF tracing, min/max per bug *)
   avg_accuracy : float;
   avg_recurrences : float;
+  fleet_dispatched : int; (* protocol deliveries across every diagnosis *)
+  fleet_anomalies : int;  (* lost + rejected + quarantined *)
 }
 
 let cf_df_split () =
@@ -101,6 +103,18 @@ let compute_memo : t Lazy.t =
               (fun (r : Harness.bug_result) ->
                 float_of_int r.diagnosis.recurrences)
               results);
+       fleet_dispatched =
+         List.fold_left
+           (fun a (r : Harness.bug_result) ->
+             a + r.diagnosis.fleet.Gist.Server.f_dispatched)
+           0 results;
+       fleet_anomalies =
+         List.fold_left
+           (fun a (r : Harness.bug_result) ->
+             let f = r.diagnosis.fleet in
+             a + f.Gist.Server.f_lost + f.Gist.Server.f_rejected
+             + f.Gist.Server.f_quarantined)
+           0 results;
      })
 
 let compute () = Lazy.force compute_memo
@@ -134,5 +148,9 @@ let print () =
   Printf.printf "  average sketch accuracy        : %6.1f%%   (paper: 96%%)\n"
     s.avg_accuracy;
   Printf.printf
-    "  average failure recurrences    : %6.2f    (paper: 2-5 per bug)\n\n"
-    s.avg_recurrences
+    "  average failure recurrences    : %6.2f    (paper: 2-5 per bug)\n"
+    s.avg_recurrences;
+  Printf.printf
+    "  fleet protocol                 : %d dispatches, %d anomalies \
+     (lost/rejected/quarantined)\n\n"
+    s.fleet_dispatched s.fleet_anomalies

@@ -13,6 +13,9 @@ type t = {
   sw_trace_range : float * float;
   avg_accuracy : float;
   avg_recurrences : float;
+  fleet_dispatched : int;
+      (** protocol deliveries across every diagnosis (all validated) *)
+  fleet_anomalies : int;  (** lost + rejected + quarantined *)
 }
 
 val compute : unit -> t

@@ -1,0 +1,76 @@
+(* Damage models for the fleet fault injector.
+
+   Faults here simulate in-ring damage: the PT buffer or watchpoint
+   log is harmed *before* the client seals its report, so the envelope
+   checksum is consistent with the damaged payload and the server must
+   catch the harm by structural validation (an unterminated stream, an
+   out-of-range target, a trap on a statement that does not exist).
+   Corruption is therefore structurally destructive by construction;
+   value-preserving bit flips that decode to a plausible-but-wrong
+   trace would need per-packet CRCs, which real PT does not have
+   either (see DESIGN.md §7).
+
+   Every function is a pure function of (salt, input). *)
+
+let split_at n l =
+  let rec go acc k = function
+    | x :: tl when k > 0 -> go (x :: acc) (k - 1) tl
+    | rest -> (List.rev acc, rest)
+  in
+  go [] n l
+
+(* Drop a non-empty suffix of the packet stream: the ring lost its
+   tail.  The result never ends with the stream's PGD terminator, so
+   the hardened decoder reports [Truncated] (unless an earlier segment
+   boundary is cut exactly, in which case the prefix is a complete,
+   valid shorter trace -- also what real truncation can produce). *)
+let truncate_packets ~salt packets =
+  match packets with
+  | [] -> []
+  | _ ->
+    let n = List.length packets in
+    let rng = Exec.Rng.create (Fault.mix salt 0x7c1) in
+    let keep = Exec.Rng.int rng n in
+    fst (split_at keep packets)
+
+(* Damage one packet in place.  All shapes are structurally invalid:
+   a transfer target beyond the program, a PGE opening mid-segment, or
+   a stray TIP where the decoder expects branch bits. *)
+let corrupt_packets ~salt ~n_instrs packets =
+  match packets with
+  | [] -> []
+  | _ ->
+    let rng = Exec.Rng.create (Fault.mix salt 0x9e7) in
+    let n = List.length packets in
+    let idx = Exec.Rng.int rng n in
+    let out_of_range () = n_instrs + 1 + Exec.Rng.int rng 64 in
+    let damaged p =
+      match Exec.Rng.int rng 3 with
+      | 0 -> [ Hw.Pt.TIP (out_of_range ()) ]
+      | 1 -> [ Hw.Pt.PGE (out_of_range ()) ]
+      | _ -> [ Hw.Pt.TIP (out_of_range ()); p ]
+    in
+    List.concat (List.mapi (fun i p -> if i = idx then damaged p else [ p ]) packets)
+
+(* Damage one watchpoint trap: point it at a statement that does not
+   exist.  Caught by the server's semantic validation pass. *)
+let corrupt_traps ~salt ~n_instrs traps =
+  match traps with
+  | [] -> []
+  | _ ->
+    let rng = Exec.Rng.create (Fault.mix salt 0x5b3) in
+    let n = List.length traps in
+    let idx = Exec.Rng.int rng n in
+    let bad_iid = n_instrs + 1 + Exec.Rng.int rng 64 in
+    List.mapi
+      (fun i (t : Hw.Watchpoint.trap) ->
+        if i = idx then { t with Hw.Watchpoint.w_iid = bad_iid } else t)
+      traps
+
+(* Whether a [Wp_corrupt] hit damages the log in-ring (pre-seal,
+   caught semantically) or the report bytes in transit (post-seal,
+   caught by the envelope checksum).  Both validation layers stay
+   exercised under any fault mix. *)
+let wp_corrupt_in_transit ~salt =
+  let rng = Exec.Rng.create (Fault.mix salt 0x3d9) in
+  Exec.Rng.bool rng

@@ -1,0 +1,22 @@
+(** Damage models for the fleet fault injector: in-ring harm to PT
+    packet streams and watchpoint logs, sealed into the report as-is
+    and caught by the server's structural validation.  Pure functions
+    of (salt, input). *)
+
+(** Drop a non-empty suffix of a non-empty stream (the result is a
+    strict prefix). *)
+val truncate_packets : salt:int -> Hw.Pt.packet list -> Hw.Pt.packet list
+
+(** Damage one packet structurally (out-of-range transfer target,
+    misplaced PGE/TIP). *)
+val corrupt_packets :
+  salt:int -> n_instrs:int -> Hw.Pt.packet list -> Hw.Pt.packet list
+
+(** Point one trap at a statement beyond the program. *)
+val corrupt_traps :
+  salt:int -> n_instrs:int -> Hw.Watchpoint.trap list ->
+  Hw.Watchpoint.trap list
+
+(** Whether a [Wp_corrupt] hit is in-transit (checksum-caught) rather
+    than in-ring (semantically caught). *)
+val wp_corrupt_in_transit : salt:int -> bool

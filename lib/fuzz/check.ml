@@ -154,21 +154,28 @@ let viable ?(min_fails = 3) ?(min_succs = 3) p =
    per iteration keeps >= 3 expected failures even at the ~3% failure
    rate the viability probe admits. *)
 let config_of (case : Gen.case) =
-  {
-    Gist.Config.default with
-    fail_quota = 3;
-    succ_quota = 8;
-    max_clients_per_iter = 200;
-    max_iterations = 6;
-    max_steps = probe_max_steps;
-    preempt_prob = case.c_preempt;
-  }
+  let base =
+    {
+      Gist.Config.default with
+      fail_quota = 3;
+      succ_quota = 8;
+      max_clients_per_iter = 200;
+      max_iterations = 6;
+      max_steps = probe_max_steps;
+      preempt_prob = case.c_preempt;
+    }
+  in
+  match case.c_faults with
+  | None -> base
+  | Some (rates, seed) ->
+    { base with Gist.Config.fault_rates = rates; fault_seed = seed }
 
 type outcome = {
   verdict : verdict;
   top : string option;  (* normalized top predictor, if any *)
   iterations : int;
   total_runs : int;
+  fleet : Gist.Server.fleet_stats option; (* present when diagnose ran *)
 }
 
 let verdict_of_sketch (case : Gen.case) (sk : Fsketch.Sketch.t) =
@@ -180,14 +187,29 @@ let verdict_of_sketch (case : Gen.case) (sk : Fsketch.Sketch.t) =
 
 (* [check case]: divergence probe, failure probe, full [diagnose],
    verdict.  Deterministic: every stage is a pure function of the
-   case. *)
+   case, fault injection included ([c_faults] seeds its own stream).
+   The probes run unmonitored -- faults only touch the monitored
+   fleet. *)
 let check ?pool (case : Gen.case) =
   match divergence case with
-  | Some d -> { verdict = Divergence d; top = None; iterations = 0; total_runs = 0 }
+  | Some d ->
+    {
+      verdict = Divergence d;
+      top = None;
+      iterations = 0;
+      total_runs = 0;
+      fleet = None;
+    }
   | None ->
     (match probe case with
      | { p_target = None; _ } ->
-       { verdict = No_failure; top = None; iterations = 0; total_runs = 0 }
+       {
+         verdict = No_failure;
+         top = None;
+         iterations = 0;
+         total_runs = 0;
+         fleet = None;
+       }
      | { p_target = Some failure; _ } ->
        (try
           let d =
@@ -212,6 +234,7 @@ let check ?pool (case : Gen.case) =
             top;
             iterations = d.Gist.Server.iterations;
             total_runs = d.Gist.Server.total_runs;
+            fleet = Some d.Gist.Server.fleet;
           }
         with e ->
           {
@@ -219,4 +242,5 @@ let check ?pool (case : Gen.case) =
             top = None;
             iterations = 0;
             total_runs = 0;
+            fleet = None;
           }))

@@ -49,7 +49,8 @@ val viable : ?min_fails:int -> ?min_succs:int -> probe -> bool
 
 (** {1 Diagnosis} *)
 
-(** The bounded fleet configuration fuzzing runs under. *)
+(** The bounded fleet configuration fuzzing runs under; the case's
+    [c_faults], when present, sets the fault rates and seed. *)
 val config_of : Gen.case -> Gist.Config.t
 
 type outcome = {
@@ -57,10 +58,14 @@ type outcome = {
   top : string option;  (** normalized top predictor, if any *)
   iterations : int;
   total_runs : int;
+  fleet : Gist.Server.fleet_stats option;
+      (** fleet-protocol health; present when diagnose ran *)
 }
 
 val verdict_of_sketch : Gen.case -> Fsketch.Sketch.t -> verdict
 
 (** Divergence probe, failure probe, full {!Gist.Server.diagnose},
-    verdict.  A pure function of the case. *)
+    verdict.  A pure function of the case, fault injection included;
+    the probes run unmonitored (faults only touch the monitored
+    fleet). *)
 val check : ?pool:Parallel.Pool.t -> Gen.case -> outcome

@@ -84,6 +84,18 @@ let to_string (case : Gen.case) =
   p "# args: %s\n"
     (String.concat "," (List.map string_of_int case.c_args_cycle));
   p "# preempt: %.6f\n" case.c_preempt;
+  (match case.c_faults with
+   | None -> ()
+   | Some (rates, fseed) ->
+     p "# fault-rates: %s\n"
+       (String.concat ","
+          (List.filter_map
+             (fun k ->
+               let r = Faults.Fault.rate_of rates k in
+               if r = 0.0 then None
+               else Some (Printf.sprintf "%s=%.6f" (Faults.Fault.kind_name k) r))
+             Faults.Fault.all_kinds));
+     p "# fault-seed: %d\n" fseed);
   p "\n";
   Buffer.add_string buf (Ir.Text.emit case.c_program);
   Buffer.contents buf
@@ -165,6 +177,41 @@ let of_string ~name text =
     | Some f -> Ok f
     | None -> Error "bad preempt"
   in
+  (* Optional fault environment: a fault-induced reproducer is only a
+     reproducer under the same rates and injection seed. *)
+  let* faults =
+    match List.assoc_opt "fault-rates" headers with
+    | None -> Ok None
+    | Some rates_s ->
+      let* rates =
+        let rec go acc = function
+          | [] -> Ok acc
+          | entry :: tl -> (
+            match split_first '=' entry with
+            | Some (k, v) -> (
+              match
+                ( Faults.Fault.kind_of_name (String.trim k),
+                  float_of_string_opt (String.trim v) )
+              with
+              | Some kind, Some r when r >= 0.0 && r <= 1.0 ->
+                go (Faults.Fault.with_rate acc kind r) tl
+              | _ -> Error (Printf.sprintf "bad fault rate %S" entry))
+            | None -> Error (Printf.sprintf "bad fault rate %S" entry))
+        in
+        go Faults.Fault.zero
+          (List.filter (fun x -> x <> "")
+             (List.map String.trim (String.split_on_char ',' rates_s)))
+      in
+      let* fseed =
+        match List.assoc_opt "fault-seed" headers with
+        | None -> Error "missing '# fault-seed:' header (fault-rates present)"
+        | Some s -> (
+          match int_of_string_opt s with
+          | Some n -> Ok n
+          | None -> Error "bad fault-seed")
+      in
+      Ok (Some (rates, fseed))
+  in
   let* program = Ir.Text.parse_result text in
   Ok
     {
@@ -182,6 +229,7 @@ let of_string ~name text =
         };
       c_args_cycle = args;
       c_preempt = preempt;
+      c_faults = faults;
     }
 
 let load path =

@@ -1,9 +1,10 @@
 (** The seed-corpus format: a shrunk case as an ordinary [.gir] file
     whose leading [#] comments carry the ground truth (pattern, failure
-    kind and line, kernel lines, accept set, args cycle, preempt).
-    Comments are ignored by {!Ir.Text.parse}, so every corpus file is
-    also a plain program; the truth is line-based because reloading
-    renumbers iids. *)
+    kind and line, kernel lines, accept set, args cycle, preempt, and
+    — for fault-induced reproducers — the fault rates and injection
+    seed).  Comments are ignored by {!Ir.Text.parse}, so every corpus
+    file is also a plain program; the truth is line-based because
+    reloading renumbers iids. *)
 
 val accept_to_string : Gen.accept -> string
 val accept_of_string : string -> (Gen.accept, string) result

@@ -267,6 +267,7 @@ type case = {
   c_truth : truth;
   c_args_cycle : int list;   (* client c runs with arg cycle.(c mod len) *)
   c_preempt : float;
+  c_faults : (Faults.Fault.rates * int) option; (* fleet faults (rates, seed) *)
 }
 
 let seed_of_client c = (c * 2654435761) land 0x3FFFFFFF
@@ -630,6 +631,7 @@ let case_of_scenario ?name ?(seed = -1) sc =
     c_truth = truth_of sc.s_pattern;
     c_args_cycle = args_cycle_of sc.s_pattern;
     c_preempt = sc.s_preempt;
+    c_faults = None;
   }
 
 let generate ?pad_budget pattern seed =

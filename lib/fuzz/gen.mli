@@ -78,6 +78,9 @@ type case = {
   c_truth : truth;
   c_args_cycle : int list;
   c_preempt : float;
+  c_faults : (Faults.Fault.rates * int) option;
+      (** fleet faults (rates, injection seed) the case is checked
+          under; [None] = reliable fleet *)
 }
 
 val is_concurrent : pattern -> bool

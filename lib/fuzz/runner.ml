@@ -16,6 +16,7 @@ type case_report = {
   cr_iterations : int;
   cr_total_runs : int;
   cr_shrink : Shrink.result option; (* present for shrunk failures *)
+  cr_fleet : Gist.Server.fleet_stats option; (* present when diagnose ran *)
 }
 
 type pattern_stats = {
@@ -33,6 +34,7 @@ type report = {
   r_count : int;
   r_cases : case_report list;
   r_stats : pattern_stats list; (* [Gen.all_patterns] order, non-empty only *)
+  r_faults : (Faults.Fault.rates * int) option; (* campaign fault environment *)
 }
 
 let failures r =
@@ -84,10 +86,16 @@ let case_for ~retries_seeds pattern =
   in
   pick retries_seeds
 
-let run_case ~shrink i seeds =
+let run_case ~shrink ~faults i seeds =
   let n_pat = List.length Gen.all_patterns in
   let pattern = List.nth Gen.all_patterns (i mod n_pat) in
   let case = case_for ~retries_seeds:seeds pattern in
+  (* Stamp the fault environment onto the case itself: [Check.check]
+     reads it from there, and the shrinker then reproduces verdicts
+     under the same faults automatically. *)
+  let case =
+    match faults with None -> case | Some _ -> { case with Gen.c_faults = faults }
+  in
   let o = Check.check case in
   let cr_shrink =
     if
@@ -106,9 +114,10 @@ let run_case ~shrink i seeds =
     cr_iterations = o.Check.iterations;
     cr_total_runs = o.Check.total_runs;
     cr_shrink;
+    cr_fleet = o.Check.fleet;
   }
 
-let run ?(jobs = 0) ?(shrink = true) ?(retries = 5) ~seed ~count () =
+let run ?(jobs = 0) ?(shrink = true) ?(retries = 5) ?faults ~seed ~count () =
   let rng = Exec.Rng.create seed in
   let slots = Array.make (max count 0) [] in
   for i = 0 to count - 1 do
@@ -122,10 +131,57 @@ let run ?(jobs = 0) ?(shrink = true) ?(retries = 5) ~seed ~count () =
     Parallel.Pool.with_pool ~jobs (fun pool ->
         Array.to_list
           (Parallel.Pool.map_array pool
-             (fun i -> run_case ~shrink i slots.(i))
+             (fun i -> run_case ~shrink ~faults i slots.(i))
              (Array.init (max count 0) (fun i -> i))))
   in
-  { r_seed = seed; r_count = count; r_cases = cases; r_stats = stats_of cases }
+  {
+    r_seed = seed;
+    r_count = count;
+    r_cases = cases;
+    r_stats = stats_of cases;
+    r_faults = faults;
+  }
+
+(* Fleet-protocol totals across every case that reached diagnosis. *)
+let fleet_totals r =
+  let merge xs ys =
+    List.fold_left
+      (fun acc (k, v) ->
+        let cur = Option.value ~default:0 (List.assoc_opt k acc) in
+        (k, cur + v) :: List.remove_assoc k acc)
+      xs ys
+    |> List.sort compare
+  in
+  List.fold_left
+    (fun (acc : Gist.Server.fleet_stats) cr ->
+      match cr.cr_fleet with
+      | None -> acc
+      | Some (f : Gist.Server.fleet_stats) ->
+        {
+          Gist.Server.f_dispatched = acc.f_dispatched + f.f_dispatched;
+          f_delivered = acc.f_delivered + f.f_delivered;
+          f_valid = acc.f_valid + f.f_valid;
+          f_lost = acc.f_lost + f.f_lost;
+          f_rejected = acc.f_rejected + f.f_rejected;
+          f_retried = acc.f_retried + f.f_retried;
+          f_quarantined = acc.f_quarantined + f.f_quarantined;
+          f_degraded_iters = acc.f_degraded_iters + f.f_degraded_iters;
+          f_by_kind = merge acc.f_by_kind f.f_by_kind;
+          f_by_reason = merge acc.f_by_reason f.f_by_reason;
+        })
+    {
+      Gist.Server.f_dispatched = 0;
+      f_delivered = 0;
+      f_valid = 0;
+      f_lost = 0;
+      f_rejected = 0;
+      f_retried = 0;
+      f_quarantined = 0;
+      f_degraded_iters = 0;
+      f_by_kind = [];
+      f_by_reason = [];
+    }
+    r.r_cases
 
 (* ------------------------------------------------------------------ *)
 (* Reporting. *)
@@ -155,6 +211,28 @@ let to_json r =
   p "  \"min_pattern_accuracy\": %.4f,\n" (min_pattern_accuracy r);
   p "  \"total_runs\": %d,\n"
     (List.fold_left (fun a cr -> a + cr.cr_total_runs) 0 r.r_cases);
+  (match r.r_faults with
+   | None -> ()
+   | Some (rates, fseed) ->
+     let f = fleet_totals r in
+     let assoc l =
+       String.concat ", "
+         (List.map (fun (k, v) -> Printf.sprintf "\"%s\": %d" k v) l)
+     in
+     p "  \"faults\": {\n";
+     p "    \"aggregate_rate\": %.4f,\n" (Faults.Fault.aggregate rates);
+     p "    \"seed\": %d,\n" fseed;
+     p "    \"dispatched\": %d, \"delivered\": %d, \"valid\": %d,\n"
+       f.Gist.Server.f_dispatched f.Gist.Server.f_delivered
+       f.Gist.Server.f_valid;
+     p "    \"lost\": %d, \"rejected\": %d, \"retried\": %d, \
+        \"quarantined\": %d,\n"
+       f.Gist.Server.f_lost f.Gist.Server.f_rejected f.Gist.Server.f_retried
+       f.Gist.Server.f_quarantined;
+     p "    \"degraded_iterations\": %d,\n" f.Gist.Server.f_degraded_iters;
+     p "    \"by_kind\": {%s},\n" (assoc f.Gist.Server.f_by_kind);
+     p "    \"by_reason\": {%s}\n" (assoc f.Gist.Server.f_by_reason);
+     p "  },\n");
   p "  \"patterns\": [\n";
   List.iteri
     (fun i ps ->
@@ -196,6 +274,22 @@ let pp ppf r =
     r.r_seed r.r_count (overall_accuracy r)
     (List.length r.r_cases - List.length fails)
     (List.length r.r_cases);
+  (match r.r_faults with
+   | None -> ()
+   | Some (rates, fseed) ->
+     let f = fleet_totals r in
+     Fmt.pf ppf
+       "  faults: aggregate %.1f%% (seed %d) -- %d dispatched, %d lost, %d \
+        rejected, %d retried, %d quarantined, %d degraded iteration(s)@."
+       (100.0 *. Faults.Fault.aggregate rates)
+       fseed f.Gist.Server.f_dispatched f.Gist.Server.f_lost
+       f.Gist.Server.f_rejected f.Gist.Server.f_retried
+       f.Gist.Server.f_quarantined f.Gist.Server.f_degraded_iters;
+     if f.Gist.Server.f_by_reason <> [] then
+       Fmt.pf ppf "  rejections: %a@."
+         Fmt.(
+           list ~sep:(any ", ") (fun ppf (k, v) -> Fmt.pf ppf "%s=%d" k v))
+         f.Gist.Server.f_by_reason);
   List.iter
     (fun ps ->
       Fmt.pf ppf "  %-6s %3d/%-3d %.3f@."

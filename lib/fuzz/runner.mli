@@ -10,6 +10,8 @@ type case_report = {
   cr_iterations : int;
   cr_total_runs : int;
   cr_shrink : Shrink.result option; (** present for shrunk failures *)
+  cr_fleet : Gist.Server.fleet_stats option;
+      (** fleet-protocol health; present when diagnose ran *)
 }
 
 type pattern_stats = {
@@ -26,6 +28,8 @@ type report = {
   r_cases : case_report list;
   r_stats : pattern_stats list;
       (** per pattern actually generated, in {!Gen.all_patterns} order *)
+  r_faults : (Faults.Fault.rates * int) option;
+      (** the campaign's fault environment, if any *)
 }
 
 val failures : report -> case_report list
@@ -37,10 +41,16 @@ val min_pattern_accuracy : report -> float
 (** [run ~seed ~count ()] fuzzes [count] cases round-robin over the
     taxonomy.  [jobs] sizes the case-level pool; [shrink] (default on)
     minimizes every failing case; [retries] candidate seeds are
-    pre-drawn per slot and the first diagnosable one is used. *)
+    pre-drawn per slot and the first diagnosable one is used; [faults]
+    (rates, fault seed) checks every case under injected fleet faults
+    — the shrinker then reproduces verdicts under the same faults. *)
 val run :
-  ?jobs:int -> ?shrink:bool -> ?retries:int -> seed:int -> count:int ->
+  ?jobs:int -> ?shrink:bool -> ?retries:int ->
+  ?faults:Faults.Fault.rates * int -> seed:int -> count:int ->
   unit -> report
+
+(** Fleet-protocol totals across every case that reached diagnosis. *)
+val fleet_totals : report -> Gist.Server.fleet_stats
 
 val to_json : report -> string
 val pp : Format.formatter -> report -> unit

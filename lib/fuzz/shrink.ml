@@ -21,12 +21,15 @@ type result = {
 
 (* Rebuild a candidate case, preserving the original's labelling: the
    truth may have been altered by the caller (the tests doctor accept
-   sets to force failures) and must travel with the reproducer. *)
+   sets to force failures) and must travel with the reproducer — as
+   must the fault environment, or a fault-induced verdict could never
+   reproduce on the candidate. *)
 let case_of (orig : Gen.case) sc =
   {
     (Gen.case_of_scenario ~name:orig.Gen.c_name ~seed:orig.Gen.c_seed sc) with
     Gen.c_truth = orig.Gen.c_truth;
     c_args_cycle = orig.Gen.c_args_cycle;
+    c_faults = orig.Gen.c_faults;
   }
 
 (* [run case target]: greedily minimize [case] while [Check.check]

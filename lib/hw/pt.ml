@@ -209,6 +209,23 @@ type decoded = {
 
 exception Malformed of string
 
+(* Typed decode faults: a damaged stream yields the clean decoded
+   prefix plus one of these, never an out-of-bounds access.  Crash
+   truncation is NOT an error -- [finish] terminates a crashed stream
+   with a PGD, so a missing terminator can only mean the ring itself
+   lost its tail. *)
+type error =
+  | Truncated               (* stream does not end with a PGD *)
+  | Bad_target of int       (* transfer target outside the program *)
+  | Malformed_packet of string
+
+let error_to_string = function
+  | Truncated -> "truncated stream (missing PGD terminator)"
+  | Bad_target pc -> Printf.sprintf "transfer target %d outside the program" pc
+  | Malformed_packet m -> m
+
+exception Stop_decode of error
+
 type cursor = {
   mutable rest : packet list;
   mutable bits : bool list; (* bits of the TNT packet being consumed *)
@@ -237,8 +254,9 @@ let rec take_bit c =
 (* Peek: is the next meaningful packet a PGD? (used to detect segment end) *)
 let at_segment_end c = c.bits = [] && (match c.rest with PGD _ :: _ -> true | _ -> false)
 
-let decode program packets =
+let decode_checked program packets =
   let dsteps = (Analysis.Cache.lowered program).Ir.Lowered.l_dsteps in
+  let n = Array.length dsteps in
   (* Data packets carry their own timestamps; split them out so the
      control-flow walk sees a pure branch/transfer stream. *)
   let data, control =
@@ -247,11 +265,23 @@ let decode program packets =
       packets
   in
   let data = List.sort (fun a b -> compare a.p_tsc b.p_tsc) data in
+  let err = ref None in
+  (* A complete stream is PGD-terminated: [finish] closes every
+     still-enabled stream, so a non-PGD tail means the ring lost
+     packets.  The prefix below still decodes. *)
+  (match List.rev control with
+   | last :: _ when (match last with PGD _ -> false | _ -> true) ->
+     err := Some Truncated
+   | _ -> ());
   let c = { rest = control; bits = [] } in
   let iids = ref [] and branches = ref [] in
   (* Decode one segment starting at [pc], until the PGD. *)
   let rec walk pc stop_pc =
     if pc = stop_pc then ()
+    else if pc < 0 || pc >= n then
+      (* A packet-carried target (PGE start or TIP resume) pointing
+         outside the program: damaged stream, stop here. *)
+      raise (Stop_decode (Bad_target pc))
     else begin
       iids := pc :: !iids;
       (* Straight-line instructions fall through — unless the trace is
@@ -267,9 +297,14 @@ let decode program packets =
       | Ir.Lowered.D_jump target -> walk target stop_pc
       | Ir.Lowered.D_branch (bt, be) -> (
         match take_bit c with
-        | None ->
-          (* Truncated trace: execution crashed at/just after this branch. *)
-          ()
+        | None -> (
+          (* No bit left: legitimate only when the stream ends here or
+             at the segment's PGD (execution crashed at/just after this
+             branch); anything else sitting where branch bits belong is
+             damage. *)
+          match c.rest with
+          | [] | PGD _ :: _ -> ()
+          | _ -> raise (Stop_decode (Malformed_packet "expected branch bits")))
         | Some taken ->
           branches := (pc, taken) :: !branches;
           walk (if taken then bt else be) stop_pc)
@@ -279,9 +314,12 @@ let decode program packets =
         | Some (TIP 0) -> () (* thread exit *)
         | Some (TIP resume) -> walk resume stop_pc
         | Some (PGD _) | None -> () (* truncated *)
-        | Some _ -> raise (Malformed "expected TIP after return"))
+        | Some _ ->
+          raise (Stop_decode (Malformed_packet "expected TIP after return")))
       | Ir.Lowered.D_fall next_pc -> fall (fun () -> walk next_pc stop_pc)
-      | Ir.Lowered.D_stop -> fall (fun () -> raise (Malformed "fell off block end"))
+      | Ir.Lowered.D_stop ->
+        fall (fun () ->
+            raise (Stop_decode (Malformed_packet "fell off block end")))
     end
   in
   let rec segments () =
@@ -307,10 +345,17 @@ let decode program packets =
       drop ();
       c.bits <- [];
       segments ()
-    | Some _ -> raise (Malformed "expected PGE at segment start")
+    | Some _ ->
+      raise (Stop_decode (Malformed_packet "expected PGE at segment start"))
   in
-  segments ();
-  { d_iids = List.rev !iids; d_branches = List.rev !branches; d_data = data }
+  (try segments () with Stop_decode e -> if !err = None then err := Some e);
+  ( { d_iids = List.rev !iids; d_branches = List.rev !branches; d_data = data },
+    !err )
+
+let decode program packets =
+  match decode_checked program packets with
+  | d, None -> d
+  | _, Some e -> raise (Malformed (error_to_string e))
 
 (* Decode every stream of a recorder. *)
 let decode_all r program =

@@ -89,7 +89,24 @@ type decoded = {
 
 exception Malformed of string
 
-(** Decode one thread's packet stream against the program. *)
+(** Typed decode faults for damaged streams.  Crash truncation is not
+    an error ({!finish} PGD-terminates a crashed stream); a missing
+    terminator can only mean the ring itself lost its tail. *)
+type error =
+  | Truncated                   (** stream does not end with a PGD *)
+  | Bad_target of int           (** transfer target outside the program *)
+  | Malformed_packet of string
+
+val error_to_string : error -> string
+
+(** [decode_checked program packets] decodes as much of the stream as
+    is structurally sound: a damaged stream yields the clean decoded
+    prefix plus a typed error — never an out-of-bounds access, never
+    an exception. *)
+val decode_checked : program -> packet list -> decoded * error option
+
+(** Decode one thread's packet stream against the program.
+    @raise Malformed on a damaged stream. *)
 val decode : program -> packet list -> decoded
 
 (** Decode every stream of a recorder, by thread id. *)

@@ -26,4 +26,9 @@ val actions_at : t -> iid -> action list
 (** Total number of patch points (for reporting). *)
 val n_actions : t -> int
 
+(** A stable content digest of the plan (patch points, tracked set,
+    watchpoint targets).  Clients echo it in their report envelope so
+    the server can reject reports produced under a stale plan. *)
+val id : t -> int
+
 val pp : Format.formatter -> t -> unit

@@ -53,10 +53,34 @@ let corpus =
             | Ok c' ->
               Alcotest.(check bool) (c.G.c_name ^ " truth") true
                 (c.G.c_truth = c'.G.c_truth);
+              Alcotest.(check bool) (c.G.c_name ^ " faults") true
+                (c.G.c_faults = c'.G.c_faults);
               Alcotest.(check string) (c.G.c_name ^ " program")
                 (Ir.Text.emit c.G.c_program)
                 (Ir.Text.emit c'.G.c_program))
           (Lazy.force cases));
+    Alcotest.test_case "fault reproducers carry their fault environment"
+      `Quick (fun () ->
+        (* the fault-induced reproducers only reproduce under the same
+           rates and injection seed, so the headers must survive the
+           round trip with non-trivial rates *)
+        let faulty =
+          List.filter (fun c -> c.G.c_faults <> None) (Lazy.force cases)
+        in
+        Alcotest.(check bool) "at least two" true (List.length faulty >= 2);
+        List.iter
+          (fun c ->
+            match c.G.c_faults with
+            | None -> assert false
+            | Some (rates, fseed) ->
+              Alcotest.(check bool) (c.G.c_name ^ " rates non-zero") true
+                (not (Faults.Fault.is_zero rates));
+              Alcotest.(check bool) (c.G.c_name ^ " aggregate sane") true
+                (let a = Faults.Fault.aggregate rates in
+                 a > 0.0 && a <= 1.0);
+              Alcotest.(check bool) (c.G.c_name ^ " seed recorded") true
+                (fseed >= 0))
+          faulty);
   ]
 
 let replay =

@@ -1,0 +1,377 @@
+(* Fault-injection and fleet-protocol tests.  Two properties anchor the
+   robustness story: the seeded fault model is a pure function of
+   (seed, client, attempt) and honest about its rates, and every
+   tampered report is rejected with the right typed reason before it
+   can reach aggregation or predictor ranking. *)
+
+module F = Faults.Fault
+module T = Faults.Tamper
+module P = Gist.Protocol
+module I = Exec.Interp
+
+(* ------------------------------------------------------------------ *)
+(* The fault model *)
+
+let draws rates ~seed n =
+  List.init n (fun c -> F.draw rates ~seed ~client:c ~attempt:0)
+
+let model =
+  [
+    Alcotest.test_case "zero rates never inject" `Quick (fun () ->
+        List.iter
+          (fun seed ->
+            List.iter
+              (fun inj ->
+                Alcotest.(check bool) "none" true (F.is_none inj))
+              (draws F.zero ~seed 50))
+          [ 0; 1; 42; 123456 ]);
+    Alcotest.test_case "draw is a pure function of (seed, client, attempt)"
+      `Quick (fun () ->
+        let rates = F.spread 0.3 in
+        for c = 0 to 40 do
+          for a = 0 to 3 do
+            let x = F.draw rates ~seed:9 ~client:c ~attempt:a in
+            let y = F.draw rates ~seed:9 ~client:c ~attempt:a in
+            if x <> y then Alcotest.fail "draw not deterministic"
+          done
+        done);
+    Alcotest.test_case "clients and attempts are independent coordinates"
+      `Quick (fun () ->
+        let rates = F.spread 0.5 in
+        let by_client = draws rates ~seed:3 300 in
+        let distinct =
+          List.exists (fun inj -> inj <> List.hd by_client) by_client
+        in
+        Alcotest.(check bool) "clients differ" true distinct;
+        let a0 = F.draw rates ~seed:3 ~client:7 ~attempt:0 in
+        let some_attempt_differs =
+          List.exists
+            (fun a -> F.draw rates ~seed:3 ~client:7 ~attempt:a <> a0)
+            [ 1; 2; 3; 4; 5; 6; 7; 8 ]
+        in
+        Alcotest.(check bool) "attempts differ" true some_attempt_differs);
+    Alcotest.test_case "certain rate always injects exactly that kind"
+      `Quick (fun () ->
+        List.iter
+          (fun kind ->
+            let rates = F.with_rate F.zero kind 1.0 in
+            List.iter
+              (fun inj ->
+                Alcotest.(check (list string))
+                  (F.kind_name kind) [ F.kind_name kind ]
+                  (List.map F.kind_name (F.kinds_of inj)))
+              (draws rates ~seed:5 40))
+          F.all_kinds);
+    Alcotest.test_case "observed frequency tracks the configured rate"
+      `Quick (fun () ->
+        let rates = F.with_rate F.zero F.Drop 0.3 in
+        let n = 4000 in
+        let hits =
+          List.length (List.filter (fun i -> i.F.j_drop) (draws rates ~seed:11 n))
+        in
+        let freq = float_of_int hits /. float_of_int n in
+        if abs_float (freq -. 0.3) > 0.05 then
+          Alcotest.failf "drop frequency %.3f too far from 0.3" freq);
+    Alcotest.test_case "spread inverts aggregate" `Quick (fun () ->
+        List.iter
+          (fun r ->
+            let got = F.aggregate (F.spread r) in
+            if abs_float (got -. r) > 1e-9 then
+              Alcotest.failf "aggregate (spread %.2f) = %.6f" r got)
+          [ 0.0; 0.05; 0.10; 0.25; 0.5 ];
+        Alcotest.(check bool) "spread 0 is zero" true (F.is_zero (F.spread 0.0)));
+    Alcotest.test_case "kind names round-trip" `Quick (fun () ->
+        List.iter
+          (fun k ->
+            match F.kind_of_name (F.kind_name k) with
+            | Some k' when k' = k -> ()
+            | _ -> Alcotest.failf "round trip failed for %s" (F.kind_name k))
+          F.all_kinds;
+        Alcotest.(check bool) "unknown name" true
+          (F.kind_of_name "meteor-strike" = None));
+    Alcotest.test_case "rate accessors touch only their kind" `Quick (fun () ->
+        List.iter
+          (fun k ->
+            let r = F.with_rate F.zero k 0.25 in
+            Alcotest.(check (float 1e-9)) "set" 0.25 (F.rate_of r k);
+            List.iter
+              (fun k' ->
+                if k' <> k then
+                  Alcotest.(check (float 1e-9))
+                    (F.kind_name k') 0.0 (F.rate_of r k'))
+              F.all_kinds)
+          F.all_kinds);
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Damage models *)
+
+let sample_packets =
+  Hw.Pt.[ PGE 1; TNT [ true; false; true ]; TIP 9; PGE 4; TNT [ false ]; PGD 7 ]
+
+let rec is_prefix xs ys =
+  match (xs, ys) with
+  | [], _ -> true
+  | x :: xs', y :: ys' -> x = y && is_prefix xs' ys'
+  | _ :: _, [] -> false
+
+let tamper =
+  [
+    Alcotest.test_case "truncate_packets yields a strict prefix" `Quick
+      (fun () ->
+        for salt = 0 to 30 do
+          let t = T.truncate_packets ~salt sample_packets in
+          Alcotest.(check bool) "strictly shorter" true
+            (List.length t < List.length sample_packets);
+          Alcotest.(check bool) "prefix" true (is_prefix t sample_packets)
+        done);
+    Alcotest.test_case "corrupt_packets changes the stream" `Quick (fun () ->
+        let changed = ref 0 in
+        for salt = 0 to 30 do
+          if T.corrupt_packets ~salt ~n_instrs:12 sample_packets
+             <> sample_packets
+          then incr changed
+        done;
+        Alcotest.(check bool) "mostly damaging" true (!changed >= 25));
+    Alcotest.test_case "corrupt_traps points a trap out of range" `Quick
+      (fun () ->
+        let trap =
+          {
+            Hw.Watchpoint.w_seq = 0;
+            w_tid = 1;
+            w_iid = 3;
+            w_addr = 100;
+            w_rw = I.Write;
+            w_value = Exec.Value.VInt 7;
+          }
+        in
+        let n_instrs = 10 in
+        for salt = 0 to 10 do
+          let traps = T.corrupt_traps ~salt ~n_instrs [ trap; trap ] in
+          Alcotest.(check bool) "some trap out of range" true
+            (List.exists
+               (fun (t : Hw.Watchpoint.trap) ->
+                 t.w_iid < 0 || t.w_iid >= n_instrs)
+               traps)
+        done);
+    Alcotest.test_case "damage is deterministic in the salt" `Quick (fun () ->
+        for salt = 0 to 10 do
+          Alcotest.(check bool) "truncate" true
+            (T.truncate_packets ~salt sample_packets
+            = T.truncate_packets ~salt sample_packets);
+          Alcotest.(check bool) "corrupt" true
+            (T.corrupt_packets ~salt ~n_instrs:12 sample_packets
+            = T.corrupt_packets ~salt ~n_instrs:12 sample_packets)
+        done);
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Protocol: seal + validate *)
+
+(* One real client report to tamper with. *)
+let fixture =
+  lazy
+    (let program = Tsupport.Programs.counter ~locked:true in
+     let all = Ir.Program.all_instrs program in
+     (* iids are 1-based: the validation bound is max iid + 1 *)
+     let n_instrs =
+       1 + List.fold_left (fun m (i : Ir.Types.instr) -> max m i.iid) 0 all
+     in
+     let tracked =
+       List.filteri (fun i _ -> i < 6) all
+       |> List.map (fun (ins : Ir.Types.instr) -> ins.iid)
+     in
+     let plan = Instrument.Place.compute program tracked in
+     let plan_id = Instrument.Plan.id plan in
+     let report =
+       Gist.Client.run_one ~plan ~wp_allowed:plan.Instrument.Plan.wp_targets
+         program
+         (I.workload ~args:[ Exec.Value.VInt 3 ] 1)
+     in
+     (report, n_instrs, plan_id))
+
+let validate ?n_instrs ?plan_id env =
+  let _, n, p = Lazy.force fixture in
+  P.validate
+    ~n_instrs:(Option.value ~default:n n_instrs)
+    ~plan_id:(Option.value ~default:p plan_id)
+    env
+
+let seal report =
+  let _, _, plan_id = Lazy.force fixture in
+  P.seal ~client:0 ~plan_id report
+
+let expect_reject name pred = function
+  | Ok _ -> Alcotest.failf "%s: report was accepted" name
+  | Error r ->
+    if not (pred r) then
+      Alcotest.failf "%s: wrong reason %s" name (P.reject_to_string r)
+
+let protocol =
+  [
+    Alcotest.test_case "a sealed report validates" `Quick (fun () ->
+        let report, _, _ = Lazy.force fixture in
+        match validate (seal report) with
+        | Ok r -> Alcotest.(check bool) "same report" true (r == report)
+        | Error e -> Alcotest.failf "rejected: %s" (P.reject_to_string e));
+    Alcotest.test_case "a single checksum bit flip is rejected" `Quick
+      (fun () ->
+        let report, _, _ = Lazy.force fixture in
+        let env = seal report in
+        expect_reject "bad-checksum"
+          (function P.Bad_checksum -> true | _ -> false)
+          (validate { env with P.e_checksum = env.P.e_checksum lxor 1 }));
+    Alcotest.test_case "a foreign protocol version is rejected" `Quick
+      (fun () ->
+        let report, _, _ = Lazy.force fixture in
+        let env = seal report in
+        expect_reject "bad-version"
+          (function P.Bad_version v -> v = P.version + 1 | _ -> false)
+          (validate { env with P.e_version = P.version + 1 }));
+    Alcotest.test_case "a stale plan digest is rejected" `Quick (fun () ->
+        let report, _, plan_id = Lazy.force fixture in
+        expect_reject "stale-plan"
+          (function
+            | P.Stale_plan { expected; got } ->
+              expected = plan_id + 1 && got = plan_id
+            | _ -> false)
+          (validate ~plan_id:(plan_id + 1) (seal report)));
+    Alcotest.test_case "client-side decode damage is rejected" `Quick
+      (fun () ->
+        let report, _, _ = Lazy.force fixture in
+        let damaged =
+          { report with Gist.Client.r_pt_errors = [ (0, Hw.Pt.Truncated) ] }
+        in
+        expect_reject "damaged-trace"
+          (function P.Damaged_trace _ -> true | _ -> false)
+          (validate (seal damaged)));
+    Alcotest.test_case "out-of-range statement ids are rejected" `Quick
+      (fun () ->
+        let report, n_instrs, _ = Lazy.force fixture in
+        let bad_exec =
+          { report with Gist.Client.r_executed = [ (0, [ n_instrs + 3 ]) ] }
+        in
+        expect_reject "bad-payload (executed)"
+          (function P.Bad_payload _ -> true | _ -> false)
+          (validate (seal bad_exec));
+        let bad_trap =
+          {
+            report with
+            Gist.Client.r_traps =
+              [
+                {
+                  Hw.Watchpoint.w_seq = 0;
+                  w_tid = 0;
+                  w_iid = -2;
+                  w_addr = 0;
+                  w_rw = I.Read;
+                  w_value = Exec.Value.VInt 0;
+                };
+              ];
+          }
+        in
+        expect_reject "bad-payload (trap)"
+          (function P.Bad_payload _ -> true | _ -> false)
+          (validate (seal bad_trap)));
+    Alcotest.test_case "the checksum covers the tail of the report" `Quick
+      (fun () ->
+        (* [Hashtbl.hash] truncates its traversal; the explicit walk
+           must notice a change in the very last fields. *)
+        let report, _, _ = Lazy.force fixture in
+        let c0 = P.checksum report in
+        Alcotest.(check bool) "r_steps" true
+          (c0 <> P.checksum { report with Gist.Client.r_steps = report.r_steps + 1 });
+        Alcotest.(check bool) "r_pt_errors" true
+          (c0
+          <> P.checksum
+               { report with Gist.Client.r_pt_errors = [ (9, Hw.Pt.Truncated) ] }))
+      ;
+    Alcotest.test_case "reject labels are stable counter keys" `Quick
+      (fun () ->
+        let labels =
+          List.map P.reject_label
+            [
+              P.Bad_version 2;
+              P.Bad_checksum;
+              P.Stale_plan { expected = 1; got = 2 };
+              P.Damaged_trace "x";
+              P.Bad_payload "y";
+            ]
+        in
+        Alcotest.(check (list string)) "labels"
+          [ "bad-version"; "bad-checksum"; "stale-plan"; "damaged-trace";
+            "bad-payload" ]
+          labels);
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* End to end: diagnosis under an aggressive fault environment *)
+
+let faulty_diagnosis ?(jobs = 0) () =
+  let bug = Bugbase.Curl.bug in
+  let _, failure = Option.get (Bugbase.Common.find_target_failure bug) in
+  let config =
+    {
+      Gist.Config.default with
+      preempt_prob = bug.preempt_prob;
+      fault_rates = F.spread 0.25;
+      fault_seed = 7;
+    }
+  in
+  let run pool =
+    Gist.Server.diagnose ~config ?pool ~bug_name:bug.name
+      ~failure_type:bug.failure_type ~program:bug.program
+      ~workload_of:bug.workload_of ~failure ()
+  in
+  if jobs = 0 then run None
+  else
+    let pool = Parallel.Pool.create ~jobs in
+    Fun.protect
+      ~finally:(fun () -> Parallel.Pool.shutdown pool)
+      (fun () -> run (Some pool))
+
+let sum_counts l = List.fold_left (fun a (_, n) -> a + n) 0 l
+
+let end_to_end =
+  [
+    Alcotest.test_case "the fleet ledger balances" `Quick (fun () ->
+        let d = faulty_diagnosis () in
+        let f = d.Gist.Server.fleet in
+        Alcotest.(check bool) "faults were injected" true (f.f_lost + f.f_rejected > 0);
+        Alcotest.(check int) "dispatched = delivered + lost" f.f_dispatched
+          (f.f_delivered + f.f_lost);
+        Alcotest.(check int) "delivered = valid + rejected" f.f_delivered
+          (f.f_valid + f.f_rejected);
+        Alcotest.(check int) "reasons sum to rejections" f.f_rejected
+          (sum_counts f.f_by_reason);
+        Alcotest.(check bool) "kinds cover losses and rejections" true
+          (sum_counts f.f_by_kind >= f.f_lost + f.f_rejected);
+        (* the per-iteration trace tells the same story *)
+        let tr = d.Gist.Server.trace in
+        Alcotest.(check int) "trace lost" f.f_lost
+          (List.fold_left (fun a i -> a + i.Gist.Server.it_lost) 0 tr);
+        Alcotest.(check int) "trace rejected" f.f_rejected
+          (List.fold_left (fun a i -> a + i.Gist.Server.it_rejected) 0 tr);
+        Alcotest.(check bool) "simulated time accrued" true
+          (d.Gist.Server.online_time_s > 0.0));
+    Alcotest.test_case "faulty diagnosis is pool-size independent" `Slow
+      (fun () ->
+        let a = faulty_diagnosis () in
+        let b = faulty_diagnosis ~jobs:3 () in
+        Alcotest.(check string) "sketch"
+          (Fsketch.Render.render a.Gist.Server.sketch)
+          (Fsketch.Render.render b.Gist.Server.sketch);
+        Alcotest.(check bool) "fleet stats" true
+          (a.Gist.Server.fleet = b.Gist.Server.fleet);
+        Alcotest.(check int) "total runs" a.Gist.Server.total_runs
+          b.Gist.Server.total_runs);
+  ]
+
+let () =
+  Alcotest.run "faults"
+    [
+      ("model", model);
+      ("tamper", tamper);
+      ("protocol", protocol);
+      ("end-to-end", end_to_end);
+    ]

@@ -18,6 +18,14 @@ let wp_groups =
     Alcotest.test_case "no targets yields one empty group" `Quick (fun () ->
         Alcotest.(check (list (list int))) "empty" [ [] ]
           (Gist.Server.wp_groups ~wp_capacity:4 []));
+    Alcotest.test_case "non-positive capacity is a programming error" `Quick
+      (fun () ->
+        List.iter
+          (fun cap ->
+            match Gist.Server.wp_groups ~wp_capacity:cap [ 1; 2; 3 ] with
+            | exception Invalid_argument _ -> ()
+            | _ -> Alcotest.failf "wp_capacity %d accepted" cap)
+          [ 0; -1; -4 ]);
   ]
 
 let first_failure =
@@ -35,6 +43,21 @@ let first_failure =
                (Exec.Failure.kind_tag rep.kind)
                [ "segfault"; "use-after-free"; "double-free"; "assert" ])
         | None -> Alcotest.fail "no failure found");
+    Alcotest.test_case "a bug-free program yields no production failure"
+      `Quick (fun () ->
+        (* backs the CLI's distinct no-failing-run exit code: the scan
+           itself must come back empty, not crash or mis-match *)
+        let program = Tsupport.Programs.loop_sum in
+        let workload_of c =
+          I.workload ~args:[ Exec.Value.VInt ((c mod 7) + 1) ] c
+        in
+        match
+          Gist.Server.first_failure ~max_runs:50 program workload_of
+        with
+        | None -> ()
+        | Some rep ->
+          Alcotest.failf "unexpected failure: %s"
+            (Exec.Failure.report_to_string rep));
     Alcotest.test_case "signatures separate distinct failure modes" `Quick
       (fun () ->
         let bug = Bugbase.Pbzip2.bug in

@@ -152,6 +152,114 @@ let packets =
          | I.Success -> Alcotest.fail "expected crash"));
   ]
 
+(* Damaged streams: whatever a fault does to the ring, the checked
+   decoder must return a typed error or a clean prefix — never an
+   out-of-bounds access and never an exception. *)
+
+let healthy_packets ?(args = [ Exec.Value.VInt 4 ]) ?(seed = 1) program =
+  let counters = Exec.Cost.create () in
+  let pt = Hw.Pt.create counters in
+  let hooks = Instrument.Runtime.full_tracing_hooks ~pt in
+  let _ = Exec.Interp.run ~hooks ~counters program (I.workload ~args seed) in
+  Hw.Pt.finish pt;
+  Hw.Pt.packets_of pt 0
+
+(* iids are 1-based: the exclusive bound is max iid + 1. *)
+let iid_bound program =
+  1
+  + List.fold_left
+      (fun m (i : Ir.Types.instr) -> max m i.iid)
+      0
+      (Ir.Program.all_instrs program)
+
+let in_bounds program (d : Hw.Pt.decoded) =
+  let n = iid_bound program in
+  List.for_all (fun i -> i >= 0 && i < n) d.d_iids
+  && List.for_all (fun (i, _) -> i >= 0 && i < n) d.d_branches
+
+let damaged =
+  [
+    Alcotest.test_case "truncated stream: typed error or clean prefix" `Quick
+      (fun () ->
+        let program = loop_sum in
+        let pkts = healthy_packets program in
+        let full = Hw.Pt.decode program pkts in
+        for salt = 0 to 40 do
+          let cut = Faults.Tamper.truncate_packets ~salt pkts in
+          let d, err = Hw.Pt.decode_checked program cut in
+          Alcotest.(check bool) "bounds" true (in_bounds program d);
+          Alcotest.(check bool) "prefix of the full decode" true
+            (List.length d.d_iids <= List.length full.d_iids
+            && List.for_all2
+                 (fun a b -> a = b)
+                 d.d_iids
+                 (List.filteri
+                    (fun i _ -> i < List.length d.d_iids)
+                    full.d_iids));
+          (* a cut that does not land on a packet boundary of meaning
+             is flagged; a clean-prefix cut may decode silently *)
+          match err with
+          | Some e -> ignore (Hw.Pt.error_to_string e)
+          | None -> ()
+        done);
+    Alcotest.test_case "mid-stream truncation is flagged as Truncated" `Quick
+      (fun () ->
+        let program = loop_sum in
+        let pkts = healthy_packets program in
+        (* drop just the terminator: decodes but cannot be complete *)
+        let n = List.length pkts in
+        let cut = List.filteri (fun i _ -> i < n - 1) pkts in
+        match Hw.Pt.decode_checked program cut with
+        | _, Some Hw.Pt.Truncated -> ()
+        | _, Some e ->
+          Alcotest.failf "expected Truncated, got %s" (Hw.Pt.error_to_string e)
+        | _, None -> Alcotest.fail "truncation went unnoticed");
+    Alcotest.test_case "corrupted stream: never out of bounds, never raises"
+      `Quick (fun () ->
+        let program = loop_sum in
+        let pkts = healthy_packets program in
+        let n_instrs = iid_bound program in
+        for salt = 0 to 60 do
+          let bad = Faults.Tamper.corrupt_packets ~salt ~n_instrs pkts in
+          let d, _err = Hw.Pt.decode_checked program bad in
+          Alcotest.(check bool) "bounds" true (in_bounds program d)
+        done);
+    Alcotest.test_case "an out-of-range transfer target is typed" `Quick
+      (fun () ->
+        let program = straight in
+        let n = iid_bound program in
+        match
+          Hw.Pt.decode_checked program Hw.Pt.[ PGE (n + 5); PGD (-2) ]
+        with
+        | _, Some (Hw.Pt.Bad_target pc) ->
+          Alcotest.(check int) "the bogus pc" (n + 5) pc
+        | _, Some e ->
+          Alcotest.failf "expected Bad_target, got %s"
+            (Hw.Pt.error_to_string e)
+        | _, None -> Alcotest.fail "bad target went unnoticed");
+    Alcotest.test_case "empty stream decodes as a valid empty prefix" `Quick
+      (fun () ->
+        let d, err = Hw.Pt.decode_checked straight [] in
+        Alcotest.(check (list int)) "no iids" [] d.d_iids;
+        Alcotest.(check bool) "no error" true (err = None));
+  ]
+
+let qcheck_damaged =
+  QCheck.Test.make
+    ~name:"decode_checked is total over truncations and corruptions"
+    ~count:120
+    QCheck.(pair (int_bound 10_000) bool)
+    (fun (salt, truncate) ->
+      let program = counter ~locked:true in
+      let pkts = healthy_packets ~args:[ Exec.Value.VInt 3 ] program in
+      let n_instrs = iid_bound program in
+      let bad =
+        if truncate then Faults.Tamper.truncate_packets ~salt pkts
+        else Faults.Tamper.corrupt_packets ~salt ~n_instrs pkts
+      in
+      let d, _err = Hw.Pt.decode_checked program bad in
+      in_bounds program d)
+
 let () =
   Alcotest.run "pt"
     [
@@ -159,4 +267,6 @@ let () =
       ("round-trip-qcheck", [ QCheck_alcotest.to_alcotest qcheck_round_trip ]);
       ("branch-outcomes", [ branch_outcomes ]);
       ("packets", packets);
+      ("damaged", damaged);
+      ("damaged-qcheck", [ QCheck_alcotest.to_alcotest qcheck_damaged ]);
     ]
