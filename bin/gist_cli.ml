@@ -163,11 +163,18 @@ let verbose_arg =
   let doc = "Also print the static slice and per-iteration progress." in
   Arg.(value & flag & info [ "v"; "verbose" ] ~doc)
 
+let retained_arg =
+  let doc =
+    "Ingest reports through the retained-trace reference path instead of the \
+     streaming accumulator (differential oracle; identical output)."
+  in
+  Arg.(value & flag & info [ "retained-ingest" ] ~doc)
+
 let json_arg =
   let doc = "Emit the sketch as JSON instead of the ASCII rendering." in
   Arg.(value & flag & info [ "json" ] ~doc)
 
-let diagnose_run name sigma0 no_cf no_df verbose json jobs faults =
+let diagnose_run name sigma0 no_cf no_df verbose json jobs faults retained =
   match find_bug name with
   | Error e -> prerr_endline e; 1
   | Ok bug -> (
@@ -198,6 +205,8 @@ let diagnose_run name sigma0 no_cf no_df verbose json jobs faults =
       let d =
         Parallel.Pool.with_pool ~jobs:(resolve_jobs jobs) (fun pool ->
             Gist.Server.diagnose ~config ~pool
+              ~ingest:
+                (if retained then Gist.Server.Retained else Gist.Server.Streaming)
               ~oracle:(Experiments.Oracle.for_bug bug)
               ~bug_name:(Printf.sprintf "%s bug #%s" bug.name bug.bug_id)
               ~failure_type:bug.failure_type ~program:bug.program
@@ -260,7 +269,7 @@ let diagnose_cmd =
        ~doc:"Diagnose a Bugbase failure end-to-end and print its sketch")
     Term.(
       const diagnose_run $ bug_arg $ sigma0_arg $ no_cf_arg $ no_df_arg
-      $ verbose_arg $ json_arg $ jobs_arg $ faults_term)
+      $ verbose_arg $ json_arg $ jobs_arg $ faults_term $ retained_arg)
 
 (* ------------------------------------------------------------------ *)
 

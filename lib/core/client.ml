@@ -55,18 +55,31 @@ let run_one ?(wp_capacity = 4) ?(preempt_prob = 0.35) ?(max_steps = 400_000)
     Exec.Interp.run ~hooks ~counters ~max_steps ~preempt_prob program w
   in
   Hw.Pt.finish pt;
-  (* Decode each stream through the checked decoder: the fault layer's
-     [tamper] hook damages the raw packets first (in-ring harm, before
-     the report is sealed), and a damaged stream yields its clean
-     decoded prefix plus a typed error the server validates against. *)
+  (* Each stream leaves the recorder as ring *bytes* ([Hw.Pt.wire_of])
+     and is decoded back through the byte codec before the control-flow
+     walk — the same path a real client takes from its PT ring pages.
+     The fault layer's [tamper] hook damages those bytes (in-ring harm,
+     before the report is sealed); a damaged ring yields its clean
+     decoded prefix plus a typed error the server validates against.
+     An [Empty_stream] from the walk over a *well-formed* empty ring is
+     benign (the thread simply never enabled tracing — every thread
+     gets a stream via the runtime hooks); only a ring whose bytes were
+     dropped entirely books the error. *)
   let decoded, pt_errors =
     List.fold_left
       (fun (ds, es) tid ->
-        let packets = Hw.Pt.packets_of pt tid in
-        let packets =
-          match tamper with None -> packets | Some f -> f ~tid packets
+        let bytes = Hw.Pt.wire_of pt tid in
+        let bytes =
+          match tamper with None -> bytes | Some f -> f ~tid bytes
         in
-        let d, err = Hw.Pt.decode_checked program packets in
+        let packets, wire_err = Hw.Pt.Wire.decode bytes in
+        let d, walk_err = Hw.Pt.decode_checked program packets in
+        let err =
+          match (wire_err, walk_err) with
+          | Some e, _ -> Some e (* byte-level damage wins: it came first *)
+          | None, Some Hw.Pt.Empty_stream -> None
+          | None, e -> e
+        in
         ( (tid, d) :: ds,
           match err with None -> es | Some e -> (tid, e) :: es ))
       ([], []) (Hw.Pt.all_tids pt)

@@ -36,15 +36,16 @@ val redact_value : Exec.Value.t -> Exec.Value.t
     watchpoint rotation.  [data_source] (default [Watchpoints]) selects
     the §6 PTWRITE extension instead of debug registers; [redact]
     (default false) hashes string values before they leave the client;
-    [tamper] (fault injection) damages a thread's raw packet stream
-    before decoding, as if the PT ring itself were harmed. *)
+    [tamper] (fault injection) damages a thread's encoded ring bytes
+    ([Hw.Pt.Wire]) before decoding, as if the PT ring pages themselves
+    were harmed — [""] models a dropped ring. *)
 val run_one :
   ?wp_capacity:int ->
   ?preempt_prob:float ->
   ?max_steps:int ->
   ?data_source:Config.data_source ->
   ?redact:bool ->
-  ?tamper:(tid:int -> Hw.Pt.packet list -> Hw.Pt.packet list) ->
+  ?tamper:(tid:int -> string -> string) ->
   plan:Instrument.Plan.t ->
   wp_allowed:iid list ->
   program ->

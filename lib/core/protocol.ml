@@ -18,7 +18,9 @@
 
 open Ir.Types
 
-let version = 1
+(* Version 2 is the binary wire era: reports travel as the byte
+   envelopes of {!Encode}, not as in-memory records. *)
+let version = 2
 
 type envelope = {
   e_version : int;
@@ -32,14 +34,18 @@ type reject =
   | Bad_version of int
   | Bad_checksum
   | Stale_plan of { expected : int; got : int }
+  | Dropped_trace of int  (* a thread's PT ring arrived with no bytes *)
   | Damaged_trace of string
   | Bad_payload of string
 
-(* Stable keys for per-reason counters. *)
+(* Stable keys for per-reason counters.  Dropped and damaged traces
+   are distinct reasons: fleet-health dashboards must not book ring
+   drops (a transport problem) as ring corruption (a client problem). *)
 let reject_label = function
   | Bad_version _ -> "bad-version"
   | Bad_checksum -> "bad-checksum"
   | Stale_plan _ -> "stale-plan"
+  | Dropped_trace _ -> "dropped-trace"
   | Damaged_trace _ -> "damaged-trace"
   | Bad_payload _ -> "bad-payload"
 
@@ -49,6 +55,8 @@ let reject_to_string = function
   | Stale_plan { expected; got } ->
     Printf.sprintf "report built under stale plan %#x (current %#x)" got
       expected
+  | Dropped_trace tid ->
+    Printf.sprintf "dropped PT ring: thread %d shipped no bytes" tid
   | Damaged_trace m -> Printf.sprintf "damaged PT trace: %s" m
   | Bad_payload m -> Printf.sprintf "malformed payload: %s" m
 
@@ -118,6 +126,7 @@ let mix_pt_error h (e : Hw.Pt.error) =
   | Hw.Pt.Truncated -> mix h 1
   | Hw.Pt.Bad_target pc -> mix (mix h 2) pc
   | Hw.Pt.Malformed_packet m -> mix_string (mix h 3) m
+  | Hw.Pt.Empty_stream -> mix h 4
 
 let checksum (r : Client.report) =
   let h = mix 0x6715 r.Client.r_seed in
@@ -185,6 +194,7 @@ let validate ~n_instrs ~plan_id env =
   else
     let r = env.e_report in
     match r.Client.r_pt_errors with
+    | (tid, Hw.Pt.Empty_stream) :: _ -> Error (Dropped_trace tid)
     | (tid, e) :: _ ->
       Error
         (Damaged_trace
@@ -219,3 +229,430 @@ let validate ~n_instrs ~plan_id env =
       else if bad_trap then
         Error (Bad_payload "watchpoint trap on a statement outside the program")
       else Ok r
+
+(* ------------------------------------------------------------------ *)
+(* Encode: the byte form an envelope takes on the wire.
+
+   Layout: [version] [client] [plan_id] as varints, an 8-byte LE
+   digest, then the report payload.  The digest is the same
+   splitmix-avalanche family as {!checksum} but folded over the
+   *encoded bytes* (header fields mixed in first): one pass over the
+   wire form covers every field the old full-walk checksum covered,
+   because every field is in the bytes.
+
+   Payload field order is chosen so a single forward scan classifies
+   rejects in exactly {!validate}'s priority: [r_pt_errors] comes
+   first (dropped/damaged-trace beats bad-payload), then the sections
+   whose statement ids are range-checked in validate order — executed,
+   branches, traps.  {!ingest} exploits this: it scans the bytes
+   allocation-free, and only a report that passes every layer is
+   materialised into a [Client.report].
+
+   Encoders write through a reusable per-worker {!arena}
+   ([Parallel.Pool] gives each domain its own), so steady-state
+   encoding allocates only the final immutable string. *)
+module Encode = struct
+  module W = Hw.Wirebuf
+
+  type arena = { pbuf : Buffer.t; ebuf : Buffer.t }
+
+  let arena () = { pbuf = Buffer.create 4096; ebuf = Buffer.create 4096 }
+
+  let put_kind b (k : Exec.Failure.kind) =
+    match k with
+    | Exec.Failure.Segfault -> W.put_uint b 1
+    | Exec.Failure.Use_after_free -> W.put_uint b 2
+    | Exec.Failure.Double_free -> W.put_uint b 3
+    | Exec.Failure.Assert_fail s ->
+      W.put_uint b 4;
+      W.put_string b s
+    | Exec.Failure.Deadlock -> W.put_uint b 5
+    | Exec.Failure.Hang -> W.put_uint b 6
+    | Exec.Failure.Div_by_zero -> W.put_uint b 7
+    | Exec.Failure.Type_error s ->
+      W.put_uint b 8;
+      W.put_string b s
+
+  let get_kind r : Exec.Failure.kind =
+    match W.get_uint r with
+    | 1 -> Exec.Failure.Segfault
+    | 2 -> Exec.Failure.Use_after_free
+    | 3 -> Exec.Failure.Double_free
+    | 4 -> Exec.Failure.Assert_fail (W.get_string r)
+    | 5 -> Exec.Failure.Deadlock
+    | 6 -> Exec.Failure.Hang
+    | 7 -> Exec.Failure.Div_by_zero
+    | 8 -> Exec.Failure.Type_error (W.get_string r)
+    | _ -> raise W.Short
+
+  let skip_kind r =
+    match W.get_uint r with
+    | 4 | 8 -> W.skip_string r
+    | n when n >= 1 && n <= 7 -> ()
+    | _ -> raise W.Short
+
+  let put_list b f l =
+    W.put_uint b (List.length l);
+    List.iter (f b) l
+
+  let get_list r f = List.init (W.get_uint r) (fun _ -> f r)
+
+  let put_pt_error b (tid, (e : Hw.Pt.error)) =
+    W.put_uint b tid;
+    match e with
+    | Hw.Pt.Empty_stream -> W.put_uint b 1
+    | Hw.Pt.Truncated -> W.put_uint b 2
+    | Hw.Pt.Bad_target pc ->
+      W.put_uint b 3;
+      W.put_int b pc
+    | Hw.Pt.Malformed_packet m ->
+      W.put_uint b 4;
+      W.put_string b m
+
+  let get_pt_error r =
+    let tid = W.get_uint r in
+    let e : Hw.Pt.error =
+      match W.get_uint r with
+      | 1 -> Hw.Pt.Empty_stream
+      | 2 -> Hw.Pt.Truncated
+      | 3 -> Hw.Pt.Bad_target (W.get_int r)
+      | 4 -> Hw.Pt.Malformed_packet (W.get_string r)
+      | _ -> raise W.Short
+    in
+    (tid, e)
+
+  let put_report b (r : Client.report) =
+    W.put_int b r.Client.r_seed;
+    (* pt errors lead the payload: see the module comment. *)
+    put_list b put_pt_error r.Client.r_pt_errors;
+    (match r.Client.r_outcome with
+     | Exec.Interp.Success -> W.put_uint b 1
+     | Exec.Interp.Failed rep ->
+       W.put_uint b 2;
+       put_kind b rep.Exec.Failure.kind;
+       W.put_int b rep.Exec.Failure.pc;
+       W.put_uint b rep.Exec.Failure.tid;
+       put_list b W.put_string rep.Exec.Failure.stack;
+       W.put_string b rep.Exec.Failure.message);
+    (match r.Client.r_signature with
+     | None -> W.put_uint b 0
+     | Some s ->
+       W.put_uint b 1;
+       W.put_string b s.Exec.Failure.s_kind;
+       W.put_int b s.Exec.Failure.s_pc;
+       put_list b W.put_string s.Exec.Failure.s_stack);
+    (* Executed statements, per thread: iids are delta-encoded against
+       their predecessor — control flow is local, so deltas are mostly
+       one byte. *)
+    put_list b
+      (fun b (tid, iids) ->
+        W.put_uint b tid;
+        W.put_uint b (List.length iids);
+        ignore
+          (List.fold_left
+             (fun last iid ->
+               W.put_int b (iid - last);
+               iid)
+             0 iids))
+      r.Client.r_executed;
+    put_list b
+      (fun b ((iid : int), taken) ->
+        W.put_int b iid;
+        W.put_bool b taken)
+      r.Client.r_branches;
+    put_list b
+      (fun b (t : Hw.Watchpoint.trap) ->
+        W.put_uint b t.Hw.Watchpoint.w_seq;
+        W.put_uint b t.Hw.Watchpoint.w_tid;
+        W.put_int b t.Hw.Watchpoint.w_iid;
+        W.put_int b t.Hw.Watchpoint.w_addr;
+        W.put_bool b (t.Hw.Watchpoint.w_rw = Exec.Interp.Write);
+        W.put_value b t.Hw.Watchpoint.w_value)
+      r.Client.r_traps;
+    (let c = r.Client.r_counters in
+     W.put_uint b c.Exec.Cost.instrs;
+     W.put_uint b c.Exec.Cost.branches;
+     W.put_uint b c.Exec.Cost.mem_accesses;
+     W.put_uint b c.Exec.Cost.sched_switches;
+     W.put_uint b c.Exec.Cost.pt_packets;
+     W.put_uint b c.Exec.Cost.pt_bytes;
+     W.put_uint b c.Exec.Cost.pt_toggles;
+     W.put_uint b c.Exec.Cost.wp_traps;
+     W.put_uint b c.Exec.Cost.wp_arms;
+     W.put_uint b c.Exec.Cost.rr_events;
+     W.put_uint b c.Exec.Cost.sw_trace_events);
+    W.put_float b r.Client.r_overhead_pct;
+    W.put_float b r.Client.r_base_cycles;
+    W.put_float b r.Client.r_extra_cycles;
+    W.put_uint b r.Client.r_steps
+
+  let get_report r : Client.report =
+    let r_seed = W.get_int r in
+    let r_pt_errors = get_list r get_pt_error in
+    let r_outcome =
+      match W.get_uint r with
+      | 1 -> Exec.Interp.Success
+      | 2 ->
+        let kind = get_kind r in
+        let pc = W.get_int r in
+        let tid = W.get_uint r in
+        let stack = get_list r W.get_string in
+        let message = W.get_string r in
+        Exec.Interp.Failed
+          { Exec.Failure.kind; pc; tid; stack; message }
+      | _ -> raise W.Short
+    in
+    let r_signature =
+      match W.get_uint r with
+      | 0 -> None
+      | 1 ->
+        let s_kind = W.get_string r in
+        let s_pc = W.get_int r in
+        let s_stack = get_list r W.get_string in
+        Some { Exec.Failure.s_kind; s_pc; s_stack }
+      | _ -> raise W.Short
+    in
+    let r_executed =
+      get_list r (fun r ->
+          let tid = W.get_uint r in
+          let n = W.get_uint r in
+          let last = ref 0 in
+          let iids =
+            List.init n (fun _ ->
+                last := !last + W.get_int r;
+                !last)
+          in
+          (tid, iids))
+    in
+    let r_branches =
+      get_list r (fun r ->
+          let iid = W.get_int r in
+          let taken = W.get_bool r in
+          (iid, taken))
+    in
+    let r_traps =
+      get_list r (fun r ->
+          let w_seq = W.get_uint r in
+          let w_tid = W.get_uint r in
+          let w_iid = W.get_int r in
+          let w_addr = W.get_int r in
+          let w_rw =
+            if W.get_bool r then Exec.Interp.Write else Exec.Interp.Read
+          in
+          let w_value = W.get_value r in
+          Hw.Watchpoint.{ w_seq; w_tid; w_iid; w_addr; w_rw; w_value })
+    in
+    let c = Exec.Cost.create () in
+    c.Exec.Cost.instrs <- W.get_uint r;
+    c.Exec.Cost.branches <- W.get_uint r;
+    c.Exec.Cost.mem_accesses <- W.get_uint r;
+    c.Exec.Cost.sched_switches <- W.get_uint r;
+    c.Exec.Cost.pt_packets <- W.get_uint r;
+    c.Exec.Cost.pt_bytes <- W.get_uint r;
+    c.Exec.Cost.pt_toggles <- W.get_uint r;
+    c.Exec.Cost.wp_traps <- W.get_uint r;
+    c.Exec.Cost.wp_arms <- W.get_uint r;
+    c.Exec.Cost.rr_events <- W.get_uint r;
+    c.Exec.Cost.sw_trace_events <- W.get_uint r;
+    let r_overhead_pct = W.get_float r in
+    let r_base_cycles = W.get_float r in
+    let r_extra_cycles = W.get_float r in
+    let r_steps = W.get_uint r in
+    {
+      Client.r_seed;
+      r_outcome;
+      r_signature;
+      r_executed;
+      r_branches;
+      r_traps;
+      r_counters = c;
+      r_overhead_pct;
+      r_base_cycles;
+      r_extra_cycles;
+      r_steps;
+      r_pt_errors;
+    }
+
+  (* Digest of the payload bytes (from [pos]) with the header fields
+     mixed in first; 62 bits, so the fixed 8-byte field holds it
+     exactly.  A range fold, not [String.sub] + fold: the verifying
+     side must not copy the payload just to hash it.  Folds a 32-bit
+     little-endian word per step (byte tail last): a word fits a
+     63-bit int with no truncation, so every payload bit reaches the
+     hash — a wider word would shed its top bits into [step]'s 62-bit
+     mask and leave them unprotected.  The digest is verified on
+     every delivery, so its cost is the floor of {!check}. *)
+  let digest ?(pos = 0) ~client ~plan_id payload =
+    let h = ref (mix (mix (mix 0x77A9 version) client) plan_id) in
+    let n = String.length payload in
+    let i = ref pos in
+    while !i + 4 <= n do
+      h :=
+        step !h (Int32.to_int (String.get_int32_le payload !i) land 0xFFFFFFFF);
+      i := !i + 4
+    done;
+    while !i < n do
+      h := step !h (Char.code (String.unsafe_get payload !i));
+      incr i
+    done;
+    mix !h (n - pos)
+
+  (* [encode a ~client ~plan_id report] seals a report into its wire
+     bytes.  [a]'s buffers are reused across calls: the only per-call
+     allocation that survives is the returned string. *)
+  let encode a ~client ~plan_id report =
+    Buffer.clear a.pbuf;
+    put_report a.pbuf report;
+    let payload = Buffer.contents a.pbuf in
+    Buffer.clear a.ebuf;
+    W.put_uint a.ebuf version;
+    W.put_uint a.ebuf client;
+    W.put_uint a.ebuf plan_id;
+    Buffer.add_int64_le a.ebuf (Int64.of_int (digest ~client ~plan_id payload));
+    Buffer.add_string a.ebuf payload;
+    Buffer.contents a.ebuf
+
+  let get_digest r =
+    if r.W.pos + 8 > r.W.limit then raise W.Short;
+    let bits = String.get_int64_le r.W.src r.W.pos in
+    r.W.pos <- r.W.pos + 8;
+    Int64.to_int bits
+
+  (* Allocation-free forward scan of the payload: returns the first
+     reject the bytes justify, in exactly {!validate}'s priority
+     order, without materialising a single list. *)
+  let scan_payload ~n_instrs (r : W.reader) =
+    ignore (W.get_int r) (* seed *);
+    let n_errs = W.get_uint r in
+    if n_errs > 0 then begin
+      let tid = W.get_uint r in
+      match W.get_uint r with
+      | 1 -> Error (Dropped_trace tid)
+      | tag ->
+        let detail : Hw.Pt.error =
+          match tag with
+          | 2 -> Hw.Pt.Truncated
+          | 3 -> Hw.Pt.Bad_target (W.get_int r)
+          | 4 -> Hw.Pt.Malformed_packet (W.get_string r)
+          | _ -> raise W.Short
+        in
+        Error
+          (Damaged_trace
+             (Printf.sprintf "thread %d: %s" tid
+                (Hw.Pt.error_to_string detail)))
+    end
+    else begin
+      (match W.get_uint r with
+       | 1 -> ()
+       | 2 ->
+         skip_kind r;
+         ignore (W.get_int r);
+         ignore (W.get_uint r);
+         let n = W.get_uint r in
+         for _ = 1 to n do
+           W.skip_string r
+         done;
+         W.skip_string r
+       | _ -> raise W.Short);
+      (match W.get_uint r with
+       | 0 -> ()
+       | 1 ->
+         W.skip_string r;
+         ignore (W.get_int r);
+         let n = W.get_uint r in
+         for _ = 1 to n do
+           W.skip_string r
+         done
+       | _ -> raise W.Short);
+      let ok = ref true in
+      let n_threads = W.get_uint r in
+      for _ = 1 to n_threads do
+        ignore (W.get_uint r);
+        let n = W.get_uint r in
+        let last = ref 0 in
+        for _ = 1 to n do
+          last := !last + W.get_int r;
+          if !last < 0 || !last >= n_instrs then ok := false
+        done
+      done;
+      if not !ok then Error (Bad_payload "executed statement outside the program")
+      else begin
+        let n = W.get_uint r in
+        for _ = 1 to n do
+          let iid = W.get_int r in
+          ignore (W.get_bool r);
+          if iid < 0 || iid >= n_instrs then ok := false
+        done;
+        if not !ok then
+          Error (Bad_payload "branch outcome on a statement outside the program")
+        else begin
+          let n = W.get_uint r in
+          for _ = 1 to n do
+            ignore (W.get_uint r);
+            ignore (W.get_uint r);
+            let iid = W.get_int r in
+            ignore (W.get_int r);
+            ignore (W.get_bool r);
+            W.skip_value r;
+            if iid < 0 || iid >= n_instrs then ok := false
+          done;
+          if not !ok then
+            Error
+              (Bad_payload "watchpoint trap on a statement outside the program")
+          else begin
+            (* Tail sections: 11 counter varints, 3 floats, steps. *)
+            for _ = 1 to 11 do
+              ignore (W.get_uint r)
+            done;
+            W.skip_float r;
+            W.skip_float r;
+            W.skip_float r;
+            ignore (W.get_uint r);
+            Ok ()
+          end
+        end
+      end
+    end
+
+  (* Every validation layer over the wire form, without materialising
+     the report: [Ok] carries the payload offset so {!ingest} can
+     decode without rescanning the header. *)
+  let scan ~n_instrs ~plan_id bytes =
+    try
+      let r = W.reader bytes in
+      let v = W.get_uint r in
+      if v <> version then Error (Bad_version v)
+      else begin
+        let client = W.get_uint r in
+        let got_plan = W.get_uint r in
+        let d = get_digest r in
+        let payload_start = r.W.pos in
+        if digest ~pos:payload_start ~client ~plan_id:got_plan bytes <> d then
+          Error Bad_checksum
+        else if got_plan <> plan_id then
+          Error (Stale_plan { expected = plan_id; got = got_plan })
+        else
+          match scan_payload ~n_instrs r with
+          | Error rej -> Error rej
+          | Ok () ->
+            if not (W.eof r) then Error (Bad_payload "trailing envelope bytes")
+            else Ok payload_start
+      end
+    with W.Short -> Error (Bad_payload "truncated envelope")
+
+  let check ~n_instrs ~plan_id bytes =
+    match scan ~n_instrs ~plan_id bytes with
+    | Ok (_ : int) -> Ok ()
+    | Error _ as e -> e
+
+  (* [ingest ~n_instrs ~plan_id bytes] is {!validate} over the wire
+     form: one allocation-free scan classifies the reject (same
+     layering, same priority), and only an accepted report is
+     materialised. *)
+  let ingest ~n_instrs ~plan_id bytes =
+    match scan ~n_instrs ~plan_id bytes with
+    | Error rej -> Error rej
+    | Ok payload_start -> (
+      try Ok (get_report (W.reader ~pos:payload_start bytes))
+      with W.Short -> Error (Bad_payload "truncated envelope"))
+end

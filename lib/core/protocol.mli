@@ -10,7 +10,8 @@
     typed damage flags (structure); and statement-id range checks
     (semantics). *)
 
-(** Current protocol version. *)
+(** Current protocol version (2: the binary wire era — reports travel
+    as the byte envelopes of {!Encode}). *)
 val version : int
 
 type envelope = {
@@ -27,6 +28,10 @@ type reject =
   | Bad_version of int
   | Bad_checksum
   | Stale_plan of { expected : int; got : int }
+  | Dropped_trace of int
+      (** a thread's PT ring arrived with no bytes at all — a
+          transport drop, deliberately distinct from [Damaged_trace]
+          so fleet-health counters don't book drops as corruption *)
   | Damaged_trace of string  (** client-side PT decode fault *)
   | Bad_payload of string    (** statement id outside the program *)
 
@@ -47,3 +52,39 @@ val seal : client:int -> plan_id:int -> Client.report -> envelope
     max iid + 1). *)
 val validate :
   n_instrs:int -> plan_id:int -> envelope -> (Client.report, reject) result
+
+(** The byte form an envelope takes on the wire: varint header
+    ([version], [client], [plan_id]), an 8-byte LE digest, then the
+    varint-packed report payload with statement ids delta-encoded.
+
+    Payload field order mirrors {!validate}'s reject priority
+    ([r_pt_errors] lead, then executed / branches / traps), so
+    {!Encode.ingest} classifies rejects with one allocation-free
+    forward scan and materialises only accepted reports. *)
+module Encode : sig
+  (** Reusable encode scratch; give each [Parallel.Pool] worker its
+      own.  Buffers grow to the fleet's largest report and stay
+      there — steady-state encoding allocates only the returned
+      string. *)
+  type arena
+
+  val arena : unit -> arena
+
+  (** [encode a ~client ~plan_id report] seals a report into its wire
+      bytes (header, digest, payload). *)
+  val encode : arena -> client:int -> plan_id:int -> Client.report -> string
+
+  (** [check ~n_instrs ~plan_id bytes] runs every validation layer of
+      {!ingest} without materialising the report: the allocation-free
+      integrity verdict a relay (or a server deciding whether a
+      delivery is worth decoding) pays per envelope.  Never raises. *)
+  val check :
+    n_instrs:int -> plan_id:int -> string -> (unit, reject) result
+
+  (** [ingest ~n_instrs ~plan_id bytes] is {!validate} over the wire
+      form: same layers, same priority, one forward scan; the report
+      is decoded only once every layer has passed.  Never raises —
+      arbitrary bytes yield a [reject]. *)
+  val ingest :
+    n_instrs:int -> plan_id:int -> string -> (Client.report, reject) result
+end

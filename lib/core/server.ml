@@ -39,6 +39,33 @@ type fleet_stats = {
   f_by_reason : (string * int) list; (* rejection reason -> count *)
 }
 
+(* How valid reports feed refinement and ranking.
+
+   [Streaming] is the production path: each accepted report is folded
+   into per-predictor sufficient statistics ([Predict.Stats.Acc]) and
+   the confirmed/discovered sets the moment it is consumed, then
+   dropped -- server state per iteration is O(slice), not O(fleet).
+
+   [Retained] is the reference oracle (kept like [Exec.Refinterp]):
+   every accepted report is retained and refinement replays the
+   original batch loop.  Both paths share the wire protocol, fault
+   regime and slot ordering, so a differential test can demand
+   identical diagnoses. *)
+type ingest_mode = Streaming | Retained
+
+(* What one valid slot contributes, precomputed on the worker so the
+   in-order consume fold stays O(1) per slot.  [sv_report] rides along
+   whole: the last matching one becomes the representative failing run
+   (everything else about it is dropped at consume). *)
+type slot_valid = {
+  sv_report : Client.report;
+  sv_matches : bool;    (* failed with the target signature *)
+  sv_relevant : bool;   (* matching failure or success: feeds refinement *)
+  sv_confirmed : IntSet.t;          (* tracked statements it executed *)
+  sv_discovered : int list;         (* trapped statements outside tracked *)
+  sv_predictors : Predict.Predictor.t list;
+}
+
 type diagnosis = {
   sketch : Fsketch.Sketch.t;
   slice : Slicing.Slicer.t;
@@ -92,8 +119,12 @@ let wp_groups ~wp_capacity targets =
   in
   match chunks targets with [] -> [ [] ] | gs -> gs
 
+(* One encode arena per domain: workers (and the helping caller) reuse
+   their buffers across every slot they run. *)
+let enc_arena = Parallel.Pool.worker_local (fun () -> Protocol.Encode.arena ())
+
 let diagnose ?(config = Config.default) ?(pool = Parallel.Pool.sequential)
-    ?oracle ~bug_name ~failure_type ~program ~workload_of
+    ?(ingest = Streaming) ?oracle ~bug_name ~failure_type ~program ~workload_of
     ~(failure : Exec.Failure.report) () =
   let t_offline0 = Sys.time () in
   (* Compile the program once up front (memoised in [Analysis.Cache]):
@@ -113,15 +144,44 @@ let diagnose ?(config = Config.default) ?(pool = Parallel.Pool.sequential)
   in
   let slice = Slicing.Slicer.compute program failure in
   let target_sig = Exec.Failure.signature failure in
+  let streaming = ingest = Streaming in
   let offline_time = ref (Sys.time () -. t_offline0) in
   let t_online0 = Sys.time () in
   let sigma = ref config.Config.sigma0 in
   let discovered = ref IntSet.empty in
   let confirmed = ref IntSet.empty in
+  (* Ranking state.  Streaming: sufficient statistics, O(predictors).
+     Retained (oracle): the observation list the original loop kept. *)
+  let acc = Predict.Stats.Acc.create () in
   let observations = ref [] in
   let repr_failing : Client.report option ref = ref None in
-  let overheads = ref [] in
   let base_cycles = ref 0.0 and extra_cycles = ref 0.0 in
+  (* Per-iteration overhead samples, in consume order, in a float
+     array reused across iterations (capacity only ever grows).  The
+     average is summed newest-first — the exact order the old
+     newest-first list fold used — so the reported float is
+     bit-identical to the retained path. *)
+  let ov_buf = ref (Array.make 256 0.0) in
+  let ov_len = ref 0 in
+  let ov_push x =
+    if !ov_len = Array.length !ov_buf then begin
+      let bigger = Array.make (2 * !ov_len) 0.0 in
+      Array.blit !ov_buf 0 bigger 0 !ov_len;
+      ov_buf := bigger
+    end;
+    !ov_buf.(!ov_len) <- x;
+    incr ov_len
+  in
+  let ov_avg () =
+    if !ov_len = 0 then 0.0
+    else begin
+      let s = ref 0.0 in
+      for i = !ov_len - 1 downto 0 do
+        s := !s +. !ov_buf.(i)
+      done;
+      !s /. float_of_int !ov_len
+    end
+  in
   let recurrences = ref 0 in
   let total_runs = ref 0 in
   let client_counter = ref 0 in
@@ -178,11 +238,12 @@ let diagnose ?(config = Config.default) ?(pool = Parallel.Pool.sequential)
        run bit-identical to the sequential loop at any pool size, with
        or without fault injection. *)
     let fails = ref 0 and succs = ref 0 and clients = ref 0 in
-    let iter_overheads = ref [] in
+    ov_len := 0;
     let iter_reports = ref [] in
     let it_dispatched = ref 0 and it_lost = ref 0 and it_rejected = ref 0 in
     let it_retried = ref 0 and it_quarantined = ref 0 and it_valid = ref 0 in
     let quota_open () = !fails < config.fail_quota || !succs < config.succ_quota in
+    let tracked_set = IntSet.of_list tracked in
     (* One fleet slot: dispatch, injected faults, bounded retry with
        exponential backoff in simulated fleet time, quarantine once
        [max_retries] re-dispatches are spent.  A crashed client, a
@@ -225,6 +286,8 @@ let diagnose ?(config = Config.default) ?(pool = Parallel.Pool.sequential)
              if stale then Option.get prev else (plan, plan_id, groups)
            in
            if stale then kinds := Faults.Fault.Stale_plan :: !kinds;
+           (* Ring damage lands on the encoded bytes ([Hw.Pt.Wire]),
+              the form the ring actually takes on a client. *)
            let tamper =
              match
                (inj.Faults.Fault.j_pt_truncate, inj.Faults.Fault.j_pt_corrupt)
@@ -232,19 +295,19 @@ let diagnose ?(config = Config.default) ?(pool = Parallel.Pool.sequential)
              | None, None -> None
              | tr, co ->
                Some
-                 (fun ~tid packets ->
-                   let packets =
+                 (fun ~tid bytes ->
+                   let bytes =
                      match tr with
                      | Some salt ->
-                       Faults.Tamper.truncate_packets
-                         ~salt:(Faults.Fault.mix salt tid) packets
-                     | None -> packets
+                       Faults.Tamper.truncate_wire
+                         ~salt:(Faults.Fault.mix salt tid) bytes
+                     | None -> bytes
                    in
                    match co with
                    | Some salt ->
-                     Faults.Tamper.corrupt_packets
-                       ~salt:(Faults.Fault.mix salt tid) ~n_instrs packets
-                   | None -> packets)
+                     Faults.Tamper.corrupt_wire_packets
+                       ~salt:(Faults.Fault.mix salt tid) ~n_instrs bytes
+                   | None -> bytes)
            in
            if inj.Faults.Fault.j_pt_truncate <> None then
              kinds := Faults.Fault.Pt_truncate :: !kinds;
@@ -259,16 +322,18 @@ let diagnose ?(config = Config.default) ?(pool = Parallel.Pool.sequential)
                program (workload_of c)
            in
            (* Watchpoint-log corruption: either in-ring (pre-seal, so
-              the checksum matches the damaged payload and only the
+              the digest matches the damaged payload and only the
               semantic range check can catch it) or in transit
-              (post-seal, caught by the checksum).  Both validation
-              layers stay exercised under any fault mix. *)
-           let report, flip_in_transit =
+              (post-seal: a bit flips in the sealed envelope bytes,
+              caught by the digest).  Both validation layers stay
+              exercised under any fault mix. *)
+           let report, flip_salt =
              match inj.Faults.Fault.j_wp_corrupt with
-             | None -> (report, false)
+             | None -> (report, None)
              | Some salt ->
                kinds := Faults.Fault.Wp_corrupt :: !kinds;
-               if Faults.Tamper.wp_corrupt_in_transit ~salt then (report, true)
+               if Faults.Tamper.wp_corrupt_in_transit ~salt then
+                 (report, Some salt)
                else
                  ( {
                      report with
@@ -276,17 +341,61 @@ let diagnose ?(config = Config.default) ?(pool = Parallel.Pool.sequential)
                        Faults.Tamper.corrupt_traps ~salt ~n_instrs
                          report.Client.r_traps;
                    },
-                   false )
+                   None )
            in
-           let env = Protocol.seal ~client:c ~plan_id:use_plan_id report in
-           let env =
-             if flip_in_transit then
-               { env with Protocol.e_checksum = env.Protocol.e_checksum lxor 1 }
-             else env
+           (* The client→server hop is bytes: seal into the wire
+              envelope (through this domain's reusable arena), damage
+              in transit if drawn, then validate with the single-pass
+              streaming scan.  Only an accepted report is ever
+              materialised back into a record. *)
+           let bytes =
+             Protocol.Encode.encode (enc_arena ()) ~client:c
+               ~plan_id:use_plan_id report
            in
-           match Protocol.validate ~n_instrs ~plan_id env with
+           let bytes =
+             match flip_salt with
+             | Some salt -> Faults.Tamper.flip_wire_byte ~salt bytes
+             | None -> bytes
+           in
+           match Protocol.Encode.ingest ~n_instrs ~plan_id bytes with
            | Ok r ->
-             valid := Some r;
+             let sv_matches = r.Client.r_signature = Some target_sig in
+             let sv_relevant = sv_matches || r.Client.r_signature = None in
+             (* Refinement inputs, precomputed here so the slot-order
+                consume fold is O(1) per slot.  The retained oracle
+                recomputes them from the kept reports instead. *)
+             let sv_confirmed =
+               if streaming && sv_matches then
+                 IntSet.inter tracked_set
+                   (IntSet.of_list (Client.executed_set r))
+               else IntSet.empty
+             in
+             let sv_discovered =
+               if streaming && sv_relevant then
+                 List.filter_map
+                   (fun (w : Hw.Watchpoint.trap) ->
+                     if IntSet.mem w.Hw.Watchpoint.w_iid tracked_set then None
+                     else Some w.Hw.Watchpoint.w_iid)
+                   r.Client.r_traps
+               else []
+             in
+             let sv_predictors =
+               if streaming && sv_relevant then
+                 Predict.Predictor.of_run ~ranges:config.range_predicates
+                   ~tracked ~branch_outcomes:r.Client.r_branches
+                   ~traps:r.Client.r_traps ()
+               else []
+             in
+             valid :=
+               Some
+                 {
+                   sv_report = r;
+                   sv_matches;
+                   sv_relevant;
+                   sv_confirmed;
+                   sv_discovered;
+                   sv_predictors;
+                 };
              running := false
            | Error rej -> rejects := rej :: !rejects
          end);
@@ -348,15 +457,14 @@ let diagnose ?(config = Config.default) ?(pool = Parallel.Pool.sequential)
                 rejects;
               (match valid with
                | None -> ()
-               | Some (report : Client.report) ->
+               | Some sv ->
+                 let report = sv.sv_report in
                  incr pass_valid;
                  incr it_valid;
-                 overheads := report.r_overhead_pct :: !overheads;
-                 iter_overheads := report.r_overhead_pct :: !iter_overheads;
+                 ov_push report.Client.r_overhead_pct;
                  base_cycles := !base_cycles +. report.r_base_cycles;
                  extra_cycles := !extra_cycles +. report.r_extra_cycles;
-                 let matches = report.r_signature = Some target_sig in
-                 if matches then begin
+                 if sv.sv_matches then begin
                    (* Recurrences (the Table 1 latency metric) count
                       only the failing runs AsT actually needed, not
                       surplus failures that happen while waiting for
@@ -365,10 +473,25 @@ let diagnose ?(config = Config.default) ?(pool = Parallel.Pool.sequential)
                    incr fails;
                    repr_failing := Some report
                  end
-                 else if report.r_signature = None then incr succs;
+                 else if report.Client.r_signature = None then incr succs;
                  (* Other failures are different bugs: ignored here. *)
-                 if matches || report.r_signature = None then
-                   iter_reports := (report, matches) :: !iter_reports);
+                 if sv.sv_relevant then
+                   if streaming then begin
+                     (* Fold the slot's contribution the moment it is
+                        accepted, in slot order; the report itself is
+                        dropped (only [repr_failing] retains one). *)
+                     confirmed := IntSet.union !confirmed sv.sv_confirmed;
+                     List.iter
+                       (fun iid -> discovered := IntSet.add iid !discovered)
+                       sv.sv_discovered;
+                     Predict.Stats.Acc.add acc
+                       Predict.Stats.
+                         {
+                           predictors = sv.sv_predictors;
+                           failing = sv.sv_matches;
+                         }
+                   end
+                   else iter_reports := (report, sv.sv_matches) :: !iter_reports);
               quota_open () && !clients < config.max_clients_per_iter)
             ()
       in
@@ -405,33 +528,39 @@ let diagnose ?(config = Config.default) ?(pool = Parallel.Pool.sequential)
     prev_plan := Some (plan, plan_id, groups);
     (* --- refinement (§3.2): keep tracked statements that executed in
        failing runs; adopt watchpoint-discovered statements the
-       alias-free slice missed --- *)
-    let tracked_set = IntSet.of_list tracked in
-    List.iter
-      (fun ((r : Client.report), matches) ->
-        if matches then begin
-          let executed = IntSet.of_list (Client.executed_set r) in
-          confirmed := IntSet.union !confirmed (IntSet.inter tracked_set executed)
-        end;
-        (* Statements the alias-free slice missed are discovered by any
-           monitored run whose watchpoints trap on them -- successful
-           runs included (in failing runs the watchpoint may only be
-           armed after the racing write already happened). *)
-        List.iter
-          (fun (w : Hw.Watchpoint.trap) ->
-            if not (IntSet.mem w.w_iid tracked_set) then
-              discovered := IntSet.add w.w_iid !discovered)
-          r.r_traps;
-        observations :=
-          Predict.Stats.
-            {
-              predictors =
-                Predict.Predictor.of_run ~ranges:config.range_predicates
-                  ~tracked ~branch_outcomes:r.r_branches ~traps:r.r_traps ();
-              failing = matches;
-            }
-          :: !observations)
-      !iter_reports;
+       alias-free slice missed.
+
+       Streaming mode already folded every accepted report into
+       [confirmed]/[discovered]/[acc] at consume time (set unions and
+       counter sums commute, so fold-as-they-arrive equals
+       fold-at-the-end); this batch replay is the retained oracle's
+       path over the reports it kept. --- *)
+    if not streaming then
+      List.iter
+        (fun ((r : Client.report), matches) ->
+          if matches then begin
+            let executed = IntSet.of_list (Client.executed_set r) in
+            confirmed := IntSet.union !confirmed (IntSet.inter tracked_set executed)
+          end;
+          (* Statements the alias-free slice missed are discovered by any
+             monitored run whose watchpoints trap on them -- successful
+             runs included (in failing runs the watchpoint may only be
+             armed after the racing write already happened). *)
+          List.iter
+            (fun (w : Hw.Watchpoint.trap) ->
+              if not (IntSet.mem w.w_iid tracked_set) then
+                discovered := IntSet.add w.w_iid !discovered)
+            r.r_traps;
+          observations :=
+            Predict.Stats.
+              {
+                predictors =
+                  Predict.Predictor.of_run ~ranges:config.range_predicates
+                    ~tracked ~branch_outcomes:r.r_branches ~traps:r.r_traps ();
+                failing = matches;
+              }
+            :: !observations)
+        !iter_reports;
     (* --- build the sketch from the representative failing run --- *)
     (match !repr_failing with
      | None -> ()
@@ -465,7 +594,12 @@ let diagnose ?(config = Config.default) ?(pool = Parallel.Pool.sequential)
              if filtered = [] then None else Some (tid, filtered))
            repr.r_executed
        in
-       let ranked = Predict.Stats.rank !observations in
+       (* [Acc.rank] is bit-identical to [Stats.rank] over the same
+          observations (integer counts, total-order sort). *)
+       let ranked =
+         if streaming then Predict.Stats.Acc.rank acc
+         else Predict.Stats.rank !observations
+       in
        let sketch =
          Fsketch.Sketch.build ~bug_name ~failure_type ~program
            ~failure ~per_thread ~traps:repr.r_traps ~ranked
@@ -474,19 +608,14 @@ let diagnose ?(config = Config.default) ?(pool = Parallel.Pool.sequential)
        (* --- developer decision (§3.2.1): stop AsT or double sigma --- *)
        let satisfied = match oracle with Some f -> f sketch | None -> false in
        if satisfied then stop := true);
-    (let avg_l l =
-       match l with
-       | [] -> 0.0
-       | _ -> List.fold_left ( +. ) 0.0 l /. float_of_int (List.length l)
-     in
-     trace :=
+    (trace :=
        {
          it_sigma = !sigma;
          it_tracked = List.length tracked;
          it_fails = !fails;
          it_succs = !succs;
          it_clients = !clients;
-         it_avg_overhead = avg_l !iter_overheads;
+         it_avg_overhead = ov_avg ();
          it_oracle_pass = !stop;
          it_dispatched = !it_dispatched;
          it_lost = !it_lost;
@@ -517,20 +646,18 @@ let diagnose ?(config = Config.default) ?(pool = Parallel.Pool.sequential)
         ~per_thread:[ (failure.tid, [ failure.pc ]) ]
         ~traps:[] ~ranked:[]
   in
-  let avg l =
-    match l with
-    | [] -> 0.0
-    | _ -> List.fold_left ( +. ) 0.0 l /. float_of_int (List.length l)
-  in
   {
     sketch;
     slice;
     iterations = !iteration;
     recurrences = !recurrences;
     total_runs = !total_runs;
+    (* When no valid report carried base cycles, every per-run
+       overhead was 0/0 = 0 as well, so 0.0 is the old list-average
+       fallback without retaining the list. *)
     avg_overhead_pct =
       (if !base_cycles > 0.0 then 100.0 *. !extra_cycles /. !base_cycles
-       else avg !overheads);
+       else 0.0);
     offline_time_s = !offline_time;
     (* Retry backoff and straggler deadlines happen in fleet time, not
        server CPU time: charge them to the online phase. *)

@@ -38,6 +38,20 @@ type fleet_stats = {
       (** rejection reason ({!Protocol.reject_label}) -> count *)
 }
 
+(** How valid reports feed refinement and ranking.
+
+    [Streaming] (the default, and the production path): each accepted
+    report is folded into per-predictor sufficient statistics
+    ({!Predict.Stats.Acc}) and the confirmed/discovered sets the
+    moment it is consumed, then dropped — server state per iteration
+    is O(slice), not O(fleet).
+
+    [Retained] is the reference oracle, kept like [Exec.Refinterp]:
+    accepted reports are retained and refinement replays the original
+    batch loop.  Both modes share the wire protocol, fault regime and
+    slot ordering, and produce bit-identical diagnoses. *)
+type ingest_mode = Streaming | Retained
+
 type diagnosis = {
   sketch : Fsketch.Sketch.t;
   slice : Slicing.Slicer.t;
@@ -101,6 +115,7 @@ val wp_groups : wp_capacity:int -> iid list -> iid list list
 val diagnose :
   ?config:Config.t ->
   ?pool:Parallel.Pool.t ->
+  ?ingest:ingest_mode ->
   ?oracle:(Fsketch.Sketch.t -> bool) ->
   bug_name:string ->
   failure_type:string ->

@@ -74,3 +74,46 @@ let corrupt_traps ~salt ~n_instrs traps =
 let wp_corrupt_in_transit ~salt =
   let rng = Exec.Rng.create (Fault.mix salt 0x3d9) in
   Exec.Rng.bool rng
+
+(* --- wire-level damage: harm lands on the encoded ring bytes --- *)
+
+(* Cut the encoded ring short: keep a non-empty strict prefix of the
+   bytes.  The ring's count header promises more packets than survive,
+   so the decoder always reports [Truncated] (either a packet is cut
+   mid-byte or the stream ends cleanly short of the count) -- never
+   [Empty_stream], which is reserved for dropped rings. *)
+let truncate_wire ~salt bytes =
+  let n = String.length bytes in
+  if n <= 1 then bytes
+  else begin
+    let rng = Exec.Rng.create (Fault.mix salt 0x7c1) in
+    let keep = 1 + Exec.Rng.int rng (n - 1) in
+    String.sub bytes 0 keep
+  end
+
+(* Damage one packet *through* the encoding: decode the ring, corrupt
+   one packet structurally, re-encode.  The harm is expressed in ring
+   bytes (what a real flipped page would carry) yet stays structurally
+   destructive by construction -- an arbitrary byte flip could decode
+   to a plausible-but-wrong trace, which per-packet-CRC-less PT cannot
+   catch (DESIGN.md §7), so we don't model it as silent damage. *)
+let corrupt_wire_packets ~salt ~n_instrs bytes =
+  let packets, _ = Hw.Pt.Wire.decode bytes in
+  match packets with
+  | [] -> bytes
+  | _ -> Hw.Pt.Wire.encode (corrupt_packets ~salt ~n_instrs packets)
+
+(* In-transit damage to an already-sealed byte envelope: flip one bit
+   of one byte.  The envelope digest covers every byte, so the server
+   books this as checksum damage. *)
+let flip_wire_byte ~salt bytes =
+  let n = String.length bytes in
+  if n = 0 then bytes
+  else begin
+    let rng = Exec.Rng.create (Fault.mix salt 0x6e5) in
+    let idx = Exec.Rng.int rng n in
+    let bit = Exec.Rng.int rng 8 in
+    let b = Bytes.of_string bytes in
+    Bytes.set b idx (Char.chr (Char.code (Bytes.get b idx) lxor (1 lsl bit)));
+    Bytes.unsafe_to_string b
+  end

@@ -199,6 +199,168 @@ let all_tids r =
   Hashtbl.fold (fun tid _ acc -> tid :: acc) r.streams [] |> List.sort compare
 
 (* ------------------------------------------------------------------ *)
+(* Typed decode faults, shared by the byte-level ring codec below and
+   the control-flow walk: a damaged stream yields the clean decoded
+   prefix plus one of these, never an out-of-bounds access.  Crash
+   truncation is NOT an error -- [finish] terminates a crashed stream
+   with a PGD, so a missing terminator can only mean the ring itself
+   lost its tail. *)
+type error =
+  | Empty_stream            (* the ring arrived with no bytes at all *)
+  | Truncated               (* stream does not end with a PGD *)
+  | Bad_target of int       (* transfer target outside the program *)
+  | Malformed_packet of string
+
+let error_to_string = function
+  | Empty_stream -> "empty ring (no bytes arrived)"
+  | Truncated -> "truncated stream (missing PGD terminator)"
+  | Bad_target pc -> Printf.sprintf "transfer target %d outside the program" pc
+  | Malformed_packet m -> m
+
+(* ------------------------------------------------------------------ *)
+(* Wire: the binary ring representation.  Real PT writes packets into a
+   ring of physical pages as bytes; this codec is that ring.  Packets
+   are varint-packed and iid-delta-encoded (transfer targets are near
+   each other, so deltas stay in one or two bytes), and the codec is
+   the layer fleet tamper models damage -- harm lands on the encoded
+   bytes, exactly where a real ring is harmed.
+
+   Layout: one magic byte, a varint packet count, then packets.  Tag
+   bytes: 0x01 PGE, 0x02 PGD, 0x04 TIP, 0x05 PTW, 0x10|n an n-bit TNT
+   (n in 1..8) followed by one outcome-mask byte.  All iid payloads
+   (PGE/PGD/TIP targets, PTW sites) share one zigzag delta chain; PTW
+   timestamps delta-encode against the previous PTW in the stream.
+
+   The count header makes every truncation detectable: a ring that
+   lost its tail either cuts a packet mid-byte ([Wirebuf.Short]) or
+   ends cleanly short of the promised count -- both decode to the
+   clean packet prefix plus [Truncated].  A ring with {e no} bytes is
+   the distinct [Empty_stream]: a dropped ring, not a damaged one
+   (fleet-health counters must not book drops as corruption). *)
+module Wire = struct
+  let magic = 0xB7
+
+  type chain = { mutable last_iid : int; mutable last_tsc : int }
+
+  let add_packet b ch p =
+    let delta_iid iid =
+      let d = iid - ch.last_iid in
+      ch.last_iid <- iid;
+      Wirebuf.put_int b d
+    in
+    match p with
+    | PGE pc ->
+      Buffer.add_char b '\001';
+      delta_iid pc
+    | PGD pc ->
+      Buffer.add_char b '\002';
+      delta_iid pc
+    | TIP pc ->
+      Buffer.add_char b '\004';
+      delta_iid pc
+    | TNT bits ->
+      let n = List.length bits in
+      if n < 1 || n > 8 then
+        invalid_arg "Pt.Wire: TNT carries 1..8 outcomes";
+      Buffer.add_char b (Char.chr (0x10 lor n));
+      let mask, _ =
+        List.fold_left
+          (fun (m, i) bit -> ((if bit then m lor (1 lsl i) else m), i + 1))
+          (0, 0) bits
+      in
+      Buffer.add_char b (Char.chr mask)
+    | PTW w ->
+      Buffer.add_char b '\005';
+      Wirebuf.put_uint b (w.p_tsc - ch.last_tsc);
+      ch.last_tsc <- w.p_tsc;
+      delta_iid w.p_iid;
+      Wirebuf.put_int b w.p_addr;
+      Wirebuf.put_bool b w.p_write;
+      Wirebuf.put_value b w.p_value
+
+  let encode_into b ~count packet_at =
+    Buffer.add_char b (Char.chr magic);
+    Wirebuf.put_uint b count;
+    let ch = { last_iid = 0; last_tsc = 0 } in
+    for i = 0 to count - 1 do
+      add_packet b ch (packet_at i)
+    done
+
+  let encode packets =
+    let b = Buffer.create (16 + (4 * List.length packets)) in
+    let arr = Array.of_list packets in
+    encode_into b ~count:(Array.length arr) (Array.get arr);
+    Buffer.contents b
+
+  let decode bytes =
+    if String.length bytes = 0 then ([], Some Empty_stream)
+    else
+      let r = Wirebuf.reader bytes in
+      if Wirebuf.byte r <> magic then
+        ([], Some (Malformed_packet "bad ring magic"))
+      else begin
+        let acc = ref [] in
+        let err = ref None in
+        (try
+           let count = Wirebuf.get_uint r in
+           let ch = { last_iid = 0; last_tsc = 0 } in
+           let next_iid () =
+             ch.last_iid <- ch.last_iid + Wirebuf.get_int r;
+             ch.last_iid
+           in
+           let i = ref 0 in
+           while !i < count && !err = None do
+             (match Wirebuf.byte r with
+              | 0x01 -> acc := PGE (next_iid ()) :: !acc
+              | 0x02 -> acc := PGD (next_iid ()) :: !acc
+              | 0x04 -> acc := TIP (next_iid ()) :: !acc
+              | 0x05 ->
+                let tsc = ch.last_tsc + Wirebuf.get_uint r in
+                ch.last_tsc <- tsc;
+                let iid = next_iid () in
+                let addr = Wirebuf.get_int r in
+                let write = Wirebuf.get_bool r in
+                let value = Wirebuf.get_value r in
+                acc :=
+                  PTW
+                    {
+                      p_tsc = tsc;
+                      p_iid = iid;
+                      p_addr = addr;
+                      p_write = write;
+                      p_value = value;
+                    }
+                  :: !acc
+              | tag when tag land 0xF0 = 0x10 && tag land 0x0F >= 1
+                         && tag land 0x0F <= 8 ->
+                let n = tag land 0x0F in
+                let mask = Wirebuf.byte r in
+                acc :=
+                  TNT (List.init n (fun i -> mask land (1 lsl i) <> 0)) :: !acc
+              | tag ->
+                err :=
+                  Some
+                    (Malformed_packet
+                       (Printf.sprintf "unknown ring tag %#x" tag)));
+             incr i
+           done;
+           if !err = None && !i < count then err := Some Truncated
+           else if !err = None && not (Wirebuf.eof r) then
+             err := Some (Malformed_packet "trailing ring bytes")
+         with Wirebuf.Short -> err := Some Truncated);
+        (List.rev !acc, !err)
+      end
+end
+
+(* The ring as bytes, straight from the packed packet array (no
+   intermediate packet list). *)
+let wire_of r tid =
+  let s = stream r tid in
+  let b = Buffer.create (16 + (4 * s.len)) in
+  Wire.encode_into b ~count:s.len (Array.get s.buf);
+  Buffer.contents b
+
+(* ------------------------------------------------------------------ *)
 (* Decoder *)
 
 type decoded = {
@@ -208,22 +370,6 @@ type decoded = {
 }
 
 exception Malformed of string
-
-(* Typed decode faults: a damaged stream yields the clean decoded
-   prefix plus one of these, never an out-of-bounds access.  Crash
-   truncation is NOT an error -- [finish] terminates a crashed stream
-   with a PGD, so a missing terminator can only mean the ring itself
-   lost its tail. *)
-type error =
-  | Truncated               (* stream does not end with a PGD *)
-  | Bad_target of int       (* transfer target outside the program *)
-  | Malformed_packet of string
-
-let error_to_string = function
-  | Truncated -> "truncated stream (missing PGD terminator)"
-  | Bad_target pc -> Printf.sprintf "transfer target %d outside the program" pc
-  | Malformed_packet m -> m
-
 exception Stop_decode of error
 
 type cursor = {
@@ -255,6 +401,14 @@ let rec take_bit c =
 let at_segment_end c = c.bits = [] && (match c.rest with PGD _ :: _ -> true | _ -> false)
 
 let decode_checked program packets =
+  (* No packets at all is its own condition, not a truncation: a thread
+     whose stream never toggled on records nothing legitimately, while a
+     dropped ring arrives empty illegitimately.  Only the caller can
+     tell the two apart, so the decoder reports the fact and lets
+     fleet-health accounting classify it. *)
+  if packets = [] then
+    ({ d_iids = []; d_branches = []; d_data = [] }, Some Empty_stream)
+  else
   let dsteps = (Analysis.Cache.lowered program).Ir.Lowered.l_dsteps in
   let n = Array.length dsteps in
   (* Data packets carry their own timestamps; split them out so the
@@ -355,6 +509,10 @@ let decode_checked program packets =
 let decode program packets =
   match decode_checked program packets with
   | d, None -> d
+  (* A never-enabled stream is benign here: [decode] predates fleet
+     health accounting and its callers treat "no packets" as "ran
+     nothing traced". *)
+  | d, Some Empty_stream -> d
   | _, Some e -> raise (Malformed (error_to_string e))
 
 (* Decode every stream of a recorder. *)

@@ -81,6 +81,52 @@ val finish : recorder -> unit
 val packets_of : recorder -> int -> packet list
 val all_tids : recorder -> int list
 
+(** Typed decode faults for damaged streams, shared by the byte-level
+    ring codec ({!Wire}) and the control-flow walk.  Crash truncation
+    is not an error ({!finish} PGD-terminates a crashed stream); a
+    missing terminator can only mean the ring itself lost its tail. *)
+type error =
+  | Empty_stream
+      (** the ring arrived with no bytes / no packets at all — a
+          {e dropped} ring (or a thread that never enabled tracing),
+          distinct from a damaged one so fleet-health counters don't
+          book drops as corruption *)
+  | Truncated                   (** stream does not end with a PGD *)
+  | Bad_target of int           (** transfer target outside the program *)
+  | Malformed_packet of string
+
+val error_to_string : error -> string
+
+(** The binary ring representation: what real PT writes into its ring
+    of physical pages, and the layer the fleet's tamper models damage.
+    Packets are varint-packed and iid-delta-encoded.
+
+    Layout: one magic byte, a varint packet count, then packets.  Tag
+    bytes: [0x01] PGE, [0x02] PGD, [0x04] TIP, [0x05] PTW, [0x10|n] an
+    n-bit TNT ([n] in 1..8) followed by one outcome-mask byte.  All
+    iid payloads share one zigzag delta chain; PTW timestamps
+    delta-encode against the previous PTW in the stream. *)
+module Wire : sig
+  val magic : int
+
+  (** [encode_into b ~count packet_at] appends the ring encoding of
+      packets [packet_at 0 .. packet_at (count-1)] to [b]. *)
+  val encode_into : Buffer.t -> count:int -> (int -> packet) -> unit
+
+  val encode : packet list -> string
+
+  (** [decode bytes] never raises: a damaged ring yields the clean
+      packet prefix plus a typed error.  [""] is [Empty_stream]; a
+      ring cut mid-packet or ending short of the promised count is
+      [Truncated]; an unknown tag or trailing bytes are
+      [Malformed_packet]. *)
+  val decode : string -> packet list * error option
+end
+
+(** One thread's ring as bytes, encoded straight from the packed
+    packet array (no intermediate packet list). *)
+val wire_of : recorder -> int -> string
+
 type decoded = {
   d_iids : iid list;              (** executed instructions, in order *)
   d_branches : (iid * bool) list; (** branch outcomes, in order *)
@@ -89,23 +135,17 @@ type decoded = {
 
 exception Malformed of string
 
-(** Typed decode faults for damaged streams.  Crash truncation is not
-    an error ({!finish} PGD-terminates a crashed stream); a missing
-    terminator can only mean the ring itself lost its tail. *)
-type error =
-  | Truncated                   (** stream does not end with a PGD *)
-  | Bad_target of int           (** transfer target outside the program *)
-  | Malformed_packet of string
-
-val error_to_string : error -> string
-
 (** [decode_checked program packets] decodes as much of the stream as
     is structurally sound: a damaged stream yields the clean decoded
     prefix plus a typed error — never an out-of-bounds access, never
-    an exception. *)
+    an exception.  [[]] decodes to the empty trace with
+    [Some Empty_stream]: the decoder cannot tell a never-enabled
+    stream from a dropped ring, so it reports the fact and lets the
+    caller classify it. *)
 val decode_checked : program -> packet list -> decoded * error option
 
 (** Decode one thread's packet stream against the program.
+    [Empty_stream] is benign here (an empty trace, not a fault).
     @raise Malformed on a damaged stream. *)
 val decode : program -> packet list -> decoded
 

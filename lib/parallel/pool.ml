@@ -146,6 +146,18 @@ let map_array t f xs =
 
 let map t f l = Array.to_list (map_array t f (Array.of_list l))
 
+(* Per-worker mutable scratch (decode arenas, reusable buffers):
+   domain-local storage, so a task never contends for or observes
+   another worker's state.  [worker_local init] returns a getter; each
+   domain that calls it (workers and the helping caller alike) gets
+   its own lazily-created instance.  State persists across tasks on
+   the same domain -- that is the point (buffers stay grown) -- so
+   anything reachable from it must not leak task results: use it for
+   scratch whose contents are dead once the task returns. *)
+let worker_local init =
+  let key = Domain.DLS.new_key init in
+  fun () -> Domain.DLS.get key
+
 (* Speculative ordered streaming.  [next i] builds the i-th task (or
    [None] past the end); batches run on the pool, then [consume i r]
    folds results *in submission order* until it returns [false].

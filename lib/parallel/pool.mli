@@ -59,6 +59,15 @@ val map_until :
   unit ->
   int
 
+(** [worker_local init] is per-domain mutable scratch (decode arenas,
+    reusable buffers): the returned getter gives each domain — pool
+    workers and the helping caller alike — its own lazily-created
+    instance, so tasks never contend for or observe another worker's
+    state.  The instance persists across tasks on the same domain
+    (buffers stay grown); use it only for scratch whose contents are
+    dead once a task returns. *)
+val worker_local : (unit -> 'a) -> unit -> 'a
+
 (** Stop the workers and join their domains.  Queued-but-unstarted
     tasks of in-flight maps are still executed by the submitter (it
     helps drain), so no [map] is left incomplete. *)

@@ -68,6 +68,87 @@ let rank ?(beta = beta_default) (observations : observation list) =
       | 0 -> Predictor.compare a.predictor b.predictor (* deterministic ties *)
       | c -> c)
 
+(* ------------------------------------------------------------------ *)
+(* Acc: per-predictor sufficient statistics.
+
+   [rank] needs only (failing-with, success-with) per predictor plus
+   the failing-run total -- counters, not observations.  The streaming
+   server folds each accepted report into an accumulator the moment
+   validation passes and retains nothing else, so ranking state is
+   O(predictors in the slice), not O(fleet).
+
+   Equivalence with [rank] is exact, not approximate: the counts are
+   commutative integer sums, precision/recall derive from identical
+   integers, and the final sort key (f_measure desc, then
+   [Predictor.compare]) is a total order over distinct predictors --
+   so [Acc.rank] is bit-identical to [rank] over the same
+   observations, in any accumulation or merge order.  The retained
+   path stays in the tree as the reference oracle (differential-tested
+   like [Exec.Refinterp]). *)
+
+module Acc = struct
+  type t = {
+    counts : (Predictor.t, int * int) Hashtbl.t;
+        (* predictor -> (failing-with, success-with) *)
+    mutable total_failing : int;
+    mutable n_obs : int;
+  }
+
+  let create () = { counts = Hashtbl.create 64; total_failing = 0; n_obs = 0 }
+
+  let observations t = t.n_obs
+
+  let add t { predictors; failing } =
+    t.n_obs <- t.n_obs + 1;
+    if failing then t.total_failing <- t.total_failing + 1;
+    (* Same defensive dedup as [rank]: a predictor either held in a
+       run or did not. *)
+    List.iter
+      (fun p ->
+        let f, s = Option.value ~default:(0, 0) (Hashtbl.find_opt t.counts p) in
+        let cell = if failing then (f + 1, s) else (f, s + 1) in
+        Hashtbl.replace t.counts p cell)
+      (List.sort_uniq Predictor.compare predictors)
+
+  (* Fold [src] into [dst].  Integer sums commute, so any merge order
+     yields the same accumulator. *)
+  let merge ~into:dst src =
+    dst.n_obs <- dst.n_obs + src.n_obs;
+    dst.total_failing <- dst.total_failing + src.total_failing;
+    Hashtbl.iter
+      (fun p (f, s) ->
+        let f0, s0 =
+          Option.value ~default:(0, 0) (Hashtbl.find_opt dst.counts p)
+        in
+        Hashtbl.replace dst.counts p (f0 + f, s0 + s))
+      src.counts
+
+  let rank ?(beta = beta_default) t =
+    Hashtbl.fold
+      (fun predictor (f, s) acc ->
+        let precision =
+          if f + s = 0 then 0.0 else float_of_int f /. float_of_int (f + s)
+        in
+        let recall =
+          if t.total_failing = 0 then 0.0
+          else float_of_int f /. float_of_int t.total_failing
+        in
+        {
+          predictor;
+          precision;
+          recall;
+          f_measure = f_measure ~beta ~precision ~recall ();
+          n_failing_with = f;
+          n_success_with = s;
+        }
+        :: acc)
+      t.counts []
+    |> List.sort (fun a b ->
+        match compare b.f_measure a.f_measure with
+        | 0 -> Predictor.compare a.predictor b.predictor
+        | c -> c)
+end
+
 (* The sketch shows the highest-ranked predictor *per category*
    (branches, data values, statement orders), §3.3. *)
 let best_per_kind ranked =

@@ -30,6 +30,35 @@ val f_measure : ?beta:float -> precision:float -> recall:float -> unit -> float
     tie-break).  Each observation's predictor list is deduplicated. *)
 val rank : ?beta:float -> observation list -> ranked list
 
+(** Per-predictor sufficient statistics: the streaming replacement for
+    retaining observations.  Holds (failing-with, success-with)
+    counters per predictor plus the failing-run total — O(predictors)
+    state, not O(runs).
+
+    {!Acc.rank} is bit-identical to {!rank} over the same
+    observations in any accumulation or merge order: the counts are
+    commutative integer sums and the sort key (f_measure descending,
+    then [Predictor.compare]) is a total order over distinct
+    predictors. *)
+module Acc : sig
+  type t
+
+  val create : unit -> t
+
+  (** Number of observations folded in so far. *)
+  val observations : t -> int
+
+  (** Fold one run's observation into the counters (predictor list is
+      deduplicated, as in {!rank}). *)
+  val add : t -> observation -> unit
+
+  (** [merge ~into src] folds [src]'s counters into [into]; [src] is
+      unchanged.  Used to combine per-worker accumulators. *)
+  val merge : into:t -> t -> unit
+
+  val rank : ?beta:float -> t -> ranked list
+end
+
 (** The sketch shows the best predictor {e per category} (branches,
     data values, statement orders), §3.3. *)
 val best_per_kind : ranked list -> ranked list

@@ -305,6 +305,127 @@ let protocol =
   ]
 
 (* ------------------------------------------------------------------ *)
+(* The binary wire envelope: Encode.encode / check / ingest *)
+
+let wire_of ?(client = 0) ?plan_id report =
+  let _, _, fixture_plan = Lazy.force fixture in
+  let plan_id = Option.value ~default:fixture_plan plan_id in
+  Gist.Protocol.Encode.encode
+    (Gist.Protocol.Encode.arena ())
+    ~client ~plan_id report
+
+let ingest ?n_instrs ?plan_id bytes =
+  let _, n, p = Lazy.force fixture in
+  P.Encode.ingest
+    ~n_instrs:(Option.value ~default:n n_instrs)
+    ~plan_id:(Option.value ~default:p plan_id)
+    bytes
+
+let expect_wire_reject name pred bytes =
+  expect_reject name pred (ingest bytes);
+  (* [check] must agree with [ingest] layer for layer. *)
+  let _, n, p = Lazy.force fixture in
+  expect_reject (name ^ " (check)") pred (P.Encode.check ~n_instrs:n ~plan_id:p bytes)
+
+let wire =
+  [
+    Alcotest.test_case "encode / ingest round-trips the whole report"
+      `Quick (fun () ->
+        let report, _, _ = Lazy.force fixture in
+        match ingest (wire_of report) with
+        | Ok r ->
+          Alcotest.(check bool) "structurally equal" true (r = report)
+        | Error e -> Alcotest.failf "rejected: %s" (P.reject_to_string e));
+    Alcotest.test_case "check accepts what ingest accepts" `Quick (fun () ->
+        let report, n, p = Lazy.force fixture in
+        match P.Encode.check ~n_instrs:n ~plan_id:p (wire_of report) with
+        | Ok () -> ()
+        | Error e -> Alcotest.failf "rejected: %s" (P.reject_to_string e));
+    Alcotest.test_case "a foreign version byte is rejected first" `Quick
+      (fun () ->
+        let report, _, _ = Lazy.force fixture in
+        let b = Bytes.of_string (wire_of report) in
+        (* The envelope leads with the version varint; 3 is a valid
+           one-byte varint that is not [P.version]. *)
+        Bytes.set b 0 '\003';
+        expect_wire_reject "bad-version"
+          (function P.Bad_version 3 -> true | _ -> false)
+          (Bytes.to_string b));
+    Alcotest.test_case "a payload bit flip is a checksum mismatch" `Quick
+      (fun () ->
+        let report, _, _ = Lazy.force fixture in
+        let s = wire_of report in
+        let b = Bytes.of_string s in
+        let last = Bytes.length b - 1 in
+        Bytes.set b last (Char.chr (Char.code (Bytes.get b last) lxor 0x40));
+        expect_wire_reject "bad-checksum"
+          (function P.Bad_checksum -> true | _ -> false)
+          (Bytes.to_string b));
+    Alcotest.test_case "a stale plan id is rejected" `Quick (fun () ->
+        let report, _, plan_id = Lazy.force fixture in
+        expect_wire_reject "stale-plan"
+          (function
+            | P.Stale_plan { expected; got } ->
+              expected = plan_id && got = plan_id + 1
+            | _ -> false)
+          (wire_of ~plan_id:(plan_id + 1) report));
+    Alcotest.test_case "a dropped ring outranks payload damage" `Quick
+      (fun () ->
+        let report, n_instrs, _ = Lazy.force fixture in
+        (* Both a transport drop and an out-of-range statement: the
+           drop must win, mirroring [validate]'s priority. *)
+        let damaged =
+          {
+            report with
+            Gist.Client.r_pt_errors = [ (1, Hw.Pt.Empty_stream) ];
+            Gist.Client.r_executed = [ (0, [ n_instrs + 3 ]) ];
+          }
+        in
+        expect_wire_reject "dropped-trace"
+          (function P.Dropped_trace 1 -> true | _ -> false)
+          (wire_of damaged));
+    Alcotest.test_case "decode damage outranks payload damage" `Quick
+      (fun () ->
+        let report, n_instrs, _ = Lazy.force fixture in
+        let damaged =
+          {
+            report with
+            Gist.Client.r_pt_errors = [ (0, Hw.Pt.Truncated) ];
+            Gist.Client.r_executed = [ (0, [ n_instrs + 3 ]) ];
+          }
+        in
+        expect_wire_reject "damaged-trace"
+          (function P.Damaged_trace _ -> true | _ -> false)
+          (wire_of damaged));
+    Alcotest.test_case "out-of-range statement ids are rejected" `Quick
+      (fun () ->
+        let report, n_instrs, _ = Lazy.force fixture in
+        let bad =
+          { report with Gist.Client.r_executed = [ (0, [ n_instrs + 3 ]) ] }
+        in
+        expect_wire_reject "bad-payload"
+          (function P.Bad_payload _ -> true | _ -> false)
+          (wire_of bad));
+    Alcotest.test_case "dropped-trace has a stable counter label" `Quick
+      (fun () ->
+        Alcotest.(check string) "label" "dropped-trace"
+          (P.reject_label (P.Dropped_trace 3)));
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make
+         ~name:"every envelope truncation and bit flip is rejected"
+         ~count:200
+         QCheck.(pair (int_bound 10_000) bool)
+         (fun (salt, flip) ->
+           let report, _, _ = Lazy.force fixture in
+           let bytes = wire_of report in
+           let bad =
+             if flip then T.flip_wire_byte ~salt bytes
+             else T.truncate_wire ~salt bytes
+           in
+           bad <> bytes && Result.is_error (ingest bad)));
+  ]
+
+(* ------------------------------------------------------------------ *)
 (* End to end: diagnosis under an aggressive fault environment *)
 
 let faulty_diagnosis ?(jobs = 0) () =
@@ -373,5 +494,6 @@ let () =
       ("model", model);
       ("tamper", tamper);
       ("protocol", protocol);
+      ("wire", wire);
       ("end-to-end", end_to_end);
     ]

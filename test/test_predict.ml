@@ -189,6 +189,83 @@ let ranking =
            sorted ranked));
   ]
 
+(* Streaming sufficient statistics: Acc folded in any order and merged
+   from any partition must rank bit-identically to the retained list. *)
+
+let obs_gen =
+  QCheck.(
+    list_of_size (Gen.int_range 0 30)
+      (pair (list_of_size (Gen.int_range 0 5) (int_bound 6)) bool))
+
+let obs_of_raw raw =
+  List.map
+    (fun (ids, failing) ->
+      obs
+        (List.map
+           (fun k ->
+             if k mod 2 = 0 then P.Branch_taken (k, true)
+             else P.Data_value (k, "v"))
+           ids)
+        failing)
+    raw
+
+let streaming =
+  [
+    Alcotest.test_case "Acc over no observations ranks empty" `Quick
+      (fun () ->
+        let acc = S.Acc.create () in
+        Alcotest.(check int) "observations" 0 (S.Acc.observations acc);
+        Alcotest.(check int) "ranked" 0 (List.length (S.Acc.rank acc)));
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make
+         ~name:"Acc.rank is bit-identical to rank over the same runs"
+         ~count:300 obs_gen
+         (fun raw ->
+           let observations = obs_of_raw raw in
+           let acc = S.Acc.create () in
+           List.iter (S.Acc.add acc) observations;
+           S.Acc.observations acc = List.length observations
+           && S.Acc.rank acc = S.rank observations));
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make
+         ~name:"merging per-worker Accs at any split is order-independent"
+         ~count:300
+         QCheck.(pair obs_gen (int_bound 30))
+         (fun (raw, cut) ->
+           let observations = obs_of_raw raw in
+           let n = List.length observations in
+           let k = if n = 0 then 0 else cut mod (n + 1) in
+           let left = List.filteri (fun i _ -> i < k) observations in
+           let right = List.filteri (fun i _ -> i >= k) observations in
+           let acc_of l =
+             let a = S.Acc.create () in
+             List.iter (S.Acc.add a) l;
+             a
+           in
+           let fwd = acc_of left in
+           S.Acc.merge ~into:fwd (acc_of right);
+           let bwd = acc_of right in
+           S.Acc.merge ~into:bwd (acc_of left);
+           S.Acc.rank fwd = S.rank observations
+           && S.Acc.rank bwd = S.rank observations));
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"merge leaves the source accumulator intact"
+         ~count:100 obs_gen
+         (fun raw ->
+           let observations = obs_of_raw raw in
+           let src = S.Acc.create () in
+           List.iter (S.Acc.add src) observations;
+           let before = S.Acc.rank src in
+           let into = S.Acc.create () in
+           S.Acc.merge ~into src;
+           S.Acc.rank src = before));
+  ]
+
 let () =
   Alcotest.run "predict"
-    [ ("patterns", patterns); ("f-measure", fmeasure); ("ranking", ranking) ]
+    [
+      ("patterns", patterns);
+      ("f-measure", fmeasure);
+      ("ranking", ranking);
+      ("streaming", streaming);
+    ]

@@ -237,11 +237,27 @@ let damaged =
           Alcotest.failf "expected Bad_target, got %s"
             (Hw.Pt.error_to_string e)
         | _, None -> Alcotest.fail "bad target went unnoticed");
-    Alcotest.test_case "empty stream decodes as a valid empty prefix" `Quick
+    Alcotest.test_case
+      "empty stream is Empty_stream, distinct from truncation" `Quick
       (fun () ->
+        (* An empty stream is its own condition — drops must not be
+           booked as corruption by fleet-health counters. *)
         let d, err = Hw.Pt.decode_checked straight [] in
         Alcotest.(check (list int)) "no iids" [] d.d_iids;
-        Alcotest.(check bool) "no error" true (err = None));
+        Alcotest.(check bool)
+          "Empty_stream, not Truncated" true
+          (err = Some Hw.Pt.Empty_stream);
+        (* [decode] treats it as benign: an empty trace, not a fault. *)
+        let d = Hw.Pt.decode straight [] in
+        Alcotest.(check (list int)) "decode: no iids" [] d.d_iids;
+        (* The byte codec makes the same distinction: zero bytes are a
+           dropped ring, while a well-formed empty ring is clean. *)
+        (match Hw.Pt.Wire.decode "" with
+         | [], Some Hw.Pt.Empty_stream -> ()
+         | _ -> Alcotest.fail "empty bytes should be Empty_stream");
+        match Hw.Pt.Wire.decode (Hw.Pt.Wire.encode []) with
+        | [], None -> ()
+        | _ -> Alcotest.fail "a well-formed empty ring is not a fault");
   ]
 
 let qcheck_damaged =
@@ -260,6 +276,52 @@ let qcheck_damaged =
       let d, _err = Hw.Pt.decode_checked program bad in
       in_bounds program d)
 
+(* The binary wire codec: encoding a packed stream and decoding the
+   bytes must reproduce the packet list exactly, and damaged bytes
+   must never crash the decoder or escape undetected when truncated. *)
+
+let qcheck_wire_round_trip =
+  QCheck.Test.make ~name:"wire bytes round-trip the packet stream"
+    ~count:120
+    QCheck.(pair (int_bound 5000) (int_range 1 5))
+    (fun (seed, n) ->
+      let program = counter ~locked:true in
+      let pkts = healthy_packets ~args:[ Exec.Value.VInt n ] ~seed program in
+      match Hw.Pt.Wire.decode (Hw.Pt.Wire.encode pkts) with
+      | pkts', None -> pkts' = pkts
+      | _, Some _ -> false)
+
+let qcheck_wire_truncation =
+  QCheck.Test.make
+    ~name:"any wire truncation is detected (never a silent prefix)"
+    ~count:120
+    QCheck.(int_bound 10_000)
+    (fun salt ->
+      let program = counter ~locked:true in
+      let pkts = healthy_packets ~args:[ Exec.Value.VInt 3 ] program in
+      let bytes = Hw.Pt.Wire.encode pkts in
+      let cut = Faults.Tamper.truncate_wire ~salt bytes in
+      String.length cut < String.length bytes
+      && snd (Hw.Pt.Wire.decode cut) <> None)
+
+let qcheck_wire_damage_total =
+  QCheck.Test.make
+    ~name:"wire decode and decode_checked are total over byte damage"
+    ~count:120
+    QCheck.(pair (int_bound 10_000) bool)
+    (fun (salt, flip) ->
+      let program = counter ~locked:true in
+      let pkts = healthy_packets ~args:[ Exec.Value.VInt 3 ] program in
+      let n_instrs = iid_bound program in
+      let bytes = Hw.Pt.Wire.encode pkts in
+      let bad =
+        if flip then Faults.Tamper.flip_wire_byte ~salt bytes
+        else Faults.Tamper.corrupt_wire_packets ~salt ~n_instrs bytes
+      in
+      let pkts', _err = Hw.Pt.Wire.decode bad in
+      let d, _err = Hw.Pt.decode_checked program pkts' in
+      in_bounds program d)
+
 let () =
   Alcotest.run "pt"
     [
@@ -269,4 +331,10 @@ let () =
       ("packets", packets);
       ("damaged", damaged);
       ("damaged-qcheck", [ QCheck_alcotest.to_alcotest qcheck_damaged ]);
+      ( "wire-qcheck",
+        [
+          QCheck_alcotest.to_alcotest qcheck_wire_round_trip;
+          QCheck_alcotest.to_alcotest qcheck_wire_truncation;
+          QCheck_alcotest.to_alcotest qcheck_wire_damage_total;
+        ] );
     ]
