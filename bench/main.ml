@@ -927,12 +927,21 @@ let run_ingest ?(smoke = false) () =
                jobs);
         let eff = Parallel.Pool.effective ~jobs in
         let rps = float_of_int n /. s in
+        (* A host with too few cores clamps the grant ([effective] can
+           drop to 0 = run inline): say so, per request, so a flat
+           scaling curve reads as a host limit, not a scheduler bug. *)
+        let clamped = eff < jobs in
         Printf.printf
-          "PR6 ingest: jobs %d (%d workers granted): %.0f reports/s, \
+          "PR6 ingest: jobs %d (Pool.effective %d%s): %.0f reports/s, \
            ranking identical to sequential\n"
-          jobs eff rps;
+          jobs eff
+          (if clamped then ", clamped by host cores" else "")
+          rps;
         (jobs, eff, rps))
       jobs_list
+  in
+  let any_clamped =
+    List.exists (fun (jobs, eff, _) -> eff < jobs) scaling
   in
   if smoke then begin
     (* An order-of-magnitude tripwire, not a tuning gate: measured
@@ -979,17 +988,290 @@ let run_ingest ?(smoke = false) () =
     (fun i (jobs, eff, rps) ->
       Printf.bprintf buf
         "    {\"jobs_requested\": %d, \"workers_effective\": %d, \
-         \"reports_per_s\": %.0f, \"rank_identical\": true}%s\n"
-        jobs eff (json_num rps)
+         \"workers_clamped\": %b, \"reports_per_s\": %.0f, \
+         \"rank_identical\": true}%s\n"
+        jobs eff (eff < jobs) (json_num rps)
         (if i = List.length scaling - 1 then "" else ","))
     scaling;
-  Buffer.add_string buf "  ]\n";
+  Buffer.add_string buf "  ],\n";
+  Printf.bprintf buf
+    "  \"scaling_note\": \"%s\"\n"
+    (if any_clamped then
+       "some requested job counts were clamped by host cores \
+        (workers_effective < jobs_requested); throughput at those \
+        points measures the host, not the scheduler"
+     else "no job count was clamped by host cores");
   Buffer.add_string buf "}\n";
   let oc = open_out "BENCH_PR6.json" in
   output_string oc (Buffer.contents buf);
   close_out oc;
   json_check "BENCH_PR6.json";
   Printf.printf "PR6 ingest: wrote %s/BENCH_PR6.json\n%!" (Sys.getcwd ())
+
+(* ------------------------------------------------------------------ *)
+(* PR 7 adaptive early-exit report: the sequential stopping rule vs
+   the exhaustive reference over the Bugbase under the production
+   fleet regime ([Experiments.Adaptive.fleet_base]), both modes
+   unattended (no developer oracle).  Emits BENCH_PR7.json and gates:
+
+   - the top-ranked predictor is identical in both modes on every bug;
+   - the Bugbase mean of per-bug dispatch ratios is >= 3x;
+   - the adaptive diagnosis is bit-identical at --jobs 1 and 4;
+   - fuzz worst-pattern accuracy with early exit on stays 1.000 at
+     seed 42, and >= 0.95 under 10% aggregate injected faults. *)
+
+(* Everything observable about one diagnosis, as a string: dispatch
+   and iteration counts, per-iteration trace (including stopping-rule
+   verdicts), and the full final ranking with counts.  Two runs are
+   "bit-identical" when these agree. *)
+let diagnosis_signature (d : Gist.Server.diagnosis) =
+  let buf = Buffer.create 256 in
+  Printf.bprintf buf "dispatched=%d iterations=%d recurrences=%d|"
+    d.fleet.f_dispatched d.iterations d.recurrences;
+  List.iter
+    (fun (it : Gist.Server.iteration_info) ->
+      Printf.bprintf buf "it(sigma=%d,clients=%d,fails=%d,succs=%d,%s)"
+        it.it_sigma it.it_clients it.it_fails it.it_succs
+        (match it.it_early_exit with
+         | None -> "-"
+         | Some e -> Gist.Server.early_exit_label e))
+    d.trace;
+  Buffer.add_char buf '|';
+  List.iter
+    (fun (r : Predict.Stats.ranked) ->
+      Printf.bprintf buf "%s(f=%d,s=%d);"
+        (Predict.Predictor.to_string r.predictor)
+        r.n_failing_with r.n_success_with)
+    d.sketch.Fsketch.Sketch.predictors;
+  Buffer.contents buf
+
+let adaptive_determinism () =
+  let bug = Bugbase.Pbzip2.bug in
+  let config =
+    { Experiments.Adaptive.fleet_base with Gist.Config.early_exit = true }
+  in
+  let sig_at jobs =
+    Parallel.Pool.with_pool ~jobs (fun pool ->
+        match
+          Experiments.Harness.diagnose_bug ~config ~pool ~with_oracle:false bug
+        with
+        | Some r -> diagnosis_signature r.diagnosis
+        | None -> failwith "adaptive bench: Pbzip2 failure did not manifest")
+  in
+  let s1 = sig_at 1 and s4 = sig_at 4 in
+  if s1 <> s4 then
+    failwith
+      (Printf.sprintf
+         "adaptive bench: diagnosis differs between --jobs 1 and 4:\n%s\nvs\n%s"
+         s1 s4);
+  Printf.printf
+    "PR7 adaptive: diagnosis bit-identical at --jobs 1 and 4 (%s)\n"
+    bug.name
+
+let run_adaptive ?(smoke = false) () =
+  let bugs =
+    if smoke then
+      List.filter
+        (fun (b : Bugbase.Common.t) ->
+          List.mem b.name [ "Curl"; "Pbzip2"; "SQLite" ])
+        Bugbase.Registry.all
+    else Bugbase.Registry.all
+  in
+  let t, cmp_s =
+    time_wall (fun () -> Experiments.Adaptive.run ~bugs ())
+  in
+  List.iter
+    (fun (r : Experiments.Adaptive.row) ->
+      Printf.printf
+        "PR7 adaptive: %-14s exhaustive %5d -> adaptive %5d clients \
+         (%.1fx)%s%s\n"
+        r.r_bug r.r_exh_dispatched r.r_ad_dispatched
+        (if r.r_ad_dispatched = 0 then 1.0
+         else float_of_int r.r_exh_dispatched /. float_of_int r.r_ad_dispatched)
+        (if r.r_converged then ", converged" else "")
+        (if r.r_top_identical then "" else " TOP DIVERGED"))
+    t.rows;
+  Printf.printf
+    "PR7 adaptive: totals %d -> %d (ratio %.2fx, mean per-bug ratio %.2fx) \
+     in %.1fs\n"
+    t.total_exh t.total_ad t.ratio t.mean_ratio cmp_s;
+  (match List.filter (fun (r : Experiments.Adaptive.row) -> not r.r_top_identical) t.rows with
+   | [] -> ()
+   | l ->
+     failwith
+       (Printf.sprintf "adaptive bench: top predictor diverged on %s"
+          (String.concat ", "
+             (List.map (fun (r : Experiments.Adaptive.row) -> r.r_bug) l))));
+  if t.total_ad >= t.total_exh then
+    failwith
+      (Printf.sprintf
+         "adaptive bench: adaptive dispatched %d >= exhaustive %d"
+         t.total_ad t.total_exh);
+  if (not smoke) && t.mean_ratio < 3.0 then
+    failwith
+      (Printf.sprintf
+         "adaptive bench: mean per-bug dispatch ratio %.2f is below the \
+          3x target"
+         t.mean_ratio);
+  adaptive_determinism ();
+  (* Fuzz accuracy with the stopping rule on: the ground-truth
+     campaigns from the @check gates, re-run with early exit.  The
+     rule must not trade accuracy for the saved budget. *)
+  let count = if smoke then 9 else 27 in
+  let jobs = max 2 (Parallel.Jobs.default ()) in
+  let campaign =
+    Fuzz.Runner.run ~jobs ~shrink:false ~early_exit:true ~seed:42 ~count ()
+  in
+  let c_acc = Fuzz.Runner.overall_accuracy campaign in
+  let c_min = Fuzz.Runner.min_pattern_accuracy campaign in
+  Printf.printf
+    "PR7 adaptive: fuzz campaign of %d with early exit: accuracy %.3f \
+     (worst pattern %.3f)\n"
+    count c_acc c_min;
+  if c_min < 1.0 then
+    failwith
+      (Printf.sprintf
+         "adaptive bench: early exit dropped fuzz worst-pattern accuracy \
+          to %.3f (must stay 1.000)"
+         c_min);
+  let campaign_f =
+    Fuzz.Runner.run ~jobs ~shrink:false ~early_exit:true
+      ~faults:(Faults.Fault.spread 0.10, 42)
+      ~seed:42 ~count ()
+  in
+  let f_acc = Fuzz.Runner.overall_accuracy campaign_f in
+  let f_min = Fuzz.Runner.min_pattern_accuracy campaign_f in
+  Printf.printf
+    "PR7 adaptive: fuzz campaign of %d with early exit at 10%% faults: \
+     accuracy %.3f (worst pattern %.3f)\n"
+    count f_acc f_min;
+  if f_min < 0.95 then
+    failwith
+      (Printf.sprintf
+         "adaptive bench: early exit under 10%% faults dropped \
+          worst-pattern accuracy to %.3f (floor 0.95)"
+         f_min);
+  if not smoke then begin
+    let base = Experiments.Adaptive.fleet_base in
+    let buf = Buffer.create 4096 in
+    Buffer.add_string buf "{\n";
+    Printf.bprintf buf "  \"pr\": 7,\n";
+    Printf.bprintf buf "  \"available_cores\": %d,\n"
+      (Parallel.Jobs.available ());
+    Printf.bprintf buf
+      "  \"config\": {\"fail_quota\": %d, \"succ_quota\": %d, \
+       \"max_clients_per_iter\": %d, \"wp_capacity\": %d, \
+       \"separation_delta\": %.4f, \"checkpoint_every\": %d, \
+       \"oracle\": \"none (unattended production, both modes)\"},\n"
+      base.Gist.Config.fail_quota base.Gist.Config.succ_quota
+      base.Gist.Config.max_clients_per_iter base.Gist.Config.wp_capacity
+      base.Gist.Config.separation_delta base.Gist.Config.checkpoint_every;
+    Buffer.add_string buf "  \"bugs\": [\n";
+    List.iteri
+      (fun i (r : Experiments.Adaptive.row) ->
+        Printf.bprintf buf
+          "    {\"bug\": \"%s\", \"exhaustive_dispatched\": %d, \
+           \"exhaustive_online_s\": %.3f, \"exhaustive_iterations\": %d, \
+           \"adaptive_dispatched\": %d, \"adaptive_online_s\": %.3f, \
+           \"adaptive_iterations\": %d, \"early_exit_iterations\": %d, \
+           \"converged\": %b, \"top_identical\": %b, \"top\": \"%s\"}%s\n"
+          (json_escape r.r_bug) r.r_exh_dispatched
+          (json_num r.r_exh_online_s) r.r_exh_iterations r.r_ad_dispatched
+          (json_num r.r_ad_online_s) r.r_ad_iterations r.r_ad_early_iters
+          r.r_converged r.r_top_identical
+          (json_escape (Option.value ~default:"-" r.r_top))
+          (if i = List.length t.rows - 1 then "" else ","))
+      t.rows;
+    Buffer.add_string buf "  ],\n";
+    Printf.bprintf buf
+      "  \"totals\": {\"exhaustive_dispatched\": %d, \
+       \"adaptive_dispatched\": %d, \"ratio\": %.3f, \
+       \"mean_per_bug_ratio\": %.3f, \"saved\": %d, \
+       \"mean_ratio_target\": 3.0},\n"
+      t.total_exh t.total_ad (json_num t.ratio) (json_num t.mean_ratio)
+      t.saved;
+    Buffer.add_string buf "  \"reallocation\": [\n";
+    List.iteri
+      (fun i (ra : Experiments.Adaptive.realloc) ->
+        Printf.bprintf buf
+          "    {\"bug\": \"%s\", \"extra_clients_per_iter\": %d, \
+           \"dispatched\": %d, \"converged\": %b}%s\n"
+          (json_escape ra.ra_bug) ra.ra_extra ra.ra_dispatched
+          ra.ra_converged
+          (if i = List.length t.reallocated - 1 then "" else ","))
+      t.reallocated;
+    Buffer.add_string buf "  ],\n";
+    Printf.bprintf buf
+      "  \"determinism\": {\"bug\": \"Pbzip2\", \"jobs\": [1, 4], \
+       \"identical\": true},\n";
+    Printf.bprintf buf
+      "  \"fuzz\": {\"count\": %d, \"seed\": 42, \"early_exit\": true, \
+       \"accuracy\": %.4f, \"min_pattern_accuracy\": %.4f},\n"
+      count (json_num c_acc) (json_num c_min);
+    Printf.bprintf buf
+      "  \"fuzz_faults\": {\"count\": %d, \"seed\": 42, \"early_exit\": \
+       true, \"aggregate_rate\": 0.10, \"accuracy\": %.4f, \
+       \"min_pattern_accuracy\": %.4f}\n"
+      count (json_num f_acc) (json_num f_min);
+    Buffer.add_string buf "}\n";
+    let oc = open_out "BENCH_PR7.json" in
+    output_string oc (Buffer.contents buf);
+    close_out oc;
+    json_check "BENCH_PR7.json";
+    Printf.printf "PR7 adaptive: wrote %s/BENCH_PR7.json\n%!" (Sys.getcwd ())
+  end
+
+(* The @check gate (fast variant of the full report): Bugbase plus the
+   25-case seed-42 fuzz campaign, early exit on, asserting the top-1
+   predictor matches the exhaustive oracle everywhere and that the
+   total dispatched-client count strictly decreased. *)
+let run_adaptive_gate () =
+  let t = Experiments.Adaptive.run () in
+  (match
+     List.filter
+       (fun (r : Experiments.Adaptive.row) -> not r.r_top_identical)
+       t.rows
+   with
+   | [] -> ()
+   | l ->
+     failwith
+       (Printf.sprintf "adaptive gate: Bugbase top predictor diverged on %s"
+          (String.concat ", "
+             (List.map (fun (r : Experiments.Adaptive.row) -> r.r_bug) l))));
+  let fuzz_exh = ref 0 and fuzz_ad = ref 0 in
+  let cases = Fuzz.Runner.cases ~seed:42 ~count:25 () in
+  List.iteri
+    (fun i case ->
+      let oe = Fuzz.Check.check ~use_oracle:false case in
+      let oa = Fuzz.Check.check ~early_exit:true ~use_oracle:false case in
+      let disp (o : Fuzz.Check.outcome) =
+        match o.fleet with
+        | Some f -> f.Gist.Server.f_dispatched
+        | None -> 0
+      in
+      fuzz_exh := !fuzz_exh + disp oe;
+      fuzz_ad := !fuzz_ad + disp oa;
+      if oe.Fuzz.Check.top <> oa.Fuzz.Check.top then
+        failwith
+          (Printf.sprintf
+             "adaptive gate: fuzz case %d (%s): top diverged \
+              (exhaustive %s, adaptive %s)"
+             i case.Fuzz.Gen.c_name
+             (Option.value ~default:"-" oe.Fuzz.Check.top)
+             (Option.value ~default:"-" oa.Fuzz.Check.top)))
+    cases;
+  let total_exh = t.total_exh + !fuzz_exh in
+  let total_ad = t.total_ad + !fuzz_ad in
+  if total_ad >= total_exh then
+    failwith
+      (Printf.sprintf
+         "adaptive gate: total dispatched did not decrease (%d -> %d)"
+         total_exh total_ad);
+  Printf.printf
+    "PR7 adaptive gate: top-1 identical on %d bugs + %d fuzz cases; \
+     dispatched %d -> %d (Bugbase %d -> %d, fuzz %d -> %d)\n%!"
+    (List.length t.rows) (List.length cases) total_exh total_ad t.total_exh
+    t.total_ad !fuzz_exh !fuzz_ad
 
 (* ------------------------------------------------------------------ *)
 
@@ -1008,11 +1290,14 @@ let experiments =
     ("perf", fun () -> run_perf ());
     ("faults", fun () -> run_faults ());
     ("ingest", fun () -> run_ingest ());
+    ("adaptive", fun () -> run_adaptive ());
+    ("adaptive_gate", run_adaptive_gate);
     ("smoke",
      fun () ->
        run_perf ~smoke:true ();
        run_faults ~smoke:true ();
-       run_ingest ~smoke:true ());
+       run_ingest ~smoke:true ();
+       run_adaptive ~smoke:true ());
   ]
 
 let () =

@@ -174,7 +174,33 @@ let json_arg =
   let doc = "Emit the sketch as JSON instead of the ASCII rendering." in
   Arg.(value & flag & info [ "json" ] ~doc)
 
-let diagnose_run name sigma0 no_cf no_df verbose json jobs faults retained =
+let no_early_exit_arg =
+  let doc =
+    "Disable the adaptive stopping rule and run the exhaustive AsT loop \
+     (the reference oracle; same top-ranked predictors, more clients)."
+  in
+  Arg.(value & flag & info [ "no-early-exit" ] ~doc)
+
+let separation_delta_arg =
+  let doc =
+    "Error rate of the separation confidence bound, in (0,1) (default 0.05)."
+  in
+  Arg.(
+    value
+    & opt float Gist.Config.default.Gist.Config.separation_delta
+    & info [ "separation-delta" ] ~doc)
+
+let checkpoint_every_arg =
+  let doc =
+    "Evaluate the separation bound every N consumed client slots (default 8)."
+  in
+  Arg.(
+    value
+    & opt int Gist.Config.default.Gist.Config.checkpoint_every
+    & info [ "checkpoint-every" ] ~doc)
+
+let diagnose_run name sigma0 no_cf no_df verbose json jobs faults retained
+    no_early_exit separation_delta checkpoint_every =
   match find_bug name with
   | Error e -> prerr_endline e; 1
   | Ok bug -> (
@@ -194,8 +220,18 @@ let diagnose_run name sigma0 no_cf no_df verbose json jobs faults retained =
           enable_cf = not no_cf;
           enable_df = not no_df;
           preempt_prob = bug.preempt_prob;
+          (* The CLI defaults to the adaptive stopping rule; the
+             exhaustive reference stays behind [--no-early-exit]. *)
+          early_exit = not no_early_exit;
+          separation_delta;
+          checkpoint_every;
         }
       in
+      (match Gist.Config.validate config with
+       | Ok _ -> ()
+       | Error e ->
+         prerr_endline ("invalid configuration: " ^ Gist.Config.error_to_string e);
+         exit 2);
       let config =
         match faults with
         | None -> config
@@ -228,11 +264,16 @@ let diagnose_run name sigma0 no_cf no_df verbose json jobs faults retained =
                   it.it_lost it.it_rejected it.it_quarantined
                   (if it.it_degraded then " DEGRADED" else "")
             in
+            let early =
+              match it.it_early_exit with
+              | None -> ""
+              | Some e -> " early-exit=" ^ Gist.Server.early_exit_label e
+            in
             Printf.printf
               "iteration: sigma=%d tracked=%d fails=%d succs=%d \
-               overhead=%.2f%%%s\n"
+               overhead=%.2f%%%s%s\n"
               it.it_sigma it.it_tracked it.it_fails it.it_succs
-              it.it_avg_overhead health)
+              it.it_avg_overhead health early)
           d.trace;
         print_newline ()
       end;
@@ -269,7 +310,8 @@ let diagnose_cmd =
        ~doc:"Diagnose a Bugbase failure end-to-end and print its sketch")
     Term.(
       const diagnose_run $ bug_arg $ sigma0_arg $ no_cf_arg $ no_df_arg
-      $ verbose_arg $ json_arg $ jobs_arg $ faults_term $ retained_arg)
+      $ verbose_arg $ json_arg $ jobs_arg $ faults_term $ retained_arg
+      $ no_early_exit_arg $ separation_delta_arg $ checkpoint_every_arg)
 
 (* ------------------------------------------------------------------ *)
 
@@ -394,6 +436,7 @@ let experiments_run jobs names =
       ("fig13", Experiments.Fig13.print);
       ("summary", Experiments.Summary.print);
     ("extensions", Experiments.Extensions.print);
+    ("adaptive", Experiments.Adaptive.print);
     ]
   in
   let selected = if names = [] then List.map fst known else names in

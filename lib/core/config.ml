@@ -28,6 +28,9 @@ type t = {
   retry_backoff_s : float;   (* base of the exponential retry backoff (simulated) *)
   straggler_timeout_s : float; (* give-up deadline per dispatch (simulated) *)
   quorum_frac : float;       (* valid-report fraction below which an iteration degrades *)
+  early_exit : bool;         (* stop gathering once the top predictor separates *)
+  separation_delta : float;  (* error rate of the separation confidence bound *)
+  checkpoint_every : int;    (* evaluate the bound every N consumed slots *)
 }
 
 let default =
@@ -51,4 +54,53 @@ let default =
     retry_backoff_s = 0.5;
     straggler_timeout_s = 5.0;
     quorum_frac = 0.5;
+    early_exit = false;
+    separation_delta = 0.05;
+    checkpoint_every = 8;
   }
+
+(* The adaptive production preset: identical to [default] except the
+   sequential stopping rule is armed.  The exhaustive [default] stays
+   the reference oracle (the CLI's [--no-early-exit]). *)
+let adaptive = { default with early_exit = true }
+
+(* ------------------------------------------------------------------ *)
+(* Validation: reject nonsense knobs with a typed error at
+   construction time (the same treatment [wp_capacity] got in
+   [Server.wp_groups]) instead of hanging or dividing by zero deep in
+   the AsT loop. *)
+
+type error =
+  | Bad_sigma0 of int               (* must be positive *)
+  | Bad_max_clients_per_iter of int (* must be positive *)
+  | Bad_quorum_frac of float        (* must be in (0, 1] *)
+  | Bad_separation_delta of float   (* must be in (0, 1) *)
+  | Bad_checkpoint_every of int     (* must be positive *)
+
+exception Invalid of error
+
+let error_to_string = function
+  | Bad_sigma0 n -> Printf.sprintf "sigma0 must be positive (got %d)" n
+  | Bad_max_clients_per_iter n ->
+    Printf.sprintf "max_clients_per_iter must be positive (got %d)" n
+  | Bad_quorum_frac f ->
+    Printf.sprintf "quorum_frac must be in (0, 1] (got %g)" f
+  | Bad_separation_delta f ->
+    Printf.sprintf "separation_delta must be in (0, 1) (got %g)" f
+  | Bad_checkpoint_every n ->
+    Printf.sprintf "checkpoint_every must be positive (got %d)" n
+
+let validate t =
+  if t.sigma0 <= 0 then Error (Bad_sigma0 t.sigma0)
+  else if t.max_clients_per_iter <= 0 then
+    Error (Bad_max_clients_per_iter t.max_clients_per_iter)
+  else if not (t.quorum_frac > 0.0 && t.quorum_frac <= 1.0) then
+    Error (Bad_quorum_frac t.quorum_frac)
+  else if not (t.separation_delta > 0.0 && t.separation_delta < 1.0) then
+    Error (Bad_separation_delta t.separation_delta)
+  else if t.checkpoint_every <= 0 then
+    Error (Bad_checkpoint_every t.checkpoint_every)
+  else Ok t
+
+let check t =
+  match validate t with Ok t -> t | Error e -> raise (Invalid e)

@@ -34,6 +34,43 @@ type t = {
       (** per-dispatch give-up deadline, in simulated fleet time *)
   quorum_frac : float;
       (** valid-report fraction below which an iteration degrades *)
+  early_exit : bool;
+      (** adaptive AsT: stop gathering at the first checkpoint where the
+          top predictor's F_beta confidence bound separates it from the
+          runner-up, and stop the diagnosis when the same predictor wins
+          two consecutive iterations with separation *)
+  separation_delta : float;
+      (** error rate of the separation confidence bound, in (0, 1) *)
+  checkpoint_every : int;
+      (** evaluate the separation bound every N consumed client slots —
+          report-count boundaries, not wall-clock, so decisions are
+          bit-identical at any [--jobs] *)
 }
 
+(** The paper's exhaustive setup; [early_exit] is off, making this the
+    reference oracle for the adaptive path. *)
 val default : t
+
+(** [default] with [early_exit = true]: the adaptive production preset. *)
+val adaptive : t
+
+(** {2 Validation} *)
+
+type error =
+  | Bad_sigma0 of int               (** must be positive *)
+  | Bad_max_clients_per_iter of int (** must be positive *)
+  | Bad_quorum_frac of float        (** must be in (0, 1] *)
+  | Bad_separation_delta of float   (** must be in (0, 1) *)
+  | Bad_checkpoint_every of int     (** must be positive *)
+
+exception Invalid of error
+
+val error_to_string : error -> string
+
+(** Typed validation at construction time: [Ok t] or the first failing
+    knob. *)
+val validate : t -> (t, error) result
+
+(** [check t] is [t] if valid; raises {!Invalid} otherwise.
+    {!Server.diagnose} calls this on entry. *)
+val check : t -> t

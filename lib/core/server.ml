@@ -9,6 +9,19 @@
 open Ir.Types
 module IntSet = Set.Make (Int)
 
+(* Why the adaptive stopping rule cut work short (PR 7).  [Separated]:
+   a checkpoint inside the iteration found the top predictor's F_beta
+   lower confidence bound above every rival's upper bound, so the rest
+   of the iteration's budget was skipped.  [Converged]: the same
+   predictor won two consecutive non-degraded iterations with
+   separation, so the remaining sigma doublings were skipped and the
+   diagnosis stopped. *)
+type early_exit = Separated | Converged
+
+let early_exit_label = function
+  | Separated -> "separated"
+  | Converged -> "converged"
+
 type iteration_info = {
   it_sigma : int;
   it_tracked : int;
@@ -23,6 +36,7 @@ type iteration_info = {
   it_retried : int;      (* re-dispatches after a loss or rejection *)
   it_quarantined : int;  (* slots abandoned after [max_retries] *)
   it_degraded : bool;    (* valid reports stayed below quorum *)
+  it_early_exit : early_exit option; (* adaptive stopping-rule verdict *)
 }
 
 (* Fleet-protocol health across the whole diagnosis. *)
@@ -126,6 +140,7 @@ let enc_arena = Parallel.Pool.worker_local (fun () -> Protocol.Encode.arena ())
 let diagnose ?(config = Config.default) ?(pool = Parallel.Pool.sequential)
     ?(ingest = Streaming) ?oracle ~bug_name ~failure_type ~program ~workload_of
     ~(failure : Exec.Failure.report) () =
+  let config = Config.check config in
   let t_offline0 = Sys.time () in
   (* Compile the program once up front (memoised in [Analysis.Cache]):
      every client run and PT decode below then hits the cache, and the
@@ -145,6 +160,11 @@ let diagnose ?(config = Config.default) ?(pool = Parallel.Pool.sequential)
   let slice = Slicing.Slicer.compute program failure in
   let target_sig = Exec.Failure.signature failure in
   let streaming = ingest = Streaming in
+  (* The adaptive stopping rule needs the streaming sufficient
+     statistics even in retained mode, so its decisions are identical
+     in both ingest modes (the retained ranking itself still comes
+     from the replayed observations). *)
+  let early = config.Config.early_exit in
   let offline_time = ref (Sys.time () -. t_offline0) in
   let t_online0 = Sys.time () in
   let sigma = ref config.Config.sigma0 in
@@ -201,6 +221,11 @@ let diagnose ?(config = Config.default) ?(pool = Parallel.Pool.sequential)
     Hashtbl.replace tbl k (1 + Option.value ~default:0 (Hashtbl.find_opt tbl k))
   in
   let sim_delay = ref 0.0 in
+  (* Convergence tracking for the adaptive rule: the predictor that
+     held separation at the end of the previous iteration, and for how
+     many consecutive non-degraded iterations it has held. *)
+  let prev_winner : Predict.Predictor.t option ref = ref None in
+  let win_streak = ref 0 in
   (* Previous iteration's (plan, digest, rotation groups): what a
      stale client runs under. *)
   let prev_plan = ref None in
@@ -242,7 +267,13 @@ let diagnose ?(config = Config.default) ?(pool = Parallel.Pool.sequential)
     let iter_reports = ref [] in
     let it_dispatched = ref 0 and it_lost = ref 0 and it_rejected = ref 0 in
     let it_retried = ref 0 and it_quarantined = ref 0 and it_valid = ref 0 in
+    (* Set when a checkpoint separates the top predictor: the rest of
+       the iteration's budget is skipped. *)
+    let it_exited = ref false in
     let quota_open () = !fails < config.fail_quota || !succs < config.succ_quota in
+    let below_quorum v s =
+      s > 0 && float_of_int v < config.Config.quorum_frac *. float_of_int s
+    in
     let tracked_set = IntSet.of_list tracked in
     (* One fleet slot: dispatch, injected faults, bounded retry with
        exponential backoff in simulated fleet time, quarantine once
@@ -380,7 +411,7 @@ let diagnose ?(config = Config.default) ?(pool = Parallel.Pool.sequential)
                else []
              in
              let sv_predictors =
-               if streaming && sv_relevant then
+               if (streaming || early) && sv_relevant then
                  Predict.Predictor.of_run ~ranges:config.range_predicates
                    ~tracked ~branch_outcomes:r.Client.r_branches
                    ~traps:r.Client.r_traps ()
@@ -424,7 +455,7 @@ let diagnose ?(config = Config.default) ?(pool = Parallel.Pool.sequential)
       let pass_valid = ref 0 and pass_slots = ref 0 in
       let budget = config.max_clients_per_iter - !clients in
       let consumed =
-        if budget <= 0 || not (quota_open ()) then 0
+        if budget <= 0 || not (quota_open ()) || !it_exited then 0
         else
           Parallel.Pool.map_until pool
             ~next:(fun i ->
@@ -475,7 +506,7 @@ let diagnose ?(config = Config.default) ?(pool = Parallel.Pool.sequential)
                  end
                  else if report.Client.r_signature = None then incr succs;
                  (* Other failures are different bugs: ignored here. *)
-                 if sv.sv_relevant then
+                 if sv.sv_relevant then begin
                    if streaming then begin
                      (* Fold the slot's contribution the moment it is
                         accepted, in slot order; the report itself is
@@ -483,16 +514,36 @@ let diagnose ?(config = Config.default) ?(pool = Parallel.Pool.sequential)
                      confirmed := IntSet.union !confirmed sv.sv_confirmed;
                      List.iter
                        (fun iid -> discovered := IntSet.add iid !discovered)
-                       sv.sv_discovered;
+                       sv.sv_discovered
+                   end
+                   else
+                     iter_reports := (report, sv.sv_matches) :: !iter_reports;
+                   if streaming || early then
                      Predict.Stats.Acc.add acc
                        Predict.Stats.
                          {
                            predictors = sv.sv_predictors;
                            failing = sv.sv_matches;
                          }
-                   end
-                   else iter_reports := (report, sv.sv_matches) :: !iter_reports);
-              quota_open () && !clients < config.max_clients_per_iter)
+                 end);
+              (* Adaptive checkpoint: at fixed consumed-slot boundaries
+                 (report counts, never wall-clock, so the decision is
+                 bit-identical at any [--jobs]), and only while the
+                 iteration's valid fraction holds quorum (lost reports
+                 bias the counts -- never stop early on a sample the
+                 faults thinned out), stop gathering the moment the
+                 bound separates the leader. *)
+              if
+                early && (not !it_exited)
+                && !clients mod config.Config.checkpoint_every = 0
+                && not (below_quorum !it_valid !clients)
+                && Predict.Stats.Acc.separated
+                     ~delta:config.Config.separation_delta acc
+                   <> None
+              then it_exited := true;
+              (not !it_exited)
+              && quota_open ()
+              && !clients < config.max_clients_per_iter)
             ()
       in
       client_counter := base + consumed;
@@ -504,9 +555,6 @@ let diagnose ?(config = Config.default) ?(pool = Parallel.Pool.sequential)
        fleet still cannot reach quorum the iteration is degraded and
        sigma is carried forward instead of doubled -- never steer AsT
        from a sample the faults have thinned out. *)
-    let below_quorum v s =
-      s > 0 && float_of_int v < config.Config.quorum_frac *. float_of_int s
-    in
     let v1, s1 = run_pass () in
     let degraded =
       if
@@ -608,6 +656,29 @@ let diagnose ?(config = Config.default) ?(pool = Parallel.Pool.sequential)
        (* --- developer decision (§3.2.1): stop AsT or double sigma --- *)
        let satisfied = match oracle with Some f -> f sketch | None -> false in
        if satisfied then stop := true);
+    let oracle_stop = !stop in
+    (* Convergence across iterations: when the same predictor holds
+       separation at the end of two consecutive non-degraded
+       iterations, skip the remaining sigma doublings -- the ranking
+       has stabilised within the stated confidence.  A degraded
+       iteration resets the streak: its counts were thinned by
+       faults. *)
+    let sep_winner =
+      if early && not degraded then
+        Predict.Stats.Acc.separated ~delta:config.Config.separation_delta acc
+      else None
+    in
+    (match sep_winner with
+     | Some p ->
+       (match !prev_winner with
+        | Some q when Predict.Predictor.compare p q = 0 -> incr win_streak
+        | _ -> win_streak := 1);
+       prev_winner := Some p
+     | None ->
+       win_streak := 0;
+       prev_winner := None);
+    let converged_now = early && (not !stop) && !win_streak >= 2 in
+    if converged_now then stop := true;
     (trace :=
        {
          it_sigma = !sigma;
@@ -616,13 +687,17 @@ let diagnose ?(config = Config.default) ?(pool = Parallel.Pool.sequential)
          it_succs = !succs;
          it_clients = !clients;
          it_avg_overhead = ov_avg ();
-         it_oracle_pass = !stop;
+         it_oracle_pass = oracle_stop;
          it_dispatched = !it_dispatched;
          it_lost = !it_lost;
          it_rejected = !it_rejected;
          it_retried = !it_retried;
          it_quarantined = !it_quarantined;
          it_degraded = degraded;
+         it_early_exit =
+           (if converged_now then Some Converged
+            else if !it_exited then Some Separated
+            else None);
        }
        :: !trace);
     if not !stop then begin
@@ -685,3 +760,8 @@ let diagnose ?(config = Config.default) ?(pool = Parallel.Pool.sequential)
           |> List.sort compare;
       };
   }
+
+(* Did the adaptive rule stop the whole diagnosis (as opposed to the
+   oracle, the iteration cap, or sigma reaching the slice)? *)
+let converged d =
+  List.exists (fun it -> it.it_early_exit = Some Converged) d.trace

@@ -5,6 +5,19 @@
 
 open Ir.Types
 
+(** Why the adaptive stopping rule ([Config.early_exit]) cut work
+    short.  [Separated]: a checkpoint inside the iteration found the
+    top predictor's F_beta lower confidence bound above every rival's
+    upper bound ({!Predict.Stats.Acc.separated}), so the rest of the
+    iteration's client budget was skipped.  [Converged]: the same
+    predictor held separation at the end of two consecutive
+    non-degraded iterations, so the remaining sigma doublings were
+    skipped and the diagnosis stopped. *)
+type early_exit = Separated | Converged
+
+(** ["separated"] / ["converged"], for reports and JSON. *)
+val early_exit_label : early_exit -> string
+
 (** Per-AsT-iteration progress, for reporting and the Fig. 12 sweep. *)
 type iteration_info = {
   it_sigma : int;
@@ -20,6 +33,9 @@ type iteration_info = {
   it_retried : int;     (** re-dispatches after a loss or rejection *)
   it_quarantined : int; (** slots abandoned after [max_retries] *)
   it_degraded : bool;   (** valid reports stayed below quorum *)
+  it_early_exit : early_exit option;
+      (** adaptive stopping-rule verdict; always [None] when
+          [Config.early_exit] is off *)
 }
 
 (** Fleet-protocol health across the whole diagnosis. *)
@@ -111,7 +127,20 @@ val wp_groups : wp_capacity:int -> iid list -> iid list list
     and the iteration's instrumentation plan, and results are consumed
     in slot order, so the resulting diagnosis — sketch, recurrences,
     total runs, per-iteration trace, fleet stats — is bit-identical to
-    the sequential run whatever the pool size. *)
+    the sequential run whatever the pool size.
+
+    When [config.early_exit] is on, the sequential stopping rule runs
+    on top: at fixed consumed-slot checkpoints (every
+    [config.checkpoint_every] slots — report counts, never wall-clock,
+    so decisions stay bit-identical at any pool size) the iteration
+    stops the moment {!Predict.Stats.Acc.separated} holds at error
+    rate [config.separation_delta] and the iteration's valid fraction
+    still meets quorum; the whole diagnosis stops once the same
+    predictor holds separation after two consecutive non-degraded
+    iterations.  Degraded iterations suppress both (and reset the
+    streak): counts thinned by faults must not steer the rule.
+
+    @raise Config.Invalid if [config] fails {!Config.validate}. *)
 val diagnose :
   ?config:Config.t ->
   ?pool:Parallel.Pool.t ->
@@ -124,3 +153,7 @@ val diagnose :
   failure:Exec.Failure.report ->
   unit ->
   diagnosis
+
+(** Did the adaptive rule stop this diagnosis (any iteration recorded
+    [Converged])?  Always false when [Config.early_exit] was off. *)
+val converged : diagnosis -> bool

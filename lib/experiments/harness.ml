@@ -11,14 +11,18 @@ type bug_result = {
 }
 
 let diagnose_bug ?(config = Gist.Config.default) ?pool
-    (bug : Bugbase.Common.t) =
+    ?(with_oracle = true) (bug : Bugbase.Common.t) =
   match Bugbase.Common.find_target_failure bug with
   | None -> None
   | Some (_, failure) ->
     let t0 = Unix.gettimeofday () in
     let config = { config with Gist.Config.preempt_prob = bug.preempt_prob } in
+    (* [with_oracle:false] models unattended production: no developer
+       stop signal, AsT runs until sigma covers the slice (or, with
+       [early_exit], until the stopping rule converges). *)
+    let oracle = if with_oracle then Some (Oracle.for_bug bug) else None in
     let diagnosis =
-      Gist.Server.diagnose ~config ?pool ~oracle:(Oracle.for_bug bug)
+      Gist.Server.diagnose ~config ?pool ?oracle
         ~bug_name:bug.name ~failure_type:bug.failure_type ~program:bug.program
         ~workload_of:bug.workload_of ~failure ()
     in

@@ -13,10 +13,13 @@ type bug_result = {
 (** Diagnose one bug end-to-end with its root-cause oracle; [None] when
     the target failure never manifests.  [pool] parallelises the
     monitored client runs (see {!Gist.Server.diagnose}); the result is
-    identical to the sequential run. *)
+    identical to the sequential run.  [with_oracle:false] (default
+    true) drops the developer oracle — unattended production, as the
+    adaptive early-exit comparison requires. *)
 val diagnose_bug :
   ?config:Gist.Config.t ->
   ?pool:Parallel.Pool.t ->
+  ?with_oracle:bool ->
   Bugbase.Common.t ->
   bug_result option
 

@@ -189,8 +189,13 @@ let verdict_of_sketch (case : Gen.case) (sk : Fsketch.Sketch.t) =
    verdict.  Deterministic: every stage is a pure function of the
    case, fault injection included ([c_faults] seeds its own stream).
    The probes run unmonitored -- faults only touch the monitored
-   fleet. *)
-let check ?pool (case : Gen.case) =
+   fleet.
+
+   [early_exit] turns the sequential stopping rule on; [use_oracle]
+   false drops the ground-truth accept oracle, modelling unattended
+   production (the adaptive-vs-exhaustive comparisons run both modes
+   this way so the stopping rule is the only difference). *)
+let check ?pool ?(early_exit = false) ?(use_oracle = true) (case : Gen.case) =
   match divergence case with
   | Some d ->
     {
@@ -212,12 +217,19 @@ let check ?pool (case : Gen.case) =
        }
      | { p_target = Some failure; _ } ->
        (try
+          let config =
+            { (config_of case) with Gist.Config.early_exit } in
+          let oracle =
+            if use_oracle then
+              Some
+                (fun (sk : Fsketch.Sketch.t) ->
+                  match sk.predictors with
+                  | top :: _ -> accepted case top.Predict.Stats.predictor
+                  | [] -> false)
+            else None
+          in
           let d =
-            Gist.Server.diagnose ~config:(config_of case) ?pool
-              ~oracle:(fun sk ->
-                match sk.Fsketch.Sketch.predictors with
-                | top :: _ -> accepted case top.Predict.Stats.predictor
-                | [] -> false)
+            Gist.Server.diagnose ~config ?pool ?oracle
               ~bug_name:case.c_name
               ~failure_type:(F.kind_to_string failure.F.kind)
               ~program:case.c_program

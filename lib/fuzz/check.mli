@@ -67,5 +67,15 @@ val verdict_of_sketch : Gen.case -> Fsketch.Sketch.t -> verdict
 (** Divergence probe, failure probe, full {!Gist.Server.diagnose},
     verdict.  A pure function of the case, fault injection included;
     the probes run unmonitored (faults only touch the monitored
-    fleet). *)
-val check : ?pool:Parallel.Pool.t -> Gen.case -> outcome
+    fleet).
+
+    [early_exit] (default false) turns the sequential stopping rule
+    on; [use_oracle] false (default true) drops the ground-truth
+    accept oracle — unattended production, as the adaptive
+    early-exit comparisons require. *)
+val check :
+  ?pool:Parallel.Pool.t ->
+  ?early_exit:bool ->
+  ?use_oracle:bool ->
+  Gen.case ->
+  outcome

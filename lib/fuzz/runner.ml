@@ -86,7 +86,7 @@ let case_for ~retries_seeds pattern =
   in
   pick retries_seeds
 
-let run_case ~shrink ~faults i seeds =
+let run_case ~shrink ~faults ~early_exit i seeds =
   let n_pat = List.length Gen.all_patterns in
   let pattern = List.nth Gen.all_patterns (i mod n_pat) in
   let case = case_for ~retries_seeds:seeds pattern in
@@ -96,7 +96,7 @@ let run_case ~shrink ~faults i seeds =
   let case =
     match faults with None -> case | Some _ -> { case with Gen.c_faults = faults }
   in
-  let o = Check.check case in
+  let o = Check.check ~early_exit case in
   let cr_shrink =
     if
       shrink
@@ -117,7 +117,7 @@ let run_case ~shrink ~faults i seeds =
     cr_fleet = o.Check.fleet;
   }
 
-let run ?(jobs = 0) ?(shrink = true) ?(retries = 5) ?faults ~seed ~count () =
+let draw_slots ~retries ~seed ~count =
   let rng = Exec.Rng.create seed in
   let slots = Array.make (max count 0) [] in
   for i = 0 to count - 1 do
@@ -127,11 +127,26 @@ let run ?(jobs = 0) ?(shrink = true) ?(retries = 5) ?faults ~seed ~count () =
     done;
     slots.(i) <- List.rev !l
   done;
+  slots
+
+(* The exact case list a campaign with the same (seed, count, retries)
+   checks: exposed so differential harnesses (adaptive early-exit vs
+   the exhaustive oracle) can compare modes on the campaign's cases. *)
+let cases ?(retries = 5) ~seed ~count () =
+  let slots = draw_slots ~retries ~seed ~count in
+  let n_pat = List.length Gen.all_patterns in
+  List.init (max count 0) (fun i ->
+      case_for ~retries_seeds:slots.(i)
+        (List.nth Gen.all_patterns (i mod n_pat)))
+
+let run ?(jobs = 0) ?(shrink = true) ?(retries = 5) ?faults
+    ?(early_exit = false) ~seed ~count () =
+  let slots = draw_slots ~retries ~seed ~count in
   let cases =
     Parallel.Pool.with_pool ~jobs (fun pool ->
         Array.to_list
           (Parallel.Pool.map_array pool
-             (fun i -> run_case ~shrink ~faults i slots.(i))
+             (fun i -> run_case ~shrink ~faults ~early_exit i slots.(i))
              (Array.init (max count 0) (fun i -> i))))
   in
   {

@@ -43,11 +43,19 @@ val min_pattern_accuracy : report -> float
     minimizes every failing case; [retries] candidate seeds are
     pre-drawn per slot and the first diagnosable one is used; [faults]
     (rates, fault seed) checks every case under injected fleet faults
-    — the shrinker then reproduces verdicts under the same faults. *)
+    — the shrinker then reproduces verdicts under the same faults;
+    [early_exit] (default false) diagnoses every case with the
+    sequential stopping rule on. *)
 val run :
   ?jobs:int -> ?shrink:bool -> ?retries:int ->
-  ?faults:Faults.Fault.rates * int -> seed:int -> count:int ->
+  ?faults:Faults.Fault.rates * int -> ?early_exit:bool ->
+  seed:int -> count:int ->
   unit -> report
+
+(** The exact case list a campaign with the same (seed, count,
+    retries) checks, in slot order — for differential harnesses that
+    compare diagnosis modes on the campaign's cases. *)
+val cases : ?retries:int -> seed:int -> count:int -> unit -> Gen.case list
 
 (** Fleet-protocol totals across every case that reached diagnosis. *)
 val fleet_totals : report -> Gist.Server.fleet_stats

@@ -69,6 +69,90 @@ let rank ?(beta = beta_default) (observations : observation list) =
       | c -> c)
 
 (* ------------------------------------------------------------------ *)
+(* Confidence bounds on F_beta (PR 7: the adaptive early-exit stopping
+   rule).
+
+   Precision and recall are both binomial proportions: precision over
+   the runs where the predictor held (f successes in f + s trials),
+   recall over the failing runs (f successes in total_failing trials).
+   Each gets a Wilson score interval at error rate [delta]; F_beta is
+   monotone increasing in both precision and recall (dF/dp and dF/dr
+   are non-negative everywhere on [0,1]^2), so
+   [F(p_lo, r_lo), F(p_hi, r_hi)] is a conservative interval on F_beta
+   itself.
+
+   Monotonicity: the Wilson half-width at a fixed observed rate
+   strictly shrinks as trials grow, so gathering more reports that
+   confirm the observed rates never widens the interval -- the
+   property the early-exit checkpoints rely on (qcheck-tested in
+   test_predict.ml). *)
+
+let delta_default = 0.05
+
+(* Inverse standard-normal CDF (Acklam's rational approximation,
+   ~1.15e-9 relative error): the z with Phi(z) = p.  Self-contained so
+   the bound needs no numerics dependency. *)
+let norm_ppf p =
+  if p <= 0.0 then neg_infinity
+  else if p >= 1.0 then infinity
+  else begin
+    let a0 = -3.969683028665376e+01 and a1 = 2.209460984245205e+02 in
+    let a2 = -2.759285104469687e+02 and a3 = 1.383577518672690e+02 in
+    let a4 = -3.066479806614716e+01 and a5 = 2.506628277459239e+00 in
+    let b0 = -5.447609879822406e+01 and b1 = 1.615858368580409e+02 in
+    let b2 = -1.556989798598866e+02 and b3 = 6.680131188771972e+01 in
+    let b4 = -1.328068155288572e+01 in
+    let c0 = -7.784894002430293e-03 and c1 = -3.223964580411365e-01 in
+    let c2 = -2.400758277161838e+00 and c3 = -2.549732539343734e+00 in
+    let c4 = 4.374664141464968e+00 and c5 = 2.938163982698783e+00 in
+    let d0 = 7.784695709041462e-03 and d1 = 3.224671290700398e-01 in
+    let d2 = 2.445134137142996e+00 and d3 = 3.754408661907416e+00 in
+    let p_low = 0.02425 in
+    let tail q =
+      (((((c0 *. q +. c1) *. q +. c2) *. q +. c3) *. q +. c4) *. q +. c5)
+      /. ((((d0 *. q +. d1) *. q +. d2) *. q +. d3) *. q +. 1.0)
+    in
+    if p < p_low then tail (sqrt (-2.0 *. log p))
+    else if p <= 1.0 -. p_low then
+      let q = p -. 0.5 in
+      let r = q *. q in
+      (((((a0 *. r +. a1) *. r +. a2) *. r +. a3) *. r +. a4) *. r +. a5)
+      *. q
+      /. (((((b0 *. r +. b1) *. r +. b2) *. r +. b3) *. r +. b4) *. r +. 1.0)
+    else -.tail (sqrt (-2.0 *. log (1.0 -. p)))
+  end
+
+let z_of_delta delta = norm_ppf (1.0 -. (delta /. 2.0))
+
+let wilson_interval ?(delta = delta_default) ~successes ~trials () =
+  if trials <= 0 then (0.0, 1.0)
+  else begin
+    let z = z_of_delta delta in
+    let n = float_of_int trials in
+    let p = float_of_int successes /. n in
+    let z2 = z *. z in
+    let denom = 1.0 +. (z2 /. n) in
+    let centre = p +. (z2 /. (2.0 *. n)) in
+    let spread =
+      z *. sqrt (((p *. (1.0 -. p)) /. n) +. (z2 /. (4.0 *. n *. n)))
+    in
+    ( max 0.0 ((centre -. spread) /. denom),
+      min 1.0 ((centre +. spread) /. denom) )
+  end
+
+let f_interval ?(beta = beta_default) ?(delta = delta_default)
+    ~n_failing_with ~n_success_with ~total_failing () =
+  let p_lo, p_hi =
+    wilson_interval ~delta ~successes:n_failing_with
+      ~trials:(n_failing_with + n_success_with) ()
+  in
+  let r_lo, r_hi =
+    wilson_interval ~delta ~successes:n_failing_with ~trials:total_failing ()
+  in
+  ( f_measure ~beta ~precision:p_lo ~recall:r_lo (),
+    f_measure ~beta ~precision:p_hi ~recall:r_hi () )
+
+(* ------------------------------------------------------------------ *)
 (* Acc: per-predictor sufficient statistics.
 
    [rank] needs only (failing-with, success-with) per predictor plus
@@ -87,9 +171,21 @@ let rank ?(beta = beta_default) (observations : observation list) =
    like [Exec.Refinterp]). *)
 
 module Acc = struct
+  (* Per-predictor cell: the two counters [rank] needs, plus a
+     commutative co-occurrence fingerprint for [separated]'s
+     tie-class test.  [cooc] is the wrapping sum, over the runs where
+     the predictor held, of an order-independent hash of each run's
+     full observation — so two predictors accumulate equal [cooc]
+     values iff (w.h.p.) they held in exactly the same multiset of
+     runs.  A sum of per-run hashes commutes, so the fingerprint is
+     identical under any accumulation or merge order, like the
+     counters themselves. *)
+  type cell = { c_fail : int; c_succ : int; c_cooc : int }
+
+  let cell0 = { c_fail = 0; c_succ = 0; c_cooc = 0 }
+
   type t = {
-    counts : (Predictor.t, int * int) Hashtbl.t;
-        (* predictor -> (failing-with, success-with) *)
+    counts : (Predictor.t, cell) Hashtbl.t;
     mutable total_failing : int;
     mutable n_obs : int;
   }
@@ -98,34 +194,56 @@ module Acc = struct
 
   let observations t = t.n_obs
 
+  (* Order-independent run fingerprint: each predictor's structural
+     hash, scrambled so distinct sets do not collide by simple sums,
+     then summed with the outcome bit folded in. *)
+  let scramble h =
+    let h = h * 0x9E3779B97F4A7C1 in
+    h lxor (h lsr 29)
+
+  let obs_fingerprint ~failing preds =
+    List.fold_left
+      (fun acc p -> acc + scramble (Hashtbl.hash p))
+      (if failing then 0x2545F4914F6CDD1 else 1)
+      preds
+
   let add t { predictors; failing } =
     t.n_obs <- t.n_obs + 1;
     if failing then t.total_failing <- t.total_failing + 1;
     (* Same defensive dedup as [rank]: a predictor either held in a
        run or did not. *)
+    let preds = List.sort_uniq Predictor.compare predictors in
+    let key = obs_fingerprint ~failing preds in
     List.iter
       (fun p ->
-        let f, s = Option.value ~default:(0, 0) (Hashtbl.find_opt t.counts p) in
-        let cell = if failing then (f + 1, s) else (f, s + 1) in
-        Hashtbl.replace t.counts p cell)
-      (List.sort_uniq Predictor.compare predictors)
+        let c = Option.value ~default:cell0 (Hashtbl.find_opt t.counts p) in
+        let c =
+          if failing then
+            { c with c_fail = c.c_fail + 1; c_cooc = c.c_cooc + key }
+          else { c with c_succ = c.c_succ + 1; c_cooc = c.c_cooc + key }
+        in
+        Hashtbl.replace t.counts p c)
+      preds
 
-  (* Fold [src] into [dst].  Integer sums commute, so any merge order
-     yields the same accumulator. *)
+  (* Fold [src] into [dst].  Integer sums commute (the fingerprint
+     included), so any merge order yields the same accumulator. *)
   let merge ~into:dst src =
     dst.n_obs <- dst.n_obs + src.n_obs;
     dst.total_failing <- dst.total_failing + src.total_failing;
     Hashtbl.iter
-      (fun p (f, s) ->
-        let f0, s0 =
-          Option.value ~default:(0, 0) (Hashtbl.find_opt dst.counts p)
-        in
-        Hashtbl.replace dst.counts p (f0 + f, s0 + s))
+      (fun p c ->
+        let c0 = Option.value ~default:cell0 (Hashtbl.find_opt dst.counts p) in
+        Hashtbl.replace dst.counts p
+          {
+            c_fail = c0.c_fail + c.c_fail;
+            c_succ = c0.c_succ + c.c_succ;
+            c_cooc = c0.c_cooc + c.c_cooc;
+          })
       src.counts
 
   let rank ?(beta = beta_default) t =
     Hashtbl.fold
-      (fun predictor (f, s) acc ->
+      (fun predictor { c_fail = f; c_succ = s; _ } acc ->
         let precision =
           if f + s = 0 then 0.0 else float_of_int f /. float_of_int (f + s)
         in
@@ -147,6 +265,90 @@ module Acc = struct
         match compare b.f_measure a.f_measure with
         | 0 -> Predictor.compare a.predictor b.predictor
         | c -> c)
+
+  (* Evidence floors for [separated]: below these the intervals are
+     near-vacuous anyway, but the explicit floor keeps the very first
+     reports of a diagnosis from "separating" a lone predictor before
+     watchpoint rotation has had a chance to surface competitors. *)
+  let min_failing_for_separation = 2
+  let min_trials_for_separation = 3
+
+  let separated ?(beta = beta_default) ?(delta = delta_default) t =
+    if t.total_failing < min_failing_for_separation then None
+    else
+      match rank ~beta t with
+      | [] -> None
+      | best :: rest ->
+        if
+          best.n_failing_with + best.n_success_with
+            < min_trials_for_separation
+          (* The leader itself must carry failing evidence: with no
+             rivals (or only weak ones) a predictor seen in zero or
+             one failing run would "separate" vacuously -- e.g. the
+             sole predictor mined so far, observed only in successes. *)
+          || best.n_failing_with < min_failing_for_separation
+        then None
+        else begin
+          let lo, _ =
+            f_interval ~beta ~delta ~n_failing_with:best.n_failing_with
+              ~n_success_with:best.n_success_with
+              ~total_failing:t.total_failing ()
+          in
+          (* A leader with perfect counts so far (held in every
+             failing run, never in a success) fully identifies its
+             pairing with any rival on the same run sequence: the
+             rival's failing occurrences are a subset of the leader's,
+             and every rival success is a run the leader sat out -- so
+             every discordant run favours the leader, and the exact
+             one-sided sign test (McNemar) applies with
+             p = 2^-(discordant runs).  This sharpens the interval
+             test exactly where it is weakest: tiny samples where a
+             rival's own perfect-precision interval still reaches
+             F ~ 1. *)
+          let perfect =
+            best.n_failing_with = t.total_failing
+            && best.n_success_with = 0
+          in
+          (* A rival blocks separation unless one of:
+             - same evidence class: identical counts AND the same
+               co-occurrence fingerprint, i.e. it held in exactly the
+               runs the leader held in.  Coupled predictors mined from
+               one mechanism co-occur in every run, so no amount of
+               data can tell them apart and the deterministic
+               F-then-predictor tie-break orders them identically in
+               both modes.  The fingerprint is what separates them
+               from coincidental ties -- two predictors with equal
+               counts over *different* runs (e.g. two values of one
+               variable, each seen in its own failing subset) can
+               still diverge as evidence accrues, so they block;
+             - its F upper bound sits below the leader's lower bound;
+             - the exact sign test rejects it at [delta]. *)
+          let cooc_of p =
+            (Option.value ~default:cell0 (Hashtbl.find_opt t.counts p)).c_cooc
+          in
+          let best_cooc = cooc_of best.predictor in
+          let blocked (r : ranked) =
+            if
+              r.n_failing_with = best.n_failing_with
+              && r.n_success_with = best.n_success_with
+              && cooc_of r.predictor = best_cooc
+            then false
+            else
+              let _, hi =
+                f_interval ~beta ~delta ~n_failing_with:r.n_failing_with
+                  ~n_success_with:r.n_success_with
+                  ~total_failing:t.total_failing ()
+              in
+              if hi < lo then false
+              else if perfect then
+                let discordant =
+                  best.n_failing_with - r.n_failing_with + r.n_success_with
+                in
+                0.5 ** float_of_int discordant > delta
+              else true
+          in
+          if List.exists blocked rest then None else Some best.predictor
+        end
 end
 
 (* The sketch shows the highest-ranked predictor *per category*

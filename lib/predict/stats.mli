@@ -30,6 +30,40 @@ val f_measure : ?beta:float -> precision:float -> recall:float -> unit -> float
     tie-break).  Each observation's predictor list is deduplicated. *)
 val rank : ?beta:float -> observation list -> ranked list
 
+(** {2 Confidence bounds (the adaptive early-exit stopping rule)} *)
+
+(** Default error rate for the confidence intervals: 0.05 (95%). *)
+val delta_default : float
+
+(** Inverse standard-normal CDF (Acklam's rational approximation):
+    the z with Phi(z) = p.  [neg_infinity]/[infinity] at p <= 0 /
+    p >= 1. *)
+val norm_ppf : float -> float
+
+(** The two-sided critical value for error rate [delta]:
+    [norm_ppf (1 - delta/2)] (1.96 at delta = 0.05). *)
+val z_of_delta : float -> float
+
+(** Wilson score interval on a binomial proportion, clamped to [0,1].
+    [trials <= 0] yields the vacuous interval (0, 1).  At a fixed
+    observed rate the half-width strictly shrinks as trials grow:
+    more confirming reports never widen the interval. *)
+val wilson_interval :
+  ?delta:float -> successes:int -> trials:int -> unit -> float * float
+
+(** Conservative interval on F_beta from per-predictor counts:
+    Wilson bounds on precision (over [n_failing_with +
+    n_success_with] trials) and recall (over [total_failing] trials),
+    combined through F_beta's monotonicity in both arguments. *)
+val f_interval :
+  ?beta:float ->
+  ?delta:float ->
+  n_failing_with:int ->
+  n_success_with:int ->
+  total_failing:int ->
+  unit ->
+  float * float
+
 (** Per-predictor sufficient statistics: the streaming replacement for
     retaining observations.  Holds (failing-with, success-with)
     counters per predictor plus the failing-run total — O(predictors)
@@ -57,6 +91,29 @@ module Acc : sig
   val merge : into:t -> t -> unit
 
   val rank : ?beta:float -> t -> ranked list
+
+  (** The sequential stopping test: [Some p] when the top-ranked
+      predictor [p]'s F_beta lower confidence bound (error rate
+      [delta], {!f_interval}) strictly exceeds the upper bound of
+      every rival with different counts — the ranking cannot flip
+      within the stated confidence, so gathering more reports is
+      unlikely to change the answer.  Rivals that held in exactly the
+      runs the leader held in (equal counts and equal co-occurrence
+      fingerprint) are the same evidence class (coupled predictors
+      mined from one mechanism co-occur in every run); they are
+      ordered by the deterministic tie-break, not by data, and do not
+      block separation.  Coincidental ties — equal counts over
+      different runs — do block, since more evidence can still part
+      them.  [None] below the evidence floor (fewer than 2 failing
+      runs overall, fewer than 3 runs where the leader held, or fewer
+      than 2 {e failing} runs where the leader held — a leader with no
+      failing evidence of its own must never separate vacuously).
+
+      A pure function of the accumulated counters: any accumulation
+      or merge order that yields the same counts yields the same
+      verdict (qcheck-tested), so checkpoint decisions are
+      bit-identical under chunked parallel ingest. *)
+  val separated : ?beta:float -> ?delta:float -> t -> Predictor.t option
 end
 
 (** The sketch shows the best predictor {e per category} (branches,

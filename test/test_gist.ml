@@ -205,6 +205,71 @@ let ablation =
         Alcotest.(check int) "starts at 2" 2 (List.hd sigmas));
   ]
 
+(* Config validation (PR 7): diagnose rejects nonsense knobs with a
+   typed error instead of looping forever or dividing by zero. *)
+
+let validation =
+  let open Gist.Config in
+  let expects_error name bad expected =
+    Alcotest.test_case name `Quick (fun () ->
+        match validate bad with
+        | Ok _ -> Alcotest.fail "expected a validation error"
+        | Error e ->
+          Alcotest.(check bool)
+            (Printf.sprintf "error is %s" expected)
+            true
+            (String.length (error_to_string e) > 0
+            && e
+               = (match expected with
+                  | "sigma0" -> Bad_sigma0 bad.sigma0
+                  | "max_clients" ->
+                    Bad_max_clients_per_iter bad.max_clients_per_iter
+                  | "quorum" -> Bad_quorum_frac bad.quorum_frac
+                  | "delta" -> Bad_separation_delta bad.separation_delta
+                  | "checkpoint" -> Bad_checkpoint_every bad.checkpoint_every
+                  | _ -> assert false)))
+  in
+  [
+    Alcotest.test_case "the default and adaptive configs validate" `Quick
+      (fun () ->
+        Alcotest.(check bool) "default ok" true (validate default = Ok default);
+        Alcotest.(check bool) "adaptive ok" true
+          (validate adaptive = Ok adaptive));
+    expects_error "sigma0 must be positive" { default with sigma0 = 0 }
+      "sigma0";
+    expects_error "clients per iteration must be positive"
+      { default with max_clients_per_iter = -3 }
+      "max_clients";
+    expects_error "quorum fraction above 1 is rejected"
+      { default with quorum_frac = 1.5 } "quorum";
+    expects_error "quorum fraction of 0 is rejected"
+      { default with quorum_frac = 0.0 } "quorum";
+    expects_error "separation delta must lie in (0,1)"
+      { default with separation_delta = 1.0 } "delta";
+    expects_error "checkpoint interval must be positive"
+      { default with checkpoint_every = 0 } "checkpoint";
+    Alcotest.test_case "check raises Invalid on a bad config" `Quick
+      (fun () ->
+        Alcotest.check_raises "raises"
+          (Invalid (Bad_sigma0 (-1)))
+          (fun () -> ignore (check { default with sigma0 = -1 })));
+    Alcotest.test_case "diagnose surfaces the validation error" `Quick
+      (fun () ->
+        let bug = Bugbase.Curl.bug in
+        match Bugbase.Common.find_target_failure bug with
+        | None -> Alcotest.fail "curl failure must manifest"
+        | Some (_, failure) ->
+          Alcotest.check_raises "raises"
+            (Invalid (Bad_quorum_frac 2.0))
+            (fun () ->
+              ignore
+                (Gist.Server.diagnose
+                   ~config:{ default with quorum_frac = 2.0 }
+                   ~bug_name:bug.name ~failure_type:bug.failure_type
+                   ~program:bug.program ~workload_of:bug.workload_of
+                   ~failure ())));
+  ]
+
 let () =
   Alcotest.run "gist"
     [
@@ -213,4 +278,5 @@ let () =
       ("client", client);
       ("end-to-end", end_to_end);
       ("ablation", ablation);
+      ("validation", validation);
     ]

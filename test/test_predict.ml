@@ -261,6 +261,128 @@ let streaming =
            S.Acc.rank src = before));
   ]
 
+(* Confidence bounds and the sequential stopping rule (PR 7). *)
+
+let bounds =
+  [
+    Alcotest.test_case "z at delta 0.05 is the familiar 1.96" `Quick
+      (fun () ->
+        Alcotest.(check (float 0.001)) "z" 1.95996 (S.z_of_delta 0.05));
+    Alcotest.test_case "wilson interval is vacuous with no trials" `Quick
+      (fun () ->
+        Alcotest.(check (pair (float 0.0) (float 0.0))) "(0,1)" (0.0, 1.0)
+          (S.wilson_interval ~successes:0 ~trials:0 ()));
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make
+         ~name:"wilson interval contains the observed rate, inside [0,1]"
+         ~count:500
+         QCheck.(pair (int_bound 50) (int_range 1 50))
+         (fun (s, n) ->
+           let s = min s n in
+           let lo, hi = S.wilson_interval ~successes:s ~trials:n () in
+           let p = float_of_int s /. float_of_int n in
+           (* 1e-12 slack: at the boundary rates 0 and 1 the interval
+              endpoint equals the rate only up to rounding. *)
+           0.0 <= lo && lo <= p +. 1e-12 && p <= hi +. 1e-12 && hi <= 1.0));
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make
+         ~name:
+           "more confirming reports never widen the interval (wilson and F)"
+         ~count:500
+         QCheck.(quad (int_bound 20) (int_bound 20) (int_range 1 20)
+                   (int_range 2 6))
+         (fun (f, s, extra_failing, k) ->
+           (* Scale every count by k >= 2: the observed rates are
+              unchanged, the evidence k-fold -- both bounds must
+              tighten (or stay), never widen.  This is the property
+              the early-exit checkpoints rely on: a separation
+              verdict cannot be an artifact of having seen *more*
+              data. *)
+           let total = f + extra_failing in
+           let w_lo, w_hi = S.wilson_interval ~successes:f ~trials:(f + s) () in
+           let w_lo', w_hi' =
+             S.wilson_interval ~successes:(k * f) ~trials:(k * (f + s)) ()
+           in
+           let f_lo, f_hi =
+             S.f_interval ~n_failing_with:f ~n_success_with:s
+               ~total_failing:total ()
+           in
+           let f_lo', f_hi' =
+             S.f_interval ~n_failing_with:(k * f) ~n_success_with:(k * s)
+               ~total_failing:(k * total) ()
+           in
+           (f + s = 0 || (w_lo' >= w_lo -. 1e-12 && w_hi' <= w_hi +. 1e-12))
+           && f_lo' >= f_lo -. 1e-12
+           && f_hi' <= f_hi +. 1e-12));
+  ]
+
+let sep_acc observations =
+  let a = S.Acc.create () in
+  List.iter (S.Acc.add a) observations;
+  a
+
+let repeat n x = List.init n (fun _ -> x)
+
+let separation =
+  [
+    Alcotest.test_case "a dominant predictor separates" `Quick (fun () ->
+        let acc =
+          sep_acc (repeat 6 (obs [ p1 ] true) @ repeat 6 (obs [ p2 ] false))
+        in
+        Alcotest.(check bool) "separated" true
+          (S.Acc.separated acc = Some p1));
+    Alcotest.test_case "co-occurring tie-class does not block" `Quick
+      (fun () ->
+        (* p1 and p2 held in exactly the same runs: the same evidence
+           class, ordered by the deterministic tie-break. *)
+        let acc =
+          sep_acc (repeat 6 (obs [ p1; p2 ] true) @ repeat 6 (obs [] false))
+        in
+        Alcotest.(check bool) "separated" true (S.Acc.separated acc <> None));
+    Alcotest.test_case "coincidental tie (different runs) blocks" `Quick
+      (fun () ->
+        (* Equal counts over different runs: more evidence can still
+           part them, so no early verdict. *)
+        let acc =
+          sep_acc (repeat 3 (obs [ p1 ] true) @ repeat 3 (obs [ p2 ] true))
+        in
+        Alcotest.(check bool) "not separated" true
+          (S.Acc.separated acc = None));
+    Alcotest.test_case "a leader with no failing evidence never separates"
+      `Quick (fun () ->
+        let acc =
+          sep_acc (repeat 8 (obs [ p1 ] false) @ repeat 2 (obs [] true))
+        in
+        Alcotest.(check bool) "not separated" true
+          (S.Acc.separated acc = None));
+    Alcotest.test_case "below the failing-run floor nothing separates"
+      `Quick (fun () ->
+        let acc = sep_acc [ obs [ p1 ] true ] in
+        Alcotest.(check bool) "not separated" true
+          (S.Acc.separated acc = None));
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make
+         ~name:"separation verdict survives any chunk split of the stream"
+         ~count:300
+         QCheck.(pair obs_gen (int_bound 30))
+         (fun (raw, cut) ->
+           (* The checkpoint decision must be a pure function of the
+              accumulated counts: folding the stream whole, or in two
+              chunks merged in either order, yields the same verdict. *)
+           let observations = obs_of_raw raw in
+           let n = List.length observations in
+           let k = if n = 0 then 0 else cut mod (n + 1) in
+           let left = List.filteri (fun i _ -> i < k) observations in
+           let right = List.filteri (fun i _ -> i >= k) observations in
+           let whole = sep_acc observations in
+           let fwd = sep_acc left in
+           S.Acc.merge ~into:fwd (sep_acc right);
+           let bwd = sep_acc right in
+           S.Acc.merge ~into:bwd (sep_acc left);
+           let v = S.Acc.separated whole in
+           S.Acc.separated fwd = v && S.Acc.separated bwd = v));
+  ]
+
 let () =
   Alcotest.run "predict"
     [
@@ -268,4 +390,6 @@ let () =
       ("f-measure", fmeasure);
       ("ranking", ranking);
       ("streaming", streaming);
+      ("bounds", bounds);
+      ("separation", separation);
     ]
