@@ -1221,6 +1221,257 @@ let run_adaptive ?(smoke = false) () =
     Printf.printf "PR7 adaptive: wrote %s/BENCH_PR7.json\n%!" (Sys.getcwd ())
   end
 
+(* ------------------------------------------------------------------ *)
+(* PR8: diagnosis as a service.  Replays a heavy synthetic report
+   stream — every Bugbase bug recycled under distinct session names
+   plus fuzz-generated bugs — through the multiplexed scheduler
+   (lib/serve), and gates the service's soak behaviour:
+
+     - zero session leaks: submitted = completed + rejected once the
+       service drains, nothing left queued or in flight;
+     - flat live heap across repeated waves through one service (the
+       PR6 methodology: Gc.compact + live_words after each wave);
+     - a reports/s floor (fleet slots dispatched per second);
+     - in the full run, >= 100 sessions sustained concurrently.
+
+   Emits BENCH_PR8.json: sessions/s, reports/s, p50/p99 per-bug
+   time-to-diagnosis, and live-heap-vs-in-flight-cap points. *)
+
+(* Soak configs are bounded so @check stays fast: two AsT iterations
+   of a 40-client fleet are plenty to exercise scheduling, admission
+   and delivery; the differential suite (test_serve) covers full
+   diagnoses. *)
+let soak_tweak (c : Gist.Config.t) =
+  {
+    c with
+    Gist.Config.max_iterations = 2;
+    max_clients_per_iter = 40;
+    fail_quota = 2;
+    succ_quota = 4;
+  }
+
+let percentile sorted p =
+  match Array.length sorted with
+  | 0 -> 0.0
+  | n ->
+    let i = int_of_float (ceil (p *. float_of_int n)) - 1 in
+    sorted.(max 0 (min (n - 1) i))
+
+(* One wave: submit [specs] (riding Busy backpressure), drain, harvest.
+   Returns (completions, wall seconds). *)
+let serve_wave svc specs =
+  let t0 = Unix.gettimeofday () in
+  List.iter
+    (fun sp ->
+      let rec push () =
+        match Serve.Service.submit svc sp with
+        | Ok _ -> ()
+        | Error (Serve.Service.Busy _) ->
+          ignore (Serve.Service.step svc);
+          ignore (Sys.opaque_identity (Serve.Service.take_completions svc));
+          push ()
+      in
+      push ())
+    specs;
+  Serve.Service.drain svc;
+  let wall = Unix.gettimeofday () -. t0 in
+  (Serve.Service.take_completions svc, wall)
+
+let run_serve ?(smoke = false) () =
+  let jobs = max 2 (Parallel.Jobs.default ()) in
+  let sessions = if smoke then 200 else 300 in
+  let sconfig =
+    {
+      Serve.Service.default with
+      Serve.Service.max_inflight = (if smoke then 32 else 128);
+      max_queue = sessions;
+      round_budget = (if smoke then 128 else 512);
+    }
+  in
+  Parallel.Pool.with_pool ~jobs (fun pool ->
+      (* Soak: three waves through ONE long-running service.  Leaks —
+         a session retained past completion, a completion never
+         harvested, an arena growing per session — show up as live-heap
+         growth from wave 2 to wave 3. *)
+      let svc = Serve.Service.create ~sconfig ~pool () in
+      (* The same stream each wave — the same physical spec list, since
+         the offline caches key programs by identity: they reach steady
+         state after wave 1, so any residual growth is a per-session
+         leak, not cache warm-up. *)
+      let soak_specs =
+        Serve.Stream.mixed ~tweak:soak_tweak ~seed:42 ~sessions ()
+      in
+      let wave () =
+        let completions, wall = serve_wave svc soak_specs in
+        ignore (Sys.opaque_identity completions);
+        let done_ = List.length completions in
+        Gc.compact ();
+        (done_, wall, (Gc.stat ()).Gc.live_words)
+      in
+      let d1, wall1, w1 = wave () in
+      let d2, _, w2 = wave () in
+      let d3, _, w3 = wave () in
+      Printf.printf
+        "PR8 serve: 3 waves of %d sessions: completed %d %d %d; live words \
+         %d %d %d\n"
+        sessions d1 d2 d3 w1 w2 w3;
+      if w3 > w2 then
+        failwith
+          (Printf.sprintf
+             "serve bench: live words grew across waves (%d -> %d)" w2 w3);
+      let st = Serve.Service.stats svc in
+      let leaked =
+        st.Serve.Service.st_submitted
+        - st.Serve.Service.st_completed - st.Serve.Service.st_rejected
+      in
+      if
+        leaked <> 0
+        || Serve.Service.inflight svc <> 0
+        || Serve.Service.queued svc <> 0
+      then
+        failwith
+          (Printf.sprintf
+             "serve bench: session leak: %d submitted, %d completed, %d \
+              rejected, %d in flight, %d queued"
+             st.st_submitted st.st_completed st.st_rejected
+             (Serve.Service.inflight svc)
+             (Serve.Service.queued svc));
+      if st.st_completed < 3 * sessions then
+        failwith
+          (Printf.sprintf "serve bench: %d of %d sessions completed"
+             st.st_completed (3 * sessions));
+      let reports_s = float_of_int st.st_slots /. wall1 in
+      (* Conservative floor: the soak dispatches tens of thousands of
+         client runs; even a sequential host clears hundreds/s. *)
+      let floor = 200.0 in
+      Printf.printf
+        "PR8 serve: wave 1: %.1f sessions/s, %.0f reports/s (floor %.0f), \
+         peak %d in flight, max wait %d round(s)\n"
+        (float_of_int d1 /. wall1)
+        reports_s floor st.st_peak_inflight st.st_max_wait_rounds;
+      if reports_s < floor then
+        failwith
+          (Printf.sprintf "serve bench: %.0f reports/s below the %.0f floor"
+             reports_s floor);
+      if st.st_max_wait_rounds > sconfig.Serve.Service.max_inflight then
+        failwith
+          (Printf.sprintf
+             "serve bench: a session waited %d rounds (fairness bound %d)"
+             st.st_max_wait_rounds sconfig.Serve.Service.max_inflight);
+      (* Headline run for the report: one fresh wave, timed, with
+         per-session time-to-diagnosis percentiles. *)
+      let svc2 = Serve.Service.create ~sconfig ~pool () in
+      let specs =
+        Serve.Stream.mixed ~tweak:soak_tweak ~seed:42 ~sessions ()
+      in
+      let completions, wall = serve_wave svc2 specs in
+      let st2 = Serve.Service.stats svc2 in
+      if (not smoke) && st2.st_peak_inflight < 100 then
+        failwith
+          (Printf.sprintf
+             "serve bench: peak in-flight %d, wanted >= 100 concurrent \
+              sessions"
+             st2.st_peak_inflight);
+      let ttd =
+        let a =
+          Array.of_list
+            (List.map
+               (fun (c : Serve.Service.completion) -> c.Serve.Service.c_wall_s)
+               completions)
+        in
+        Array.sort compare a;
+        a
+      in
+      let p50 = percentile ttd 0.50 and p99 = percentile ttd 0.99 in
+      let sessions_s = float_of_int (List.length completions) /. wall in
+      let reports_s2 = float_of_int st2.st_slots /. wall in
+      Printf.printf
+        "PR8 serve: headline: %d sessions in %.2fs (%.1f sessions/s, %.0f \
+         reports/s), time-to-diagnosis p50 %.3fs p99 %.3fs, peak %d in \
+         flight\n"
+        (List.length completions)
+        wall sessions_s reports_s2 p50 p99 st2.st_peak_inflight;
+      (* Live heap while a full complement of sessions is in flight,
+         at growing in-flight caps: per-session state is O(slice), so
+         the curve grows with the cap, not with the stream length. *)
+      let inflight_caps = if smoke then [ 8; 16; 32 ] else [ 32; 64; 128 ] in
+      let heap_points =
+        List.map
+          (fun cap ->
+            let sc =
+              { sconfig with Serve.Service.max_inflight = cap;
+                             max_queue = sessions }
+            in
+            let svc = Serve.Service.create ~sconfig:sc ~pool () in
+            List.iter
+              (fun sp -> ignore (Serve.Service.submit svc sp))
+              specs;
+            (* Step until the ring is full, then measure mid-flight. *)
+            let rec fill () =
+              if
+                Serve.Service.inflight svc < cap
+                && Serve.Service.queued svc > 0
+                && Serve.Service.step svc
+              then fill ()
+            in
+            fill ();
+            let inflight = Serve.Service.inflight svc in
+            Gc.full_major ();
+            let words = (Gc.stat ()).Gc.live_words in
+            Serve.Service.drain svc;
+            ignore (Sys.opaque_identity (Serve.Service.take_completions svc));
+            Printf.printf
+              "PR8 serve: cap %3d: %d sessions in flight, live words %d\n"
+              cap inflight words;
+            (cap, inflight, words))
+          inflight_caps
+      in
+      if not smoke then begin
+        let buf = Buffer.create 4096 in
+        Buffer.add_string buf "{\n";
+        Printf.bprintf buf "  \"pr\": 8,\n";
+        Printf.bprintf buf "  \"available_cores\": %d,\n"
+          (Parallel.Jobs.available ());
+        Printf.bprintf buf "  \"jobs\": %d,\n" jobs;
+        Printf.bprintf buf
+          "  \"sconfig\": {\"max_inflight\": %d, \"max_queue\": %d, \
+           \"quantum\": %d, \"round_budget\": %d},\n"
+          sconfig.Serve.Service.max_inflight sconfig.Serve.Service.max_queue
+          sconfig.Serve.Service.quantum sconfig.Serve.Service.round_budget;
+        Printf.bprintf buf
+          "  \"headline\": {\"sessions\": %d, \"wall_s\": %.3f, \
+           \"sessions_per_s\": %.2f, \"reports_per_s\": %.1f, \
+           \"ttd_p50_s\": %.4f, \"ttd_p99_s\": %.4f, \"peak_inflight\": %d, \
+           \"rounds\": %d, \"fleet_slots\": %d, \"max_wait_rounds\": %d},\n"
+          (List.length completions)
+          (json_num wall) (json_num sessions_s) (json_num reports_s2)
+          (json_num p50) (json_num p99) st2.st_peak_inflight st2.st_rounds
+          st2.st_slots st2.st_max_wait_rounds;
+        Printf.bprintf buf
+          "  \"soak\": {\"waves\": 3, \"sessions_per_wave\": %d, \
+           \"completed\": %d, \"rejected\": %d, \"leaked\": %d, \
+           \"live_words\": [%d, %d, %d], \"reports_per_s_floor\": %.0f},\n"
+          sessions st.st_completed st.st_rejected leaked w1 w2 w3 floor;
+        Buffer.add_string buf "  \"heap_vs_inflight\": [\n";
+        List.iteri
+          (fun i (cap, inflight, words) ->
+            Printf.bprintf buf
+              "    {\"cap\": %d, \"inflight\": %d, \"live_words\": %d}%s\n"
+              cap inflight words
+              (if i = List.length heap_points - 1 then "" else ","))
+          heap_points;
+        Buffer.add_string buf "  ],\n";
+        Printf.bprintf buf
+          "  \"determinism\": {\"differential\": \"test_serve\", \
+           \"bit_identical_to_one_shot\": true}\n";
+        Buffer.add_string buf "}\n";
+        let oc = open_out "BENCH_PR8.json" in
+        output_string oc (Buffer.contents buf);
+        close_out oc;
+        json_check "BENCH_PR8.json";
+        Printf.printf "PR8 serve: wrote %s/BENCH_PR8.json\n%!" (Sys.getcwd ())
+      end)
+
 (* The @check gate (fast variant of the full report): Bugbase plus the
    25-case seed-42 fuzz campaign, early exit on, asserting the top-1
    predictor matches the exhaustive oracle everywhere and that the
@@ -1292,12 +1543,14 @@ let experiments =
     ("ingest", fun () -> run_ingest ());
     ("adaptive", fun () -> run_adaptive ());
     ("adaptive_gate", run_adaptive_gate);
+    ("serve", fun () -> run_serve ());
     ("smoke",
      fun () ->
        run_perf ~smoke:true ();
        run_faults ~smoke:true ();
        run_ingest ~smoke:true ();
-       run_adaptive ~smoke:true ());
+       run_adaptive ~smoke:true ();
+       run_serve ~smoke:true ());
   ]
 
 let () =

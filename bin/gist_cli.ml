@@ -528,12 +528,32 @@ let fuzz_gen_corpus dir seed count jobs faults =
     (List.length shrunk) count;
   if List.length shrunk = count then 0 else 1
 
+let print_service_stats (st : Serve.Service.stats) =
+  Printf.printf
+    "service: %d submitted, %d admitted, %d rejected, %d completed; %d \
+     rounds, %d fleet slots, peak %d in flight, max wait %d round(s)\n"
+    st.st_submitted st.st_admitted st.st_rejected st.st_completed st.st_rounds
+    st.st_slots st.st_peak_inflight st.st_max_wait_rounds
+
+(* The fuzz accuracy gate through the multiplexed path: same cases,
+   same scoring, every diagnosable case one session of a shared
+   service (shrinking skipped). *)
+let fuzz_serve seed count jobs json min_accuracy faults =
+  let report, st = Serve.Gate.run ~jobs ?faults ~seed ~count () in
+  if json then print_string (Fuzz.Runner.to_json report)
+  else begin
+    Fmt.pr "%a" Fuzz.Runner.pp report;
+    print_service_stats st
+  end;
+  if Fuzz.Runner.min_pattern_accuracy report >= min_accuracy then 0 else 1
+
 let fuzz_run seed count jobs json no_shrink min_accuracy save_failures
-    gen_corpus replay faults =
+    gen_corpus replay serve faults =
   let jobs = resolve_jobs jobs in
   match (replay, gen_corpus) with
   | Some path, _ -> fuzz_replay path
   | None, Some dir -> fuzz_gen_corpus dir seed count jobs faults
+  | None, None when serve -> fuzz_serve seed count jobs json min_accuracy faults
   | None, None ->
     let report =
       Fuzz.Runner.run ~jobs ~shrink:(not no_shrink) ?faults ~seed ~count ()
@@ -598,6 +618,15 @@ let fuzz_cmd =
              ~doc:"Replay a corpus file or directory through the pipeline \
                    and re-check every verdict.")
   in
+  let serve =
+    Arg.(value & flag
+         & info [ "serve" ]
+             ~doc:"Run the campaign through the multiplexed diagnosis \
+                   service instead of one-shot: every diagnosable case \
+                   becomes one session of a shared service (shrinking \
+                   skipped). Verdicts are bit-identical to the one-shot \
+                   path.")
+  in
   Cmd.v
     (Cmd.info "fuzz"
        ~doc:
@@ -605,9 +634,136 @@ let fuzz_cmd =
           each end-to-end; score the sketches against the ground truth")
     Term.(
       const fuzz_run $ seed $ count $ jobs_arg $ json $ no_shrink
-      $ min_accuracy $ save_failures $ gen_corpus $ replay $ faults_term)
+      $ min_accuracy $ save_failures $ gen_corpus $ replay $ serve
+      $ faults_term)
 
 (* ------------------------------------------------------------------ *)
+
+(* gist serve: replay a synthetic report stream — Bugbase bugs
+   recycled under distinct session names plus fuzz-generated bugs —
+   through the multiplexed diagnosis service, and print the scheduling
+   ledger.  Exit 0 when every session completed and the ledger
+   balances; 2 when a service invariant broke (leaked or incomplete
+   sessions); 3 when the stream is empty. *)
+
+let serve_run sessions fuzz_count seed jobs inflight queue quantum budget
+    summary faults =
+  let jobs = resolve_jobs jobs in
+  let sconfig =
+    {
+      Serve.Service.max_inflight = inflight;
+      max_queue = queue;
+      quantum;
+      round_budget = budget;
+    }
+  in
+  match Serve.Stream.mixed ?faults ~fuzz_count ~seed ~sessions () with
+  | [] -> exit_no_failure
+  | specs ->
+    Parallel.Pool.with_pool ~jobs (fun pool ->
+        let svc = Serve.Service.create ~sconfig ~pool () in
+        let completed = ref 0 in
+        let submit_all () =
+          List.iter
+            (fun sp ->
+              let rec push () =
+                match Serve.Service.submit svc sp with
+                | Ok _ -> ()
+                | Error (Serve.Service.Busy _) ->
+                  (* Saturated: run a round, harvest, retry. *)
+                  ignore (Serve.Service.step svc);
+                  completed :=
+                    !completed
+                    + List.length (Serve.Service.take_completions svc);
+                  push ()
+              in
+              push ())
+            specs
+        in
+        let t0 = Unix.gettimeofday () in
+        submit_all ();
+        Serve.Service.drain svc;
+        let wall = Unix.gettimeofday () -. t0 in
+        let last = Serve.Service.take_completions svc in
+        if summary then
+          List.iter
+            (fun (c : Serve.Service.completion) ->
+              Printf.printf
+                "%-32s %2d iteration(s) %4d runs  rounds %d..%d\n"
+                c.c_name c.c_diagnosis.Gist.Server.iterations
+                c.c_diagnosis.Gist.Server.total_runs c.c_admitted_round
+                c.c_completed_round)
+            last;
+        completed := !completed + List.length last;
+        let st = Serve.Service.stats svc in
+        print_service_stats st;
+        Printf.printf "throughput: %.1f sessions/s (%d sessions in %.2fs)\n"
+          (float_of_int st.st_completed /. wall)
+          st.st_completed wall;
+        let balanced =
+          st.st_submitted = st.st_completed + st.st_rejected
+          && Serve.Service.inflight svc = 0
+          && Serve.Service.queued svc = 0
+          && !completed = st.st_completed
+        in
+        if not balanced then begin
+          prerr_endline "serve: session ledger does not balance";
+          2
+        end
+        else 0)
+
+let serve_cmd =
+  let sessions =
+    Arg.(value & opt int 100
+         & info [ "sessions" ] ~docv:"N"
+             ~doc:"Concurrent-diagnosis sessions to replay.")
+  in
+  let fuzz_count =
+    Arg.(value & opt int 8
+         & info [ "fuzz-count" ] ~docv:"K"
+             ~doc:"Distinct fuzz-generated bugs mixed into the stream \
+                   alongside the Bugbase.")
+  in
+  let seed =
+    Arg.(value & opt int 42
+         & info [ "seed" ] ~doc:"Stream seed; the whole replay is a pure \
+                                 function of (seed, sessions).")
+  in
+  let inflight =
+    Arg.(value & opt int Serve.Service.default.Serve.Service.max_inflight
+         & info [ "inflight" ] ~docv:"N"
+             ~doc:"Admission cap: concurrent sessions in flight.")
+  in
+  let queue =
+    Arg.(value & opt int Serve.Service.default.Serve.Service.max_queue
+         & info [ "queue" ] ~docv:"N"
+             ~doc:"Waiting room: submissions queued for admission before \
+                   the service answers with a typed busy reject.")
+  in
+  let quantum =
+    Arg.(value & opt int Serve.Service.default.Serve.Service.quantum
+         & info [ "quantum" ] ~docv:"N"
+             ~doc:"Fleet slots granted per session per scheduler round.")
+  in
+  let budget =
+    Arg.(value & opt int Serve.Service.default.Serve.Service.round_budget
+         & info [ "round-budget" ] ~docv:"N"
+             ~doc:"Total fleet slots run per scheduler round.")
+  in
+  let summary =
+    Arg.(value & flag
+         & info [ "summary" ]
+             ~doc:"Print one line per completed session.")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Replay a synthetic multi-bug report stream through the \
+          persistent diagnosis service (admission control, fair \
+          multiplexed scheduling, typed backpressure)")
+    Term.(
+      const serve_run $ sessions $ fuzz_count $ seed $ jobs_arg $ inflight
+      $ queue $ quantum $ budget $ summary $ faults_term)
 
 let () =
   let doc = "failure sketching for automated root cause diagnosis" in
@@ -617,5 +773,5 @@ let () =
        (Cmd.group info
           [
             list_cmd; diagnose_cmd; slice_cmd; baseline_cmd; experiments_cmd;
-            run_cmd; show_cmd; fuzz_cmd;
+            run_cmd; show_cmd; fuzz_cmd; serve_cmd;
           ]))

@@ -18,13 +18,19 @@
 
 open Ir.Types
 
-(* Version 2 is the binary wire era: reports travel as the byte
-   envelopes of {!Encode}, not as in-memory records. *)
-let version = 2
+(* Version 3 is the multi-bug service era: the envelope is keyed by
+   the diagnosis session (which bug the report belongs to) as well as
+   the fleet slot.  Version 2 keyed reports by client slot alone — a
+   latent single-bug assumption: once thousands of distinct failures
+   are diagnosed concurrently, slot numbers repeat across sessions and
+   a mis-routed report must be a typed reject, not a silent
+   cross-contamination of another bug's statistics. *)
+let version = 3
 
 type envelope = {
   e_version : int;
   e_client : int;     (* fleet slot that produced the report *)
+  e_session : int;    (* diagnosis session (bug) the report belongs to *)
   e_plan_id : int;    (* digest of the plan the client ran under *)
   e_checksum : int;   (* full-walk digest of [e_report] *)
   e_report : Client.report;
@@ -33,6 +39,7 @@ type envelope = {
 type reject =
   | Bad_version of int
   | Bad_checksum
+  | Wrong_session of { expected : int; got : int }
   | Stale_plan of { expected : int; got : int }
   | Dropped_trace of int  (* a thread's PT ring arrived with no bytes *)
   | Damaged_trace of string
@@ -44,6 +51,7 @@ type reject =
 let reject_label = function
   | Bad_version _ -> "bad-version"
   | Bad_checksum -> "bad-checksum"
+  | Wrong_session _ -> "wrong-session"
   | Stale_plan _ -> "stale-plan"
   | Dropped_trace _ -> "dropped-trace"
   | Damaged_trace _ -> "damaged-trace"
@@ -52,6 +60,8 @@ let reject_label = function
 let reject_to_string = function
   | Bad_version v -> Printf.sprintf "unknown protocol version %d" v
   | Bad_checksum -> "checksum mismatch (report damaged in transit)"
+  | Wrong_session { expected; got } ->
+    Printf.sprintf "report for session %d routed to session %d" got expected
   | Stale_plan { expected; got } ->
     Printf.sprintf "report built under stale plan %#x (current %#x)" got
       expected
@@ -175,20 +185,27 @@ let checksum (r : Client.report) =
   let h = mix h r.Client.r_steps in
   mix_list (fun h (tid, e) -> mix_pt_error (mix h tid) e) h r.Client.r_pt_errors
 
-let seal ~client ~plan_id report =
+let seal ?(session = 0) ~client ~plan_id report =
   {
     e_version = version;
     e_client = client;
+    e_session = session;
     e_plan_id = plan_id;
     e_checksum = checksum report;
     e_report = report;
   }
 
 (* [validate ~n_instrs ~plan_id env] returns the report only if every
-   layer passes; no rejected report may reach predictor ranking. *)
-let validate ~n_instrs ~plan_id env =
+   layer passes; no rejected report may reach predictor ranking.
+   Routing (session) is checked after integrity but before freshness:
+   a mis-routed report's plan digest belongs to another session's
+   iteration history, so comparing it against [plan_id] first would
+   book routing faults as staleness. *)
+let validate ?(session = 0) ~n_instrs ~plan_id env =
   if env.e_version <> version then Error (Bad_version env.e_version)
   else if checksum env.e_report <> env.e_checksum then Error Bad_checksum
+  else if env.e_session <> session then
+    Error (Wrong_session { expected = session; got = env.e_session })
   else if env.e_plan_id <> plan_id then
     Error (Stale_plan { expected = plan_id; got = env.e_plan_id })
   else
@@ -233,8 +250,15 @@ let validate ~n_instrs ~plan_id env =
 (* ------------------------------------------------------------------ *)
 (* Encode: the byte form an envelope takes on the wire.
 
-   Layout: [version] [client] [plan_id] as varints, an 8-byte LE
-   digest, then the report payload.  The digest is the same
+   Layout: [version] [client] as varints, [session] as a fixed 4-byte
+   LE word, [plan_id] as a varint, an 8-byte LE digest, then the
+   report payload.  The session field is fixed-width on purpose: a
+   varint would make envelope length a function of the session id, and
+   deterministic in-transit damage models pick the byte they flip from
+   the envelope length — the same report would then draw different
+   reject labels in different sessions, breaking the contract that a
+   multiplexed diagnosis is bit-identical to its one-shot counterpart
+   (whose session id differs).  The digest is the same
    splitmix-avalanche family as {!checksum} but folded over the
    *encoded bytes* (header fields mixed in first): one pass over the
    wire form covers every field the old full-walk checksum covered,
@@ -482,8 +506,8 @@ module Encode = struct
      hash — a wider word would shed its top bits into [step]'s 62-bit
      mask and leave them unprotected.  The digest is verified on
      every delivery, so its cost is the floor of {!check}. *)
-  let digest ?(pos = 0) ~client ~plan_id payload =
-    let h = ref (mix (mix (mix 0x77A9 version) client) plan_id) in
+  let digest ?(pos = 0) ~client ~session ~plan_id payload =
+    let h = ref (mix (mix (mix (mix 0x77A9 version) client) session) plan_id) in
     let n = String.length payload in
     let i = ref pos in
     while !i + 4 <= n do
@@ -500,15 +524,17 @@ module Encode = struct
   (* [encode a ~client ~plan_id report] seals a report into its wire
      bytes.  [a]'s buffers are reused across calls: the only per-call
      allocation that survives is the returned string. *)
-  let encode a ~client ~plan_id report =
+  let encode a ?(session = 0) ~client ~plan_id report =
     Buffer.clear a.pbuf;
     put_report a.pbuf report;
     let payload = Buffer.contents a.pbuf in
     Buffer.clear a.ebuf;
     W.put_uint a.ebuf version;
     W.put_uint a.ebuf client;
+    Buffer.add_int32_le a.ebuf (Int32.of_int session);
     W.put_uint a.ebuf plan_id;
-    Buffer.add_int64_le a.ebuf (Int64.of_int (digest ~client ~plan_id payload));
+    Buffer.add_int64_le a.ebuf
+      (Int64.of_int (digest ~client ~session ~plan_id payload));
     Buffer.add_string a.ebuf payload;
     Buffer.contents a.ebuf
 
@@ -517,6 +543,12 @@ module Encode = struct
     let bits = String.get_int64_le r.W.src r.W.pos in
     r.W.pos <- r.W.pos + 8;
     Int64.to_int bits
+
+  let get_session r =
+    if r.W.pos + 4 > r.W.limit then raise W.Short;
+    let v = Int32.to_int (String.get_int32_le r.W.src r.W.pos) land 0xFFFFFFFF in
+    r.W.pos <- r.W.pos + 4;
+    v
 
   (* Allocation-free forward scan of the payload: returns the first
      reject the bytes justify, in exactly {!validate}'s priority
@@ -617,18 +649,24 @@ module Encode = struct
   (* Every validation layer over the wire form, without materialising
      the report: [Ok] carries the payload offset so {!ingest} can
      decode without rescanning the header. *)
-  let scan ~n_instrs ~plan_id bytes =
+  let scan ?(session = 0) ~n_instrs ~plan_id bytes =
     try
       let r = W.reader bytes in
       let v = W.get_uint r in
       if v <> version then Error (Bad_version v)
       else begin
         let client = W.get_uint r in
+        let got_session = get_session r in
         let got_plan = W.get_uint r in
         let d = get_digest r in
         let payload_start = r.W.pos in
-        if digest ~pos:payload_start ~client ~plan_id:got_plan bytes <> d then
-          Error Bad_checksum
+        if
+          digest ~pos:payload_start ~client ~session:got_session
+            ~plan_id:got_plan bytes
+          <> d
+        then Error Bad_checksum
+        else if got_session <> session then
+          Error (Wrong_session { expected = session; got = got_session })
         else if got_plan <> plan_id then
           Error (Stale_plan { expected = plan_id; got = got_plan })
         else
@@ -640,8 +678,8 @@ module Encode = struct
       end
     with W.Short -> Error (Bad_payload "truncated envelope")
 
-  let check ~n_instrs ~plan_id bytes =
-    match scan ~n_instrs ~plan_id bytes with
+  let check ?(session = 0) ~n_instrs ~plan_id bytes =
+    match scan ~session ~n_instrs ~plan_id bytes with
     | Ok (_ : int) -> Ok ()
     | Error _ as e -> e
 
@@ -649,8 +687,8 @@ module Encode = struct
      form: one allocation-free scan classifies the reject (same
      layering, same priority), and only an accepted report is
      materialised. *)
-  let ingest ~n_instrs ~plan_id bytes =
-    match scan ~n_instrs ~plan_id bytes with
+  let ingest ?(session = 0) ~n_instrs ~plan_id bytes =
+    match scan ~session ~n_instrs ~plan_id bytes with
     | Error rej -> Error rej
     | Ok payload_start -> (
       try Ok (get_report (W.reader ~pos:payload_start bytes))

@@ -10,13 +10,17 @@
     typed damage flags (structure); and statement-id range checks
     (semantics). *)
 
-(** Current protocol version (2: the binary wire era — reports travel
-    as the byte envelopes of {!Encode}). *)
+(** Current protocol version (3: the multi-bug service era — the
+    envelope is keyed by diagnosis session as well as fleet slot, so a
+    server multiplexing many concurrent bugs rejects mis-routed
+    reports instead of silently folding them into another bug's
+    statistics). *)
 val version : int
 
 type envelope = {
   e_version : int;
   e_client : int;   (** fleet slot that produced the report *)
+  e_session : int;  (** diagnosis session (bug) the report belongs to *)
   e_plan_id : int;  (** digest of the plan the client ran under *)
   e_checksum : int; (** full-walk digest of [e_report] *)
   e_report : Client.report;
@@ -27,6 +31,9 @@ type envelope = {
 type reject =
   | Bad_version of int
   | Bad_checksum
+  | Wrong_session of { expected : int; got : int }
+      (** routed to the wrong diagnosis session — checked after
+          integrity, before freshness *)
   | Stale_plan of { expected : int; got : int }
   | Dropped_trace of int
       (** a thread's PT ring arrived with no bytes at all — a
@@ -44,18 +51,25 @@ val reject_to_string : reject -> string
     its traversal and would miss tail tampering). *)
 val checksum : Client.report -> int
 
-val seal : client:int -> plan_id:int -> Client.report -> envelope
+(** [session] defaults to 0 — the id single-bug drivers use, so
+    one-shot call sites need not change. *)
+val seal : ?session:int -> client:int -> plan_id:int -> Client.report -> envelope
 
 (** [validate ~n_instrs ~plan_id env] runs every validation layer;
     [Error] carries the first failure.  [n_instrs] is the exclusive
     upper bound on valid statement ids (iids are 1-based, so pass
-    max iid + 1). *)
+    max iid + 1).  [session] (default 0) is the id of the diagnosis
+    session doing the validating. *)
 val validate :
+  ?session:int ->
   n_instrs:int -> plan_id:int -> envelope -> (Client.report, reject) result
 
-(** The byte form an envelope takes on the wire: varint header
-    ([version], [client], [plan_id]), an 8-byte LE digest, then the
-    varint-packed report payload with statement ids delta-encoded.
+(** The byte form an envelope takes on the wire: varint [version] and
+    [client], a fixed 4-byte LE [session] word (fixed-width so the
+    envelope's length — and therefore which byte a deterministic
+    in-transit damage model flips — never depends on the session id),
+    a varint [plan_id], an 8-byte LE digest, then the varint-packed
+    report payload with statement ids delta-encoded.
 
     Payload field order mirrors {!validate}'s reject priority
     ([r_pt_errors] lead, then executed / branches / traps), so
@@ -71,14 +85,17 @@ module Encode : sig
   val arena : unit -> arena
 
   (** [encode a ~client ~plan_id report] seals a report into its wire
-      bytes (header, digest, payload). *)
-  val encode : arena -> client:int -> plan_id:int -> Client.report -> string
+      bytes (header, digest, payload).  [session] defaults to 0. *)
+  val encode :
+    arena -> ?session:int -> client:int -> plan_id:int -> Client.report ->
+    string
 
   (** [check ~n_instrs ~plan_id bytes] runs every validation layer of
       {!ingest} without materialising the report: the allocation-free
       integrity verdict a relay (or a server deciding whether a
       delivery is worth decoding) pays per envelope.  Never raises. *)
   val check :
+    ?session:int ->
     n_instrs:int -> plan_id:int -> string -> (unit, reject) result
 
   (** [ingest ~n_instrs ~plan_id bytes] is {!validate} over the wire
@@ -86,5 +103,6 @@ module Encode : sig
       is decoded only once every layer has passed.  Never raises —
       arbitrary bytes yield a [reject]. *)
   val ingest :
+    ?session:int ->
     n_instrs:int -> plan_id:int -> string -> (Client.report, reject) result
 end

@@ -137,443 +137,448 @@ let wp_groups ~wp_capacity targets =
    their buffers across every slot they run. *)
 let enc_arena = Parallel.Pool.worker_local (fun () -> Protocol.Encode.arena ())
 
-let diagnose ?(config = Config.default) ?(pool = Parallel.Pool.sequential)
-    ?(ingest = Streaming) ?oracle ~bug_name ~failure_type ~program ~workload_of
-    ~(failure : Exec.Failure.report) () =
-  let config = Config.check config in
-  let t_offline0 = Sys.time () in
-  (* Compile the program once up front (memoised in [Analysis.Cache]):
-     every client run and PT decode below then hits the cache, and the
-     one-time lowering cost is charged to the offline phase where it
-     belongs, not to the first monitored client. *)
-  ignore (Analysis.Cache.lowered program);
-  (* Exclusive upper bound on valid statement ids for payload
-     validation (iids are 1-based, so this is max iid + 1, not the
-     instruction count). *)
-  let n_instrs =
-    1
-    + List.fold_left
-        (fun m (i : Ir.Types.instr) -> max m i.iid)
-        0
-        (Ir.Program.all_instrs program)
-  in
-  let slice = Slicing.Slicer.compute program failure in
-  let target_sig = Exec.Failure.signature failure in
-  let streaming = ingest = Streaming in
-  (* The adaptive stopping rule needs the streaming sufficient
-     statistics even in retained mode, so its decisions are identical
-     in both ingest modes (the retained ranking itself still comes
-     from the replayed observations). *)
-  let early = config.Config.early_exit in
-  let offline_time = ref (Sys.time () -. t_offline0) in
-  let t_online0 = Sys.time () in
-  let sigma = ref config.Config.sigma0 in
-  let discovered = ref IntSet.empty in
-  let confirmed = ref IntSet.empty in
-  (* Ranking state.  Streaming: sufficient statistics, O(predictors).
-     Retained (oracle): the observation list the original loop kept. *)
-  let acc = Predict.Stats.Acc.create () in
-  let observations = ref [] in
-  let repr_failing : Client.report option ref = ref None in
-  let base_cycles = ref 0.0 and extra_cycles = ref 0.0 in
+(* ------------------------------------------------------------------ *)
+(* Session: one bug's AsT diagnosis as an event-driven state machine.
+
+   The synchronous [diagnose] loop is inverted so a multi-bug service
+   can multiplex many diagnoses over one pool: the session *asks* for
+   fleet slots ([need]), hands out pure slot thunks ([grant]), and
+   folds the outcomes back in slot order ([deliver]).  Everything
+   between slot gathering — plan construction, quorum and degradation,
+   refinement, ranking, the sketch, convergence — happens inside
+   [need]'s internal advance, so a driver only ever sees "give me N
+   slots" or "finished".
+
+   The consume fold is a verbatim transplant of the old
+   [Pool.map_until] consume body, with the same slot numbering (a
+   pass's slot [i] is client [pass base + i]) and the same stopping
+   point: outcomes delivered after the fold stops are discarded
+   unconsumed exactly like [map_until]'s speculative surplus, and the
+   pass's consumed count includes the outcome whose consume said stop.
+   That makes any driver — the one-shot wrapper batching like
+   [map_until], or a scheduler interleaving dozens of sessions — fold
+   the identical outcome sequence, so every field of the diagnosis but
+   host time is bit-identical whatever the multiplexing. *)
+module Session = struct
+  type need = Slots of int | Finished
+
+  (* What one fleet slot produced: the retry loop's net effect,
+     precomputed on the worker so the in-order consume stays O(1). *)
+  type outcome = {
+    o_valid : slot_valid option;
+    o_attempts : int;
+    o_lost : int;
+    o_rejects : Protocol.reject list;
+    o_kinds : Faults.Fault.kind list;
+    o_delay : float;
+    o_quarantined : bool;
+  }
+
+  (* The per-iteration snapshot slot thunks close over.  Immutable:
+     thunks outlive [grant] and may run while the session's mutable
+     state advances, so nothing here aliases session state. *)
+  type ictx = {
+    x_tracked : iid list;
+    x_tracked_set : IntSet.t;
+    x_plan : Instrument.Plan.t;
+    x_plan_id : int;
+    x_groups : iid list array;
+    x_prev : (Instrument.Plan.t * int * iid list array) option;
+  }
+
+  (* One gathering pass (pass 1, or the quorum re-run pass 2).
+     [g_budget] is the slot budget fixed at pass start; [g_granted]
+     slots have been handed out, [g_delivered] outcomes have come
+     back, [g_consumed] of those were folded (the rest arrived after
+     the fold stopped and were discarded). *)
+  type gather = {
+    g_ctx : ictx;
+    g_base : int;
+    g_budget : int;
+    g_first : (int * int) option; (* pass 1's (valid, slots) in pass 2 *)
+    mutable g_granted : int;
+    mutable g_delivered : int;
+    mutable g_consumed : int;
+    mutable g_stopped : bool;
+    mutable g_valid : int;
+    mutable g_slots : int;
+  }
+
+  type phase = Gathering of gather | Done
+
+  type t = {
+    s_id : int;
+    config : Config.t;
+    bug_name : string;
+    failure_type : string;
+    program : program;
+    workload_of : int -> Exec.Interp.workload;
+    failure : Exec.Failure.report;
+    oracle : (Fsketch.Sketch.t -> bool) option;
+    streaming : bool;
+    early : bool;
+    n_instrs : int;
+    slice : Slicing.Slicer.t;
+    slice_size : int;
+    target_sig : Exec.Failure.signature;
+    t_online0 : float;
+    mutable offline_time : float;
+    mutable online_time : float;
+    (* cross-iteration AsT state *)
+    mutable sigma : int;
+    mutable discovered : IntSet.t;
+    mutable confirmed : IntSet.t;
+    acc : Predict.Stats.Acc.t;
+    mutable observations : Predict.Stats.observation list;
+    mutable repr_failing : Client.report option;
+    mutable base_cycles : float;
+    mutable extra_cycles : float;
+    mutable ov_buf : float array;
+    mutable ov_len : int;
+    mutable recurrences : int;
+    mutable total_runs : int;
+    mutable client_counter : int;
+    mutable iteration : int;
+    mutable best_sketch : Fsketch.Sketch.t option;
+    mutable stop : bool;
+    mutable trace : iteration_info list;
+    mutable f_dispatched : int;
+    mutable f_valid : int;
+    mutable f_lost : int;
+    mutable f_rejected : int;
+    mutable f_retried : int;
+    mutable f_quarantined : int;
+    mutable f_degraded : int;
+    by_kind : (string, int) Hashtbl.t;
+    by_reason : (string, int) Hashtbl.t;
+    mutable sim_delay : float;
+    mutable prev_winner : Predict.Predictor.t option;
+    mutable win_streak : int;
+    mutable prev_plan : (Instrument.Plan.t * int * iid list array) option;
+    (* per-iteration state, reset by [begin_iteration] *)
+    mutable fails : int;
+    mutable succs : int;
+    mutable clients : int;
+    mutable iter_reports : (Client.report * bool) list;
+    mutable it_dispatched : int;
+    mutable it_lost : int;
+    mutable it_rejected : int;
+    mutable it_retried : int;
+    mutable it_quarantined : int;
+    mutable it_valid : int;
+    mutable it_exited : bool;
+    mutable phase : phase;
+  }
+
+  let id t = t.s_id
+
+  let bump tbl k =
+    Hashtbl.replace tbl k (1 + Option.value ~default:0 (Hashtbl.find_opt tbl k))
+
   (* Per-iteration overhead samples, in consume order, in a float
      array reused across iterations (capacity only ever grows).  The
      average is summed newest-first — the exact order the old
      newest-first list fold used — so the reported float is
      bit-identical to the retained path. *)
-  let ov_buf = ref (Array.make 256 0.0) in
-  let ov_len = ref 0 in
-  let ov_push x =
-    if !ov_len = Array.length !ov_buf then begin
-      let bigger = Array.make (2 * !ov_len) 0.0 in
-      Array.blit !ov_buf 0 bigger 0 !ov_len;
-      ov_buf := bigger
+  let ov_push t x =
+    if t.ov_len = Array.length t.ov_buf then begin
+      let bigger = Array.make (2 * t.ov_len) 0.0 in
+      Array.blit t.ov_buf 0 bigger 0 t.ov_len;
+      t.ov_buf <- bigger
     end;
-    !ov_buf.(!ov_len) <- x;
-    incr ov_len
-  in
-  let ov_avg () =
-    if !ov_len = 0 then 0.0
+    t.ov_buf.(t.ov_len) <- x;
+    t.ov_len <- t.ov_len + 1
+
+  let ov_avg t =
+    if t.ov_len = 0 then 0.0
     else begin
       let s = ref 0.0 in
-      for i = !ov_len - 1 downto 0 do
-        s := !s +. !ov_buf.(i)
+      for i = t.ov_len - 1 downto 0 do
+        s := !s +. t.ov_buf.(i)
       done;
-      !s /. float_of_int !ov_len
+      !s /. float_of_int t.ov_len
     end
-  in
-  let recurrences = ref 0 in
-  let total_runs = ref 0 in
-  let client_counter = ref 0 in
-  let iteration = ref 0 in
-  let best_sketch = ref None in
-  let slice_size = Slicing.Slicer.instr_count slice in
-  let stop = ref false in
-  let trace = ref [] in
-  (* Fleet-protocol accounting (faults, rejections, retries). *)
-  let rates = config.Config.fault_rates in
-  let f_dispatched = ref 0 and f_valid = ref 0 and f_lost = ref 0 in
-  let f_rejected = ref 0 and f_retried = ref 0 in
-  let f_quarantined = ref 0 and f_degraded = ref 0 in
-  let by_kind : (string, int) Hashtbl.t = Hashtbl.create 8 in
-  let by_reason : (string, int) Hashtbl.t = Hashtbl.create 8 in
-  let bump tbl k =
-    Hashtbl.replace tbl k (1 + Option.value ~default:0 (Hashtbl.find_opt tbl k))
-  in
-  let sim_delay = ref 0.0 in
-  (* Convergence tracking for the adaptive rule: the predictor that
-     held separation at the end of the previous iteration, and for how
-     many consecutive non-degraded iterations it has held. *)
-  let prev_winner : Predict.Predictor.t option ref = ref None in
-  let win_streak = ref 0 in
-  (* Previous iteration's (plan, digest, rotation groups): what a
-     stale client runs under. *)
-  let prev_plan = ref None in
-  while not !stop do
-    incr iteration;
-    (* --- offline: choose the tracked portion, build the patch --- *)
+
+  let quota_open t =
+    t.fails < t.config.Config.fail_quota || t.succs < t.config.Config.succ_quota
+
+  let below_quorum t v s =
+    s > 0 && float_of_int v < t.config.Config.quorum_frac *. float_of_int s
+
+  (* One fleet slot: dispatch, injected faults, bounded retry with
+     exponential backoff in simulated fleet time, quarantine once
+     [max_retries] re-dispatches are spent.  A crashed client, a
+     dropped report and a straggler all look the same to the server
+     (nothing arrives by the deadline), so each costs a full
+     [straggler_timeout_s] wait and the run itself is skipped --
+     nothing it produced could have arrived.
+
+     Pure in the session's mutable state: everything it reads is fixed
+     at [create] or lives in the iteration snapshot [ctx], so a
+     scheduler may run granted thunks in any order, on any domain. *)
+  let run_slot t ctx c =
+    let config = t.config in
+    let rates = config.Config.fault_rates in
+    let n_instrs = t.n_instrs in
+    let lost = ref 0 and rejects = ref [] and kinds = ref [] in
+    let delay = ref 0.0 in
+    let valid = ref None in
+    let attempt = ref 0 in
+    let quarantined = ref false in
+    let running = ref true in
+    while !running do
+      let inj =
+        Faults.Fault.draw rates ~seed:config.Config.fault_seed ~client:c
+          ~attempt:!attempt
+      in
+      (if
+         inj.Faults.Fault.j_crash || inj.Faults.Fault.j_drop
+         || inj.Faults.Fault.j_straggler
+       then begin
+         incr lost;
+         delay := !delay +. config.Config.straggler_timeout_s;
+         kinds :=
+           (if inj.Faults.Fault.j_crash then Faults.Fault.Crash
+            else if inj.Faults.Fault.j_drop then Faults.Fault.Drop
+            else Faults.Fault.Straggler)
+           :: !kinds
+       end
+       else begin
+         (* A stale client runs under the previous iteration's plan
+            and rotation, and seals with that plan's digest; the
+            server's freshness check rejects the report.  On the
+            first iteration there is no previous plan to be stale
+            against. *)
+         let stale = inj.Faults.Fault.j_stale_plan && ctx.x_prev <> None in
+         let use_plan, use_plan_id, use_groups =
+           if stale then Option.get ctx.x_prev
+           else (ctx.x_plan, ctx.x_plan_id, ctx.x_groups)
+         in
+         if stale then kinds := Faults.Fault.Stale_plan :: !kinds;
+         (* Ring damage lands on the encoded bytes ([Hw.Pt.Wire]),
+            the form the ring actually takes on a client. *)
+         let tamper =
+           match
+             (inj.Faults.Fault.j_pt_truncate, inj.Faults.Fault.j_pt_corrupt)
+           with
+           | None, None -> None
+           | tr, co ->
+             Some
+               (fun ~tid bytes ->
+                 let bytes =
+                   match tr with
+                   | Some salt ->
+                     Faults.Tamper.truncate_wire
+                       ~salt:(Faults.Fault.mix salt tid) bytes
+                   | None -> bytes
+                 in
+                 match co with
+                 | Some salt ->
+                   Faults.Tamper.corrupt_wire_packets
+                     ~salt:(Faults.Fault.mix salt tid) ~n_instrs bytes
+                 | None -> bytes)
+         in
+         if inj.Faults.Fault.j_pt_truncate <> None then
+           kinds := Faults.Fault.Pt_truncate :: !kinds;
+         if inj.Faults.Fault.j_pt_corrupt <> None then
+           kinds := Faults.Fault.Pt_corrupt :: !kinds;
+         let n_g = Array.length use_groups in
+         let report =
+           Client.run_one ~wp_capacity:config.Config.wp_capacity
+             ~preempt_prob:config.Config.preempt_prob
+             ~max_steps:config.Config.max_steps
+             ~data_source:config.Config.data_source
+             ~redact:config.Config.redact_values ?tamper ~plan:use_plan
+             ~wp_allowed:use_groups.(c mod n_g) t.program (t.workload_of c)
+         in
+         (* Watchpoint-log corruption: either in-ring (pre-seal, so
+            the digest matches the damaged payload and only the
+            semantic range check can catch it) or in transit
+            (post-seal: a bit flips in the sealed envelope bytes,
+            caught by the digest).  Both validation layers stay
+            exercised under any fault mix. *)
+         let report, flip_salt =
+           match inj.Faults.Fault.j_wp_corrupt with
+           | None -> (report, None)
+           | Some salt ->
+             kinds := Faults.Fault.Wp_corrupt :: !kinds;
+             if Faults.Tamper.wp_corrupt_in_transit ~salt then
+               (report, Some salt)
+             else
+               ( {
+                   report with
+                   Client.r_traps =
+                     Faults.Tamper.corrupt_traps ~salt ~n_instrs
+                       report.Client.r_traps;
+                 },
+                 None )
+         in
+         (* The client→server hop is bytes: seal into the wire
+            envelope (through this domain's reusable arena), damage
+            in transit if drawn, then validate with the single-pass
+            streaming scan.  Only an accepted report is ever
+            materialised back into a record.  The envelope carries the
+            session key; its field is fixed-width, so the flipped-byte
+            position below is independent of which session this is. *)
+         let bytes =
+           Protocol.Encode.encode (enc_arena ()) ~session:t.s_id ~client:c
+             ~plan_id:use_plan_id report
+         in
+         let bytes =
+           match flip_salt with
+           | Some salt -> Faults.Tamper.flip_wire_byte ~salt bytes
+           | None -> bytes
+         in
+         match
+           Protocol.Encode.ingest ~session:t.s_id ~n_instrs
+             ~plan_id:ctx.x_plan_id bytes
+         with
+         | Ok r ->
+           let sv_matches = r.Client.r_signature = Some t.target_sig in
+           let sv_relevant = sv_matches || r.Client.r_signature = None in
+           (* Refinement inputs, precomputed here so the slot-order
+              consume fold is O(1) per slot.  The retained oracle
+              recomputes them from the kept reports instead. *)
+           let sv_confirmed =
+             if t.streaming && sv_matches then
+               IntSet.inter ctx.x_tracked_set
+                 (IntSet.of_list (Client.executed_set r))
+             else IntSet.empty
+           in
+           let sv_discovered =
+             if t.streaming && sv_relevant then
+               List.filter_map
+                 (fun (w : Hw.Watchpoint.trap) ->
+                   if IntSet.mem w.Hw.Watchpoint.w_iid ctx.x_tracked_set then
+                     None
+                   else Some w.Hw.Watchpoint.w_iid)
+                 r.Client.r_traps
+             else []
+           in
+           let sv_predictors =
+             if (t.streaming || t.early) && sv_relevant then
+               Predict.Predictor.of_run ~ranges:config.Config.range_predicates
+                 ~tracked:ctx.x_tracked ~branch_outcomes:r.Client.r_branches
+                 ~traps:r.Client.r_traps ()
+             else []
+           in
+           valid :=
+             Some
+               {
+                 sv_report = r;
+                 sv_matches;
+                 sv_relevant;
+                 sv_confirmed;
+                 sv_discovered;
+                 sv_predictors;
+               };
+           running := false
+         | Error rej -> rejects := rej :: !rejects
+       end);
+      if !running then
+        if !attempt >= config.Config.max_retries then begin
+          quarantined := true;
+          running := false
+        end
+        else begin
+          delay :=
+            !delay
+            +. (config.Config.retry_backoff_s *. (2.0 ** float_of_int !attempt));
+          incr attempt
+        end
+    done;
+    {
+      o_valid = !valid;
+      o_attempts = !attempt + 1;
+      o_lost = !lost;
+      o_rejects = List.rev !rejects;
+      o_kinds = List.rev !kinds;
+      o_delay = !delay;
+      o_quarantined = !quarantined;
+    }
+
+  (* Start a gathering pass over fresh clients.  The old [run_pass]
+     evaluated its initial condition before streaming any slot; a pass
+     that fails it is born stopped and completes immediately with
+     (0, 0), exactly like the old [if ... then 0]. *)
+  let start_pass t ctx ~first =
+    let budget = t.config.Config.max_clients_per_iter - t.clients in
+    let stopped = budget <= 0 || (not (quota_open t)) || t.it_exited in
+    t.phase <-
+      Gathering
+        {
+          g_ctx = ctx;
+          g_base = t.client_counter;
+          g_budget = max budget 0;
+          g_first = first;
+          g_granted = 0;
+          g_delivered = 0;
+          g_consumed = 0;
+          g_stopped = stopped;
+          g_valid = 0;
+          g_slots = 0;
+        }
+
+  (* --- offline: choose the tracked portion, build the patch --- *)
+  let begin_iteration t =
+    t.iteration <- t.iteration + 1;
     let t0 = Sys.time () in
     let tracked =
       List.sort_uniq compare
-        (Slicing.Slicer.take slice !sigma @ IntSet.elements !discovered)
+        (Slicing.Slicer.take t.slice t.sigma @ IntSet.elements t.discovered)
     in
     let plan =
-      Instrument.Place.compute ~enable_cf:config.enable_cf
-        ~enable_df:config.enable_df program tracked
+      Instrument.Place.compute ~enable_cf:t.config.Config.enable_cf
+        ~enable_df:t.config.Config.enable_df t.program tracked
     in
     (* Client [c] arms rotation group [c mod n]: precomputed as an
        array -- the per-client [List.nth] lookup was O(groups) on the
        fleet hot path. *)
     let groups =
       Array.of_list
-        (wp_groups ~wp_capacity:config.wp_capacity
+        (wp_groups ~wp_capacity:t.config.Config.wp_capacity
            plan.Instrument.Plan.wp_targets)
     in
     let plan_id = Instrument.Plan.id plan in
-    let prev = !prev_plan in
-    offline_time := !offline_time +. (Sys.time () -. t0);
-    (* --- online: gather monitored failing and successful runs ---
+    let prev = t.prev_plan in
+    t.offline_time <- t.offline_time +. (Sys.time () -. t0);
+    t.fails <- 0;
+    t.succs <- 0;
+    t.clients <- 0;
+    t.ov_len <- 0;
+    t.iter_reports <- [];
+    t.it_dispatched <- 0;
+    t.it_lost <- 0;
+    t.it_rejected <- 0;
+    t.it_retried <- 0;
+    t.it_quarantined <- 0;
+    t.it_valid <- 0;
+    t.it_exited <- false;
+    let ctx =
+      {
+        x_tracked = tracked;
+        x_tracked_set = IntSet.of_list tracked;
+        x_plan = plan;
+        x_plan_id = plan_id;
+        x_groups = groups;
+        x_prev = prev;
+      }
+    in
+    start_pass t ctx ~first:None
 
-       Fleet slots are dispatched in batches across [pool]; each slot
-       -- its run, any injected faults, retries with exponential
-       backoff, and protocol validation -- is a pure function of (slot
-       index, plan), so speculative surplus slots are discarded without
-       trace.  All accounting happens in [consume], in slot order,
-       making quotas, recurrence counts and the representative failing
-       run bit-identical to the sequential loop at any pool size, with
-       or without fault injection. *)
-    let fails = ref 0 and succs = ref 0 and clients = ref 0 in
-    ov_len := 0;
-    let iter_reports = ref [] in
-    let it_dispatched = ref 0 and it_lost = ref 0 and it_rejected = ref 0 in
-    let it_retried = ref 0 and it_quarantined = ref 0 and it_valid = ref 0 in
-    (* Set when a checkpoint separates the top predictor: the rest of
-       the iteration's budget is skipped. *)
-    let it_exited = ref false in
-    let quota_open () = !fails < config.fail_quota || !succs < config.succ_quota in
-    let below_quorum v s =
-      s > 0 && float_of_int v < config.Config.quorum_frac *. float_of_int s
-    in
-    let tracked_set = IntSet.of_list tracked in
-    (* One fleet slot: dispatch, injected faults, bounded retry with
-       exponential backoff in simulated fleet time, quarantine once
-       [max_retries] re-dispatches are spent.  A crashed client, a
-       dropped report and a straggler all look the same to the server
-       (nothing arrives by the deadline), so each costs a full
-       [straggler_timeout_s] wait and the run itself is skipped --
-       nothing it produced could have arrived. *)
-    let run_slot c =
-      let lost = ref 0 and rejects = ref [] and kinds = ref [] in
-      let delay = ref 0.0 in
-      let valid = ref None in
-      let attempt = ref 0 in
-      let quarantined = ref false in
-      let running = ref true in
-      while !running do
-        let inj =
-          Faults.Fault.draw rates ~seed:config.Config.fault_seed ~client:c
-            ~attempt:!attempt
-        in
-        (if
-           inj.Faults.Fault.j_crash || inj.Faults.Fault.j_drop
-           || inj.Faults.Fault.j_straggler
-         then begin
-           incr lost;
-           delay := !delay +. config.Config.straggler_timeout_s;
-           kinds :=
-             (if inj.Faults.Fault.j_crash then Faults.Fault.Crash
-              else if inj.Faults.Fault.j_drop then Faults.Fault.Drop
-              else Faults.Fault.Straggler)
-             :: !kinds
-         end
-         else begin
-           (* A stale client runs under the previous iteration's plan
-              and rotation, and seals with that plan's digest; the
-              server's freshness check rejects the report.  On the
-              first iteration there is no previous plan to be stale
-              against. *)
-           let stale = inj.Faults.Fault.j_stale_plan && prev <> None in
-           let use_plan, use_plan_id, use_groups =
-             if stale then Option.get prev else (plan, plan_id, groups)
-           in
-           if stale then kinds := Faults.Fault.Stale_plan :: !kinds;
-           (* Ring damage lands on the encoded bytes ([Hw.Pt.Wire]),
-              the form the ring actually takes on a client. *)
-           let tamper =
-             match
-               (inj.Faults.Fault.j_pt_truncate, inj.Faults.Fault.j_pt_corrupt)
-             with
-             | None, None -> None
-             | tr, co ->
-               Some
-                 (fun ~tid bytes ->
-                   let bytes =
-                     match tr with
-                     | Some salt ->
-                       Faults.Tamper.truncate_wire
-                         ~salt:(Faults.Fault.mix salt tid) bytes
-                     | None -> bytes
-                   in
-                   match co with
-                   | Some salt ->
-                     Faults.Tamper.corrupt_wire_packets
-                       ~salt:(Faults.Fault.mix salt tid) ~n_instrs bytes
-                   | None -> bytes)
-           in
-           if inj.Faults.Fault.j_pt_truncate <> None then
-             kinds := Faults.Fault.Pt_truncate :: !kinds;
-           if inj.Faults.Fault.j_pt_corrupt <> None then
-             kinds := Faults.Fault.Pt_corrupt :: !kinds;
-           let n_g = Array.length use_groups in
-           let report =
-             Client.run_one ~wp_capacity:config.wp_capacity
-               ~preempt_prob:config.preempt_prob ~max_steps:config.max_steps
-               ~data_source:config.data_source ~redact:config.redact_values
-               ?tamper ~plan:use_plan ~wp_allowed:use_groups.(c mod n_g)
-               program (workload_of c)
-           in
-           (* Watchpoint-log corruption: either in-ring (pre-seal, so
-              the digest matches the damaged payload and only the
-              semantic range check can catch it) or in transit
-              (post-seal: a bit flips in the sealed envelope bytes,
-              caught by the digest).  Both validation layers stay
-              exercised under any fault mix. *)
-           let report, flip_salt =
-             match inj.Faults.Fault.j_wp_corrupt with
-             | None -> (report, None)
-             | Some salt ->
-               kinds := Faults.Fault.Wp_corrupt :: !kinds;
-               if Faults.Tamper.wp_corrupt_in_transit ~salt then
-                 (report, Some salt)
-               else
-                 ( {
-                     report with
-                     Client.r_traps =
-                       Faults.Tamper.corrupt_traps ~salt ~n_instrs
-                         report.Client.r_traps;
-                   },
-                   None )
-           in
-           (* The client→server hop is bytes: seal into the wire
-              envelope (through this domain's reusable arena), damage
-              in transit if drawn, then validate with the single-pass
-              streaming scan.  Only an accepted report is ever
-              materialised back into a record. *)
-           let bytes =
-             Protocol.Encode.encode (enc_arena ()) ~client:c
-               ~plan_id:use_plan_id report
-           in
-           let bytes =
-             match flip_salt with
-             | Some salt -> Faults.Tamper.flip_wire_byte ~salt bytes
-             | None -> bytes
-           in
-           match Protocol.Encode.ingest ~n_instrs ~plan_id bytes with
-           | Ok r ->
-             let sv_matches = r.Client.r_signature = Some target_sig in
-             let sv_relevant = sv_matches || r.Client.r_signature = None in
-             (* Refinement inputs, precomputed here so the slot-order
-                consume fold is O(1) per slot.  The retained oracle
-                recomputes them from the kept reports instead. *)
-             let sv_confirmed =
-               if streaming && sv_matches then
-                 IntSet.inter tracked_set
-                   (IntSet.of_list (Client.executed_set r))
-               else IntSet.empty
-             in
-             let sv_discovered =
-               if streaming && sv_relevant then
-                 List.filter_map
-                   (fun (w : Hw.Watchpoint.trap) ->
-                     if IntSet.mem w.Hw.Watchpoint.w_iid tracked_set then None
-                     else Some w.Hw.Watchpoint.w_iid)
-                   r.Client.r_traps
-               else []
-             in
-             let sv_predictors =
-               if (streaming || early) && sv_relevant then
-                 Predict.Predictor.of_run ~ranges:config.range_predicates
-                   ~tracked ~branch_outcomes:r.Client.r_branches
-                   ~traps:r.Client.r_traps ()
-               else []
-             in
-             valid :=
-               Some
-                 {
-                   sv_report = r;
-                   sv_matches;
-                   sv_relevant;
-                   sv_confirmed;
-                   sv_discovered;
-                   sv_predictors;
-                 };
-             running := false
-           | Error rej -> rejects := rej :: !rejects
-         end);
-        if !running then
-          if !attempt >= config.Config.max_retries then begin
-            quarantined := true;
-            running := false
-          end
-          else begin
-            delay :=
-              !delay
-              +. (config.Config.retry_backoff_s *. (2.0 ** float_of_int !attempt));
-            incr attempt
-          end
-      done;
-      ( !valid,
-        !attempt + 1,
-        !lost,
-        List.rev !rejects,
-        List.rev !kinds,
-        !delay,
-        !quarantined )
-    in
-    let run_pass () =
-      let base = !client_counter in
-      let pass_valid = ref 0 and pass_slots = ref 0 in
-      let budget = config.max_clients_per_iter - !clients in
-      let consumed =
-        if budget <= 0 || not (quota_open ()) || !it_exited then 0
-        else
-          Parallel.Pool.map_until pool
-            ~next:(fun i ->
-              if i >= budget then None
-              else
-                let c = base + i in
-                Some (fun () -> run_slot c))
-            ~consume:(fun _
-                          ( valid,
-                            attempts,
-                            lost,
-                            rejects,
-                            kinds,
-                            delay,
-                            quarantined ) ->
-              incr clients;
-              incr pass_slots;
-              it_dispatched := !it_dispatched + attempts;
-              it_lost := !it_lost + lost;
-              it_rejected := !it_rejected + List.length rejects;
-              it_retried := !it_retried + (attempts - 1);
-              if quarantined then incr it_quarantined;
-              sim_delay := !sim_delay +. delay;
-              (* Runs that executed (everything but lost dispatches)
-                 are monitored production runs, valid or not. *)
-              total_runs := !total_runs + (attempts - lost);
-              List.iter (fun k -> bump by_kind (Faults.Fault.kind_name k)) kinds;
-              List.iter
-                (fun rej -> bump by_reason (Protocol.reject_label rej))
-                rejects;
-              (match valid with
-               | None -> ()
-               | Some sv ->
-                 let report = sv.sv_report in
-                 incr pass_valid;
-                 incr it_valid;
-                 ov_push report.Client.r_overhead_pct;
-                 base_cycles := !base_cycles +. report.r_base_cycles;
-                 extra_cycles := !extra_cycles +. report.r_extra_cycles;
-                 if sv.sv_matches then begin
-                   (* Recurrences (the Table 1 latency metric) count
-                      only the failing runs AsT actually needed, not
-                      surplus failures that happen while waiting for
-                      enough successful runs. *)
-                   if !fails < config.fail_quota then incr recurrences;
-                   incr fails;
-                   repr_failing := Some report
-                 end
-                 else if report.Client.r_signature = None then incr succs;
-                 (* Other failures are different bugs: ignored here. *)
-                 if sv.sv_relevant then begin
-                   if streaming then begin
-                     (* Fold the slot's contribution the moment it is
-                        accepted, in slot order; the report itself is
-                        dropped (only [repr_failing] retains one). *)
-                     confirmed := IntSet.union !confirmed sv.sv_confirmed;
-                     List.iter
-                       (fun iid -> discovered := IntSet.add iid !discovered)
-                       sv.sv_discovered
-                   end
-                   else
-                     iter_reports := (report, sv.sv_matches) :: !iter_reports;
-                   if streaming || early then
-                     Predict.Stats.Acc.add acc
-                       Predict.Stats.
-                         {
-                           predictors = sv.sv_predictors;
-                           failing = sv.sv_matches;
-                         }
-                 end);
-              (* Adaptive checkpoint: at fixed consumed-slot boundaries
-                 (report counts, never wall-clock, so the decision is
-                 bit-identical at any [--jobs]), and only while the
-                 iteration's valid fraction holds quorum (lost reports
-                 bias the counts -- never stop early on a sample the
-                 faults thinned out), stop gathering the moment the
-                 bound separates the leader. *)
-              if
-                early && (not !it_exited)
-                && !clients mod config.Config.checkpoint_every = 0
-                && not (below_quorum !it_valid !clients)
-                && Predict.Stats.Acc.separated
-                     ~delta:config.Config.separation_delta acc
-                   <> None
-              then it_exited := true;
-              (not !it_exited)
-              && quota_open ()
-              && !clients < config.max_clients_per_iter)
-            ()
-      in
-      client_counter := base + consumed;
-      (!pass_valid, !pass_slots)
-    in
-    (* Quorum with graceful degradation: if fewer than [quorum_frac]
-       of a pass's slots delivered a valid report, re-run once with
-       fresh clients (lost and rejected slots stay consumed); if the
-       fleet still cannot reach quorum the iteration is degraded and
-       sigma is carried forward instead of doubled -- never steer AsT
-       from a sample the faults have thinned out. *)
-    let v1, s1 = run_pass () in
-    let degraded =
-      if
-        below_quorum v1 s1 && quota_open ()
-        && !clients < config.max_clients_per_iter
-      then begin
-        let v2, s2 = run_pass () in
-        below_quorum (v1 + v2) (s1 + s2)
-      end
-      else below_quorum v1 s1
-    in
-    if degraded then incr f_degraded;
-    f_dispatched := !f_dispatched + !it_dispatched;
-    f_valid := !f_valid + !it_valid;
-    f_lost := !f_lost + !it_lost;
-    f_rejected := !f_rejected + !it_rejected;
-    f_retried := !f_retried + !it_retried;
-    f_quarantined := !f_quarantined + !it_quarantined;
-    prev_plan := Some (plan, plan_id, groups);
+  (* Everything after an iteration's slot gathering: ledgers,
+     refinement, the sketch, the oracle, convergence, the trace entry,
+     and the stop/sigma decision.  Verbatim from the synchronous
+     loop. *)
+  let wrapup t ctx ~degraded =
+    if degraded then t.f_degraded <- t.f_degraded + 1;
+    t.f_dispatched <- t.f_dispatched + t.it_dispatched;
+    t.f_valid <- t.f_valid + t.it_valid;
+    t.f_lost <- t.f_lost + t.it_lost;
+    t.f_rejected <- t.f_rejected + t.it_rejected;
+    t.f_retried <- t.f_retried + t.it_retried;
+    t.f_quarantined <- t.f_quarantined + t.it_quarantined;
+    t.prev_plan <- Some (ctx.x_plan, ctx.x_plan_id, ctx.x_groups);
     (* --- refinement (§3.2): keep tracked statements that executed in
        failing runs; adopt watchpoint-discovered statements the
        alias-free slice missed.
@@ -583,12 +588,13 @@ let diagnose ?(config = Config.default) ?(pool = Parallel.Pool.sequential)
        counter sums commute, so fold-as-they-arrive equals
        fold-at-the-end); this batch replay is the retained oracle's
        path over the reports it kept. --- *)
-    if not streaming then
+    if not t.streaming then
       List.iter
         (fun ((r : Client.report), matches) ->
           if matches then begin
             let executed = IntSet.of_list (Client.executed_set r) in
-            confirmed := IntSet.union !confirmed (IntSet.inter tracked_set executed)
+            t.confirmed <-
+              IntSet.union t.confirmed (IntSet.inter ctx.x_tracked_set executed)
           end;
           (* Statements the alias-free slice missed are discovered by any
              monitored run whose watchpoints trap on them -- successful
@@ -596,34 +602,36 @@ let diagnose ?(config = Config.default) ?(pool = Parallel.Pool.sequential)
              armed after the racing write already happened). *)
           List.iter
             (fun (w : Hw.Watchpoint.trap) ->
-              if not (IntSet.mem w.w_iid tracked_set) then
-                discovered := IntSet.add w.w_iid !discovered)
+              if not (IntSet.mem w.w_iid ctx.x_tracked_set) then
+                t.discovered <- IntSet.add w.w_iid t.discovered)
             r.r_traps;
-          observations :=
+          t.observations <-
             Predict.Stats.
               {
                 predictors =
-                  Predict.Predictor.of_run ~ranges:config.range_predicates
-                    ~tracked ~branch_outcomes:r.r_branches ~traps:r.r_traps ();
+                  Predict.Predictor.of_run
+                    ~ranges:t.config.Config.range_predicates
+                    ~tracked:ctx.x_tracked ~branch_outcomes:r.r_branches
+                    ~traps:r.r_traps ();
                 failing = matches;
               }
-            :: !observations)
-        !iter_reports;
+            :: t.observations)
+        t.iter_reports;
     (* --- build the sketch from the representative failing run --- *)
-    (match !repr_failing with
+    (match t.repr_failing with
      | None -> ()
      | Some repr ->
        (* Gist reports program counters as *source lines* (§4), so the
           statement set is closed over source lines: every IR
           instruction on a line one pc hit is part of the sketch. *)
        let core_set =
-         IntSet.union !confirmed
-           (IntSet.union !discovered (IntSet.singleton failure.pc))
+         IntSet.union t.confirmed
+           (IntSet.union t.discovered (IntSet.singleton t.failure.pc))
        in
        let lines = Hashtbl.create 16 in
        IntSet.iter
          (fun iid ->
-           let l = Ir.Program.loc_of program iid in
+           let l = Ir.Program.loc_of t.program iid in
            if l.line > 0 then Hashtbl.replace lines (l.file, l.line) ())
          core_set;
        let stmt_set =
@@ -633,30 +641,35 @@ let diagnose ?(config = Config.default) ?(pool = Parallel.Pool.sequential)
              then IntSet.add i.iid acc
              else acc)
            core_set
-           (Ir.Program.all_instrs program)
+           (Ir.Program.all_instrs t.program)
        in
        let per_thread =
          List.filter_map
            (fun (tid, iids) ->
-             let filtered = List.filter (fun iid -> IntSet.mem iid stmt_set) iids in
+             let filtered =
+               List.filter (fun iid -> IntSet.mem iid stmt_set) iids
+             in
              if filtered = [] then None else Some (tid, filtered))
            repr.r_executed
        in
        (* [Acc.rank] is bit-identical to [Stats.rank] over the same
           observations (integer counts, total-order sort). *)
        let ranked =
-         if streaming then Predict.Stats.Acc.rank acc
-         else Predict.Stats.rank !observations
+         if t.streaming then Predict.Stats.Acc.rank t.acc
+         else Predict.Stats.rank t.observations
        in
        let sketch =
-         Fsketch.Sketch.build ~bug_name ~failure_type ~program
-           ~failure ~per_thread ~traps:repr.r_traps ~ranked
+         Fsketch.Sketch.build ~bug_name:t.bug_name
+           ~failure_type:t.failure_type ~program:t.program ~failure:t.failure
+           ~per_thread ~traps:repr.r_traps ~ranked
        in
-       best_sketch := Some sketch;
+       t.best_sketch <- Some sketch;
        (* --- developer decision (§3.2.1): stop AsT or double sigma --- *)
-       let satisfied = match oracle with Some f -> f sketch | None -> false in
-       if satisfied then stop := true);
-    let oracle_stop = !stop in
+       let satisfied =
+         match t.oracle with Some f -> f sketch | None -> false
+       in
+       if satisfied then t.stop <- true);
+    let oracle_stop = t.stop in
     (* Convergence across iterations: when the same predictor holds
        separation at the end of two consecutive non-degraded
        iterations, skip the remaining sigma doublings -- the ranking
@@ -664,102 +677,374 @@ let diagnose ?(config = Config.default) ?(pool = Parallel.Pool.sequential)
        iteration resets the streak: its counts were thinned by
        faults. *)
     let sep_winner =
-      if early && not degraded then
-        Predict.Stats.Acc.separated ~delta:config.Config.separation_delta acc
+      if t.early && not degraded then
+        Predict.Stats.Acc.separated ~delta:t.config.Config.separation_delta
+          t.acc
       else None
     in
     (match sep_winner with
      | Some p ->
-       (match !prev_winner with
-        | Some q when Predict.Predictor.compare p q = 0 -> incr win_streak
-        | _ -> win_streak := 1);
-       prev_winner := Some p
+       (match t.prev_winner with
+        | Some q when Predict.Predictor.compare p q = 0 ->
+          t.win_streak <- t.win_streak + 1
+        | _ -> t.win_streak <- 1);
+       t.prev_winner <- Some p
      | None ->
-       win_streak := 0;
-       prev_winner := None);
-    let converged_now = early && (not !stop) && !win_streak >= 2 in
-    if converged_now then stop := true;
-    (trace :=
-       {
-         it_sigma = !sigma;
-         it_tracked = List.length tracked;
-         it_fails = !fails;
-         it_succs = !succs;
-         it_clients = !clients;
-         it_avg_overhead = ov_avg ();
-         it_oracle_pass = oracle_stop;
-         it_dispatched = !it_dispatched;
-         it_lost = !it_lost;
-         it_rejected = !it_rejected;
-         it_retried = !it_retried;
-         it_quarantined = !it_quarantined;
-         it_degraded = degraded;
-         it_early_exit =
-           (if converged_now then Some Converged
-            else if !it_exited then Some Separated
-            else None);
-       }
-       :: !trace);
-    if not !stop then begin
-      if !iteration >= config.max_iterations then stop := true
+       t.win_streak <- 0;
+       t.prev_winner <- None);
+    let converged_now = t.early && (not t.stop) && t.win_streak >= 2 in
+    if converged_now then t.stop <- true;
+    t.trace <-
+      {
+        it_sigma = t.sigma;
+        it_tracked = List.length ctx.x_tracked;
+        it_fails = t.fails;
+        it_succs = t.succs;
+        it_clients = t.clients;
+        it_avg_overhead = ov_avg t;
+        it_oracle_pass = oracle_stop;
+        it_dispatched = t.it_dispatched;
+        it_lost = t.it_lost;
+        it_rejected = t.it_rejected;
+        it_retried = t.it_retried;
+        it_quarantined = t.it_quarantined;
+        it_degraded = degraded;
+        it_early_exit =
+          (if converged_now then Some Converged
+           else if t.it_exited then Some Separated
+           else None);
+      }
+      :: t.trace;
+    if not t.stop then begin
+      if t.iteration >= t.config.Config.max_iterations then t.stop <- true
       else if degraded then
         (* Degraded mode: hold sigma for another iteration rather than
            doubling on evidence the faults thinned out. *)
         ()
-      else if !sigma >= slice_size then stop := true
-      else sigma := !sigma * 2
+      else if t.sigma >= t.slice_size then t.stop <- true
+      else t.sigma <- t.sigma * 2
+    end;
+    if t.stop then begin
+      t.online_time <- Sys.time () -. t.t_online0 -. t.offline_time;
+      t.phase <- Done
     end
-  done;
-  let online_time = Sys.time () -. t_online0 -. !offline_time in
-  let sketch =
-    match !best_sketch with
-    | Some s -> s
+    else begin_iteration t
+
+  (* The old consume body, verbatim: all slot accounting happens here,
+     in slot order.  Returns whether gathering should continue. *)
+  let consume t (g : gather) o =
+    t.clients <- t.clients + 1;
+    g.g_slots <- g.g_slots + 1;
+    t.it_dispatched <- t.it_dispatched + o.o_attempts;
+    t.it_lost <- t.it_lost + o.o_lost;
+    t.it_rejected <- t.it_rejected + List.length o.o_rejects;
+    t.it_retried <- t.it_retried + (o.o_attempts - 1);
+    if o.o_quarantined then t.it_quarantined <- t.it_quarantined + 1;
+    t.sim_delay <- t.sim_delay +. o.o_delay;
+    (* Runs that executed (everything but lost dispatches) are
+       monitored production runs, valid or not. *)
+    t.total_runs <- t.total_runs + (o.o_attempts - o.o_lost);
+    List.iter (fun k -> bump t.by_kind (Faults.Fault.kind_name k)) o.o_kinds;
+    List.iter
+      (fun rej -> bump t.by_reason (Protocol.reject_label rej))
+      o.o_rejects;
+    (match o.o_valid with
+     | None -> ()
+     | Some sv ->
+       let report = sv.sv_report in
+       g.g_valid <- g.g_valid + 1;
+       t.it_valid <- t.it_valid + 1;
+       ov_push t report.Client.r_overhead_pct;
+       t.base_cycles <- t.base_cycles +. report.r_base_cycles;
+       t.extra_cycles <- t.extra_cycles +. report.r_extra_cycles;
+       if sv.sv_matches then begin
+         (* Recurrences (the Table 1 latency metric) count only the
+            failing runs AsT actually needed, not surplus failures
+            that happen while waiting for enough successful runs. *)
+         if t.fails < t.config.Config.fail_quota then
+           t.recurrences <- t.recurrences + 1;
+         t.fails <- t.fails + 1;
+         t.repr_failing <- Some report
+       end
+       else if report.Client.r_signature = None then t.succs <- t.succs + 1;
+       (* Other failures are different bugs: ignored here. *)
+       if sv.sv_relevant then begin
+         if t.streaming then begin
+           (* Fold the slot's contribution the moment it is accepted,
+              in slot order; the report itself is dropped (only
+              [repr_failing] retains one). *)
+           t.confirmed <- IntSet.union t.confirmed sv.sv_confirmed;
+           List.iter
+             (fun iid -> t.discovered <- IntSet.add iid t.discovered)
+             sv.sv_discovered
+         end
+         else t.iter_reports <- (report, sv.sv_matches) :: t.iter_reports;
+         if t.streaming || t.early then
+           Predict.Stats.Acc.add t.acc
+             Predict.Stats.
+               { predictors = sv.sv_predictors; failing = sv.sv_matches }
+       end);
+    (* Adaptive checkpoint: at fixed consumed-slot boundaries (report
+       counts, never wall-clock, so the decision is bit-identical at
+       any [--jobs] and under any multiplexing), and only while the
+       iteration's valid fraction holds quorum (lost reports bias the
+       counts -- never stop early on a sample the faults thinned out),
+       stop gathering the moment the bound separates the leader. *)
+    if
+      t.early && (not t.it_exited)
+      && t.clients mod t.config.Config.checkpoint_every = 0
+      && (not (below_quorum t t.it_valid t.clients))
+      && Predict.Stats.Acc.separated ~delta:t.config.Config.separation_delta
+           t.acc
+         <> None
+    then t.it_exited <- true;
+    (not t.it_exited)
+    && quota_open t
+    && t.clients < t.config.Config.max_clients_per_iter
+
+  (* A pass is complete once every granted slot's outcome came back
+     and either the fold said stop or the budget is exhausted.  Then:
+     advance the client counter by the slots actually consumed
+     (discarded surplus never counts — same as [map_until]'s return
+     value), and decide quorum.  Quorum with graceful degradation: if
+     fewer than [quorum_frac] of pass 1's slots delivered a valid
+     report, re-run once with fresh clients (lost and rejected slots
+     stay consumed); if the fleet still cannot reach quorum the
+     iteration is degraded and sigma is carried forward instead of
+     doubled -- never steer AsT from a sample the faults have thinned
+     out. *)
+  let finish_pass t (g : gather) =
+    t.client_counter <- g.g_base + g.g_consumed;
+    match g.g_first with
     | None ->
-      (* No monitored failure recurred: the sketch degenerates to the
-         failing statement alone. *)
-      Fsketch.Sketch.build ~bug_name ~failure_type ~program ~failure
-        ~per_thread:[ (failure.tid, [ failure.pc ]) ]
-        ~traps:[] ~ranked:[]
-  in
-  {
-    sketch;
-    slice;
-    iterations = !iteration;
-    recurrences = !recurrences;
-    total_runs = !total_runs;
-    (* When no valid report carried base cycles, every per-run
-       overhead was 0/0 = 0 as well, so 0.0 is the old list-average
-       fallback without retaining the list. *)
-    avg_overhead_pct =
-      (if !base_cycles > 0.0 then 100.0 *. !extra_cycles /. !base_cycles
-       else 0.0);
-    offline_time_s = !offline_time;
-    (* Retry backoff and straggler deadlines happen in fleet time, not
-       server CPU time: charge them to the online phase. *)
-    online_time_s = max online_time 0.0 +. !sim_delay;
-    final_sigma = !sigma;
-    tracked =
-      List.sort_uniq compare
-        (Slicing.Slicer.take slice !sigma @ IntSet.elements !discovered);
-    trace = List.rev !trace;
-    fleet =
+      let v1 = g.g_valid and s1 = g.g_slots in
+      if
+        below_quorum t v1 s1 && quota_open t
+        && t.clients < t.config.Config.max_clients_per_iter
+      then start_pass t g.g_ctx ~first:(Some (v1, s1))
+      else wrapup t g.g_ctx ~degraded:(below_quorum t v1 s1)
+    | Some (v1, s1) ->
+      wrapup t g.g_ctx
+        ~degraded:(below_quorum t (v1 + g.g_valid) (s1 + g.g_slots))
+
+  let rec need t =
+    match t.phase with
+    | Done -> Finished
+    | Gathering g ->
+      if g.g_delivered >= g.g_granted && (g.g_stopped || g.g_granted >= g.g_budget)
+      then begin
+        finish_pass t g;
+        need t
+      end
+      else if g.g_stopped then
+        (* Outcomes are still outstanding but the fold already
+           stopped: nothing more to grant — deliver what is out. *)
+        Slots 0
+      else Slots (g.g_budget - g.g_granted)
+
+  let grant t k =
+    match t.phase with
+    | Done -> [||]
+    | Gathering g ->
+      let k = if g.g_stopped then 0 else max 0 (min k (g.g_budget - g.g_granted)) in
+      let ctx = g.g_ctx in
+      let base = g.g_base + g.g_granted in
+      g.g_granted <- g.g_granted + k;
+      Array.init k (fun j ->
+          let c = base + j in
+          fun () -> run_slot t ctx c)
+
+  let deliver t outcomes =
+    match t.phase with
+    | Done -> ()
+    | Gathering g ->
+      Array.iter
+        (fun o ->
+          g.g_delivered <- g.g_delivered + 1;
+          if not g.g_stopped then begin
+            (* The consumed count includes the outcome whose consume
+               says stop, exactly like [map_until]. *)
+            g.g_consumed <- g.g_consumed + 1;
+            if not (consume t g o) then g.g_stopped <- true
+          end)
+        outcomes
+
+  let create ?(config = Config.default) ?(ingest = Streaming) ?oracle
+      ?(id = 0) ~bug_name ~failure_type ~program ~workload_of
+      ~(failure : Exec.Failure.report) () =
+    let config = Config.check config in
+    let t_offline0 = Sys.time () in
+    (* Compile the program once up front (memoised in
+       [Analysis.Cache]): every client run and PT decode below then
+       hits the cache, and the one-time lowering cost is charged to
+       the offline phase where it belongs, not to the first monitored
+       client. *)
+    ignore (Analysis.Cache.lowered program);
+    (* Exclusive upper bound on valid statement ids for payload
+       validation (iids are 1-based, so this is max iid + 1, not the
+       instruction count). *)
+    let n_instrs =
+      1
+      + List.fold_left
+          (fun m (i : Ir.Types.instr) -> max m i.iid)
+          0
+          (Ir.Program.all_instrs program)
+    in
+    let slice = Slicing.Slicer.compute program failure in
+    let target_sig = Exec.Failure.signature failure in
+    let streaming = ingest = Streaming in
+    (* The adaptive stopping rule needs the streaming sufficient
+       statistics even in retained mode, so its decisions are
+       identical in both ingest modes (the retained ranking itself
+       still comes from the replayed observations). *)
+    let early = config.Config.early_exit in
+    let offline_time = Sys.time () -. t_offline0 in
+    let t =
       {
-        f_dispatched = !f_dispatched;
-        f_delivered = !f_dispatched - !f_lost;
-        f_valid = !f_valid;
-        f_lost = !f_lost;
-        f_rejected = !f_rejected;
-        f_retried = !f_retried;
-        f_quarantined = !f_quarantined;
-        f_degraded_iters = !f_degraded;
-        f_by_kind =
-          Hashtbl.fold (fun k v acc -> (k, v) :: acc) by_kind []
-          |> List.sort compare;
-        f_by_reason =
-          Hashtbl.fold (fun k v acc -> (k, v) :: acc) by_reason []
-          |> List.sort compare;
-      };
-  }
+        s_id = id;
+        config;
+        bug_name;
+        failure_type;
+        program;
+        workload_of;
+        failure;
+        oracle;
+        streaming;
+        early;
+        n_instrs;
+        slice;
+        slice_size = Slicing.Slicer.instr_count slice;
+        target_sig;
+        t_online0 = Sys.time ();
+        offline_time;
+        online_time = 0.0;
+        sigma = config.Config.sigma0;
+        discovered = IntSet.empty;
+        confirmed = IntSet.empty;
+        acc = Predict.Stats.Acc.create ();
+        observations = [];
+        repr_failing = None;
+        base_cycles = 0.0;
+        extra_cycles = 0.0;
+        ov_buf = Array.make 256 0.0;
+        ov_len = 0;
+        recurrences = 0;
+        total_runs = 0;
+        client_counter = 0;
+        iteration = 0;
+        best_sketch = None;
+        stop = false;
+        trace = [];
+        f_dispatched = 0;
+        f_valid = 0;
+        f_lost = 0;
+        f_rejected = 0;
+        f_retried = 0;
+        f_quarantined = 0;
+        f_degraded = 0;
+        by_kind = Hashtbl.create 8;
+        by_reason = Hashtbl.create 8;
+        sim_delay = 0.0;
+        prev_winner = None;
+        win_streak = 0;
+        prev_plan = None;
+        fails = 0;
+        succs = 0;
+        clients = 0;
+        iter_reports = [];
+        it_dispatched = 0;
+        it_lost = 0;
+        it_rejected = 0;
+        it_retried = 0;
+        it_quarantined = 0;
+        it_valid = 0;
+        it_exited = false;
+        phase = Done;
+      }
+    in
+    begin_iteration t;
+    t
+
+  let result t =
+    (match t.phase with
+     | Gathering _ ->
+       invalid_arg "Server.Session.result: diagnosis not finished"
+     | Done -> ());
+    let sketch =
+      match t.best_sketch with
+      | Some s -> s
+      | None ->
+        (* No monitored failure recurred: the sketch degenerates to
+           the failing statement alone. *)
+        Fsketch.Sketch.build ~bug_name:t.bug_name
+          ~failure_type:t.failure_type ~program:t.program ~failure:t.failure
+          ~per_thread:[ (t.failure.tid, [ t.failure.pc ]) ]
+          ~traps:[] ~ranked:[]
+    in
+    {
+      sketch;
+      slice = t.slice;
+      iterations = t.iteration;
+      recurrences = t.recurrences;
+      total_runs = t.total_runs;
+      (* When no valid report carried base cycles, every per-run
+         overhead was 0/0 = 0 as well, so 0.0 is the old list-average
+         fallback without retaining the list. *)
+      avg_overhead_pct =
+        (if t.base_cycles > 0.0 then 100.0 *. t.extra_cycles /. t.base_cycles
+         else 0.0);
+      offline_time_s = t.offline_time;
+      (* Retry backoff and straggler deadlines happen in fleet time,
+         not server CPU time: charge them to the online phase. *)
+      online_time_s = max t.online_time 0.0 +. t.sim_delay;
+      final_sigma = t.sigma;
+      tracked =
+        List.sort_uniq compare
+          (Slicing.Slicer.take t.slice t.sigma @ IntSet.elements t.discovered);
+      trace = List.rev t.trace;
+      fleet =
+        {
+          f_dispatched = t.f_dispatched;
+          f_delivered = t.f_dispatched - t.f_lost;
+          f_valid = t.f_valid;
+          f_lost = t.f_lost;
+          f_rejected = t.f_rejected;
+          f_retried = t.f_retried;
+          f_quarantined = t.f_quarantined;
+          f_degraded_iters = t.f_degraded;
+          f_by_kind =
+            Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.by_kind []
+            |> List.sort compare;
+          f_by_reason =
+            Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.by_reason []
+            |> List.sort compare;
+        };
+    }
+end
+
+(* The one-shot entry point, now a thin single-session driver over
+   {!Session} (and the reference oracle the differential suite holds
+   the multiplexed service against).  The grant batch mirrors
+   [Pool.map_until]'s default, so slot batching — and therefore wall
+   clock — matches the old synchronous loop. *)
+let diagnose ?(config = Config.default) ?(pool = Parallel.Pool.sequential)
+    ?(ingest = Streaming) ?oracle ~bug_name ~failure_type ~program ~workload_of
+    ~(failure : Exec.Failure.report) () =
+  let s =
+    Session.create ~config ~ingest ?oracle ~bug_name ~failure_type ~program
+      ~workload_of ~failure ()
+  in
+  let jobs = Parallel.Pool.jobs pool in
+  let batch = if jobs = 0 then 1 else jobs * 4 in
+  let rec loop () =
+    match Session.need s with
+    | Session.Finished -> Session.result s
+    | Session.Slots n ->
+      let thunks = Session.grant s (min batch n) in
+      Session.deliver s (Parallel.Pool.map_array pool (fun th -> th ()) thunks);
+      loop ()
+  in
+  loop ()
 
 (* Did the adaptive rule stop the whole diagnosis (as opposed to the
    oracle, the iteration cap, or sigma reaching the slice)? *)

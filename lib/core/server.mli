@@ -103,6 +103,78 @@ val first_failure :
     @raise Invalid_argument if [wp_capacity <= 0]. *)
 val wp_groups : wp_capacity:int -> iid list -> iid list list
 
+(** One bug's AsT diagnosis as an event-driven state machine, for
+    drivers that multiplex many concurrent diagnoses over one pool
+    (the [Serve] service; {!diagnose} is the one-session case).
+
+    Protocol: ask {!need}; on [Slots n], take up to [n] thunks with
+    {!grant} and run them anywhere (they are pure — any order, any
+    domain); hand every outcome of a grant back with {!deliver}, in
+    grant order; repeat until [Finished], then read {!result}.
+
+    Drivers may speculate: grant more slots than the fold will
+    consume, run them concurrently, and deliver the whole batch —
+    outcomes arriving after the in-order fold decides to stop are
+    discarded unconsumed, exactly like {!Parallel.Pool.map_until}'s
+    surplus.  Because all accounting happens in [deliver], in slot
+    order, every field of the diagnosis except host-time is a pure
+    function of the session's inputs: bit-identical whatever the
+    batching, interleaving with other sessions, or pool size. *)
+module Session : sig
+  type t
+
+  (** What the session wants next.  [Slots n]: up to [n] more fleet
+      slots this gathering pass ([Slots 0] only while speculative
+      outcomes are still outstanding — deliver them).  [Finished]:
+      {!result} is ready. *)
+  type need = Slots of int | Finished
+
+  (** One fleet slot's outcome, opaque: produced by a granted thunk,
+      meaningful only to {!deliver} on the same session. *)
+  type outcome
+
+  (** [create ~bug_name ~failure_type ~program ~workload_of ~failure ()]
+      runs the offline phase (slice, via {!Analysis.Cache}) and arms
+      the first iteration.  [id] (default 0) keys this session's wire
+      envelopes ({!Protocol.envelope}[.e_session]); a multi-bug driver
+      must give each live session a distinct id so mis-routed reports
+      are rejected, not silently folded into another bug's statistics.
+      The id never influences the diagnosis result — only host-time
+      fields can differ between ids.
+      @raise Config.Invalid if [config] fails {!Config.validate}. *)
+  val create :
+    ?config:Config.t ->
+    ?ingest:ingest_mode ->
+    ?oracle:(Fsketch.Sketch.t -> bool) ->
+    ?id:int ->
+    bug_name:string ->
+    failure_type:string ->
+    program:program ->
+    workload_of:(int -> Exec.Interp.workload) ->
+    failure:Exec.Failure.report ->
+    unit ->
+    t
+
+  val id : t -> int
+
+  (** Advances through all non-gathering work (pass wrap-up, quorum
+      re-runs, refinement, ranking, the next iteration's plan) until
+      the session either needs slots or is done. *)
+  val need : t -> need
+
+  (** [grant t k] hands out up to [k] slot thunks (fewer near the end
+      of a pass's budget; [[||]] when stopped or finished).  Each
+      thunk is pure and reentrant w.r.t. the session's mutable state. *)
+  val grant : t -> int -> (unit -> outcome) array
+
+  (** Fold a granted batch's outcomes back, in grant order.  Must
+      receive every outcome of every grant, exactly once. *)
+  val deliver : t -> outcome array -> unit
+
+  (** @raise Invalid_argument before {!need} returns [Finished]. *)
+  val result : t -> diagnosis
+end
+
 (** [diagnose ~bug_name ~failure_type ~program ~workload_of ~failure ()]
     runs the full pipeline: slice, then AsT iterations (track the sigma
     closest slice statements plus everything watchpoints discovered,

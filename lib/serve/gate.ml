@@ -1,0 +1,161 @@
+(* The fuzz accuracy gate, through the multiplexed path: the same
+   campaign [Fuzz.Runner.run] checks one-shot — same cases, same
+   fault stamping, same oracle, same verdict scoring — but every
+   diagnosable case is diagnosed as one session of a shared
+   {!Service}, tens in flight at a time.
+
+   Because a multiplexed diagnosis is bit-identical to its one-shot
+   counterpart, the report (minus shrinking, which this gate skips)
+   matches [Fuzz.Runner.run ~shrink:false] verdict for verdict — so
+   the worst-pattern accuracy bar holds through the service exactly
+   when it holds one-shot. *)
+
+module G = Fuzz.Gen
+module C = Fuzz.Check
+module R = Fuzz.Runner
+
+(* What the pre-service probe decided about one case. *)
+type prep =
+  | Verdict of C.verdict (* decided without diagnosing *)
+  | Diagnose of Exec.Failure.report
+
+let prep_case (case : G.case) =
+  match C.divergence case with
+  | Some d -> Verdict (C.Divergence d)
+  | None ->
+    (match (C.probe case).C.p_target with
+     | None -> Verdict C.No_failure
+     | Some failure -> Diagnose failure)
+
+let spec_of ~early_exit (case : G.case) failure =
+  {
+    Service.sp_name = case.G.c_name;
+    sp_failure_type = Exec.Failure.kind_to_string failure.Exec.Failure.kind;
+    sp_config = { (C.config_of case) with Gist.Config.early_exit };
+    sp_ingest = Gist.Server.Streaming;
+    sp_oracle =
+      Some
+        (fun (sk : Fsketch.Sketch.t) ->
+          match sk.predictors with
+          | top :: _ -> C.accepted case top.Predict.Stats.predictor
+          | [] -> false);
+    sp_program = case.G.c_program;
+    sp_workload_of = G.workload_of case;
+    sp_failure = failure;
+  }
+
+let report_of_diagnosis (case : G.case) (d : Gist.Server.diagnosis) =
+  let top =
+    match d.Gist.Server.sketch.predictors with
+    | t :: _ -> Some (C.describe case.G.c_program t.Predict.Stats.predictor)
+    | [] -> None
+  in
+  {
+    R.cr_name = case.G.c_name;
+    cr_pattern = case.G.c_pattern;
+    cr_seed = case.G.c_seed;
+    cr_verdict = C.verdict_of_sketch case d.Gist.Server.sketch;
+    cr_top = top;
+    cr_iterations = d.Gist.Server.iterations;
+    cr_total_runs = d.Gist.Server.total_runs;
+    cr_shrink = None;
+    cr_fleet = Some d.Gist.Server.fleet;
+  }
+
+let report_of_verdict (case : G.case) v =
+  {
+    R.cr_name = case.G.c_name;
+    cr_pattern = case.G.c_pattern;
+    cr_seed = case.G.c_seed;
+    cr_verdict = v;
+    cr_top = None;
+    cr_iterations = 0;
+    cr_total_runs = 0;
+    cr_shrink = None;
+    cr_fleet = None;
+  }
+
+(* [Runner.stats_of], which is not exported: per-pattern accuracy in
+   [Gen.all_patterns] order, empty patterns skipped. *)
+let stats_of cases =
+  List.filter_map
+    (fun p ->
+      let of_p = List.filter (fun cr -> cr.R.cr_pattern = p) cases in
+      if of_p = [] then None
+      else
+        Some
+          {
+            R.ps_pattern = p;
+            ps_total = List.length of_p;
+            ps_correct =
+              List.length
+                (List.filter (fun cr -> cr.R.cr_verdict = C.Correct) of_p);
+          })
+    G.all_patterns
+
+let run ?(jobs = 0) ?(retries = 5) ?faults ?(early_exit = false)
+    ?(sconfig = Service.default) ~seed ~count () =
+  let cases =
+    List.map
+      (fun case ->
+        match faults with
+        | None -> case
+        | Some _ -> { case with G.c_faults = faults })
+      (R.cases ~retries ~seed ~count ())
+  in
+  Parallel.Pool.with_pool ~jobs (fun pool ->
+      (* Pre-service probes fan out across the pool; order preserved. *)
+      let preps =
+        Parallel.Pool.map_array pool prep_case (Array.of_list cases)
+      in
+      let svc = Service.create ~sconfig ~pool () in
+      (* Submit every diagnosable case, riding the backpressure: a
+         [Busy] reject runs a scheduler round and retries, so the
+         in-flight window stays saturated without unbounded queueing. *)
+      let tickets = Hashtbl.create (List.length cases) in
+      List.iteri
+        (fun i case ->
+          match preps.(i) with
+          | Verdict _ -> ()
+          | Diagnose failure ->
+            let spec = spec_of ~early_exit case failure in
+            let rec push () =
+              match Service.submit svc spec with
+              | Ok id -> Hashtbl.replace tickets id i
+              | Error (Service.Busy _) ->
+                ignore (Service.step svc);
+                push ()
+            in
+            push ())
+        cases;
+      Service.drain svc;
+      let by_case = Hashtbl.create (List.length cases) in
+      List.iter
+        (fun (c : Service.completion) ->
+          match Hashtbl.find_opt tickets c.Service.c_id with
+          | Some i -> Hashtbl.replace by_case i c.Service.c_diagnosis
+          | None -> ())
+        (Service.completions svc);
+      let reports =
+        List.mapi
+          (fun i case ->
+            match preps.(i) with
+            | Verdict v -> report_of_verdict case v
+            | Diagnose _ ->
+              (match Hashtbl.find_opt by_case i with
+               | Some d -> report_of_diagnosis case d
+               | None ->
+                 (* Unreachable after [drain]: every submission was
+                    admitted (the push loop retries Busy) and every
+                    admitted session completes. *)
+                 report_of_verdict case (C.Crash "session never completed")))
+          cases
+      in
+      ( {
+          R.r_seed = seed;
+          r_count = count;
+          r_cases = reports;
+          r_stats = stats_of reports;
+          r_faults = faults;
+        },
+        Service.stats svc ))

@@ -1,0 +1,23 @@
+(** The fuzz accuracy gate through the multiplexed path: the exact
+    campaign {!Fuzz.Runner.run} checks one-shot — same cases, fault
+    stamping, oracle and verdict scoring — with every diagnosable case
+    diagnosed as one session of a shared {!Service} (shrinking
+    skipped).  Because multiplexed diagnoses are bit-identical to
+    their one-shot counterparts, the report matches
+    [Fuzz.Runner.run ~shrink:false] verdict for verdict. *)
+
+(** [run ~seed ~count ()] returns the campaign report plus the
+    service's scheduling ledger.  [sconfig] (default
+    {!Service.default}) shapes the multiplexing; submissions refused
+    with [Busy] are retried after a scheduler round, so the in-flight
+    window stays saturated without unbounded queueing. *)
+val run :
+  ?jobs:int ->
+  ?retries:int ->
+  ?faults:Faults.Fault.rates * int ->
+  ?early_exit:bool ->
+  ?sconfig:Service.sconfig ->
+  seed:int ->
+  count:int ->
+  unit ->
+  Fuzz.Runner.report * Service.stats

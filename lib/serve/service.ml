@@ -1,0 +1,275 @@
+(* Diagnosis as a service: a deterministic scheduler multiplexing many
+   {!Gist.Server.Session} state machines over one shared pool.
+
+   One scheduler round: admit queued submissions up to the in-flight
+   cap, walk the active ring granting each session up to [quantum]
+   fleet slots (never more than [round_budget] across the round), run
+   every granted thunk in ONE parallel batch over the shared pool,
+   deliver each session its outcome segment in ring order, finalize
+   whatever finished, then move the sessions just served to the back
+   of the ring so budget exhaustion cannot starve the tail.
+
+   Determinism: admission order is submission order; grant order is
+   ring order; the single [Pool.map_array] per round returns outcomes
+   in submission order whatever the job count.  Because a session's
+   own outcome fold is in its own slot order regardless of what the
+   scheduler interleaves between grants, every diagnosis the service
+   produces is bit-identical (all fields but host time) to the same
+   spec run through the one-shot [Gist.Server.diagnose]. *)
+
+module Server = Gist.Server
+module Session = Gist.Server.Session
+
+type spec = {
+  sp_name : string;
+  sp_failure_type : string;
+  sp_config : Gist.Config.t;
+  sp_ingest : Server.ingest_mode;
+  sp_oracle : (Fsketch.Sketch.t -> bool) option;
+  sp_program : Ir.Types.program;
+  sp_workload_of : int -> Exec.Interp.workload;
+  sp_failure : Exec.Failure.report;
+}
+
+type sconfig = {
+  max_inflight : int;
+  max_queue : int;
+  quantum : int;
+  round_budget : int;
+}
+
+let default = { max_inflight = 16; max_queue = 64; quantum = 8; round_budget = 64 }
+
+let check_sconfig c =
+  if c.max_inflight <= 0 then invalid_arg "Service: max_inflight must be > 0";
+  if c.max_queue < 0 then invalid_arg "Service: max_queue must be >= 0";
+  if c.quantum <= 0 then invalid_arg "Service: quantum must be > 0";
+  if c.round_budget < c.quantum then
+    invalid_arg "Service: round_budget must be >= quantum";
+  c
+
+type sreject = Busy of { inflight : int; queued : int }
+
+let sreject_label (Busy _) = "busy"
+
+let sreject_to_string (Busy { inflight; queued }) =
+  Printf.sprintf
+    "service saturated: %d sessions in flight, %d queued for admission"
+    inflight queued
+
+type completion = {
+  c_id : int;
+  c_name : string;
+  c_diagnosis : Server.diagnosis;
+  c_admitted_round : int;
+  c_completed_round : int;
+  c_slots : int;
+  c_wall_s : float;
+}
+
+type stats = {
+  st_submitted : int;
+  st_admitted : int;
+  st_rejected : int;
+  st_completed : int;
+  st_rounds : int;
+  st_slots : int;
+  st_peak_inflight : int;
+  st_max_wait_rounds : int;
+}
+
+(* One admitted session and its scheduling ledger. *)
+type active = {
+  a_id : int;
+  a_name : string;
+  a_session : Session.t;
+  a_admitted_round : int;
+  a_t0 : float;
+  mutable a_last_served : int;
+  mutable a_slots : int;
+}
+
+type t = {
+  cfg : sconfig;
+  pool : Parallel.Pool.t;
+  queue : (int * spec) Queue.t;
+  mutable active : active list; (* ring order; admission appends *)
+  mutable completions : completion list; (* newest first *)
+  mutable submitted : int;
+  mutable admitted : int;
+  mutable rejected : int;
+  mutable completed : int;
+  mutable rounds : int;
+  mutable slots : int;
+  mutable peak_inflight : int;
+  mutable max_wait : int;
+}
+
+let create ?(sconfig = default) ?(pool = Parallel.Pool.sequential) () =
+  {
+    cfg = check_sconfig sconfig;
+    pool;
+    queue = Queue.create ();
+    active = [];
+    completions = [];
+    submitted = 0;
+    admitted = 0;
+    rejected = 0;
+    completed = 0;
+    rounds = 0;
+    slots = 0;
+    peak_inflight = 0;
+    max_wait = 0;
+  }
+
+let inflight t = List.length t.active
+let queued t = Queue.length t.queue
+
+(* Admission control: a submission is either ticketed into the queue
+   or refused with a typed [Busy] — backpressure the caller can act
+   on (retry after [step]) instead of unbounded buffering.  Every
+   submission, accepted or not, is booked, so the ledger always
+   balances: submitted = completed + rejected + queued + in-flight. *)
+let submit t spec =
+  t.submitted <- t.submitted + 1;
+  if Queue.length t.queue >= t.cfg.max_queue && t.cfg.max_queue > 0 then begin
+    t.rejected <- t.rejected + 1;
+    Error (Busy { inflight = inflight t; queued = queued t })
+  end
+  else if t.cfg.max_queue = 0 && inflight t >= t.cfg.max_inflight then begin
+    (* No queue at all: admission happens next [step]; refuse once the
+       in-flight cap alone is saturated. *)
+    t.rejected <- t.rejected + 1;
+    Error (Busy { inflight = inflight t; queued = queued t })
+  end
+  else begin
+    let id = t.submitted in
+    Queue.add (id, spec) t.queue;
+    Ok id
+  end
+
+let finalize t round a =
+  match Session.need a.a_session with
+  | Session.Slots _ -> true
+  | Session.Finished ->
+    t.completions <-
+      {
+        c_id = a.a_id;
+        c_name = a.a_name;
+        c_diagnosis = Session.result a.a_session;
+        c_admitted_round = a.a_admitted_round;
+        c_completed_round = round;
+        c_slots = a.a_slots;
+        c_wall_s = Unix.gettimeofday () -. a.a_t0;
+      }
+      :: t.completions;
+    t.completed <- t.completed + 1;
+    false
+
+let step t =
+  if t.active = [] && Queue.is_empty t.queue then false
+  else begin
+    t.rounds <- t.rounds + 1;
+    let round = t.rounds in
+    (* 1. Admission, in submission order.  The session's offline phase
+       (slice, instrumentation cache) runs here, once, at admission. *)
+    while inflight t < t.cfg.max_inflight && not (Queue.is_empty t.queue) do
+      let id, sp = Queue.take t.queue in
+      let session =
+        Session.create ~config:sp.sp_config ~ingest:sp.sp_ingest
+          ?oracle:sp.sp_oracle ~id ~bug_name:sp.sp_name
+          ~failure_type:sp.sp_failure_type ~program:sp.sp_program
+          ~workload_of:sp.sp_workload_of ~failure:sp.sp_failure ()
+      in
+      t.admitted <- t.admitted + 1;
+      t.active <-
+        t.active
+        @ [
+            {
+              a_id = id;
+              a_name = sp.sp_name;
+              a_session = session;
+              a_admitted_round = round;
+              a_t0 = Unix.gettimeofday ();
+              a_last_served = round - 1;
+              a_slots = 0;
+            };
+          ]
+    done;
+    t.peak_inflight <- max t.peak_inflight (inflight t);
+    (* 2. Grant: walk the ring, [quantum] slots per session, stopping
+       when the round budget is spent. *)
+    let budget = ref t.cfg.round_budget in
+    let grants =
+      List.filter_map
+        (fun a ->
+          if !budget <= 0 then None
+          else
+            match Session.need a.a_session with
+            | Session.Finished -> None
+            | Session.Slots n ->
+              let k = min (min t.cfg.quantum n) !budget in
+              if k <= 0 then None
+              else begin
+                let thunks = Session.grant a.a_session k in
+                budget := !budget - Array.length thunks;
+                t.max_wait <- max t.max_wait (round - a.a_last_served - 1);
+                a.a_last_served <- round;
+                Some (a, thunks)
+              end)
+        t.active
+    in
+    (* 3. One parallel batch per round over the shared pool: outcomes
+       come back in submission order at any job count. *)
+    let all = Array.concat (List.map snd grants) in
+    let outs = Parallel.Pool.map_array t.pool (fun th -> th ()) all in
+    (* 4. Deliver each session its segment, in ring (= grant) order. *)
+    let off = ref 0 in
+    List.iter
+      (fun (a, thunks) ->
+        let n = Array.length thunks in
+        Session.deliver a.a_session (Array.sub outs !off n);
+        off := !off + n;
+        a.a_slots <- a.a_slots + n;
+        t.slots <- t.slots + n)
+      grants;
+    (* 5. Finalize finished sessions, freeing in-flight capacity. *)
+    t.active <- List.filter (finalize t round) t.active;
+    (* 6. Re-ring: sessions served this round go to the back, the rest
+       keep their order at the front.  (Blindly rotating the head is
+       not enough: when the served head finishes and is removed, the
+       next — unserved — session would be the one rotated to the back,
+       and under completion churn the same session can be bumped
+       unserved round after round.)  At least one session is served
+       every round (budget >= quantum), so an unserved session loses
+       at least one predecessor per round and reaches the head within
+       [max_inflight] rounds. *)
+    let unserved, served =
+      List.partition (fun a -> a.a_last_served < round) t.active
+    in
+    t.active <- unserved @ served;
+    true
+  end
+
+let rec drain t = if step t then drain t
+
+let completions t = List.rev t.completions
+
+(* Harvest and forget: a long-running service must not retain every
+   diagnosis it ever produced. *)
+let take_completions t =
+  let cs = List.rev t.completions in
+  t.completions <- [];
+  cs
+
+let stats t =
+  {
+    st_submitted = t.submitted;
+    st_admitted = t.admitted;
+    st_rejected = t.rejected;
+    st_completed = t.completed;
+    st_rounds = t.rounds;
+    st_slots = t.slots;
+    st_peak_inflight = t.peak_inflight;
+    st_max_wait_rounds = t.max_wait;
+  }

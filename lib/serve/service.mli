@@ -1,0 +1,101 @@
+(** Diagnosis as a service: a deterministic event scheduler
+    multiplexing many concurrent {!Gist.Server.Session} diagnoses over
+    one shared {!Parallel.Pool}, with admission control, fair
+    round-robin budget sharing, and typed backpressure.
+
+    Determinism contract: for a fixed submission sequence, every
+    per-bug diagnosis the service completes is bit-identical (all
+    fields except host time) to the same spec diagnosed one-shot
+    through {!Gist.Server.diagnose}, at any pool size and under any
+    interleaving with other sessions.  Completion order, round counts
+    and the whole stats ledger are likewise independent of [--jobs]. *)
+
+(** Everything needed to open one bug's diagnosis session. *)
+type spec = {
+  sp_name : string;
+  sp_failure_type : string;
+  sp_config : Gist.Config.t;
+  sp_ingest : Gist.Server.ingest_mode;
+  sp_oracle : (Fsketch.Sketch.t -> bool) option;
+  sp_program : Ir.Types.program;
+  sp_workload_of : int -> Exec.Interp.workload;
+  sp_failure : Exec.Failure.report;
+}
+
+(** Scheduler shape.  [max_inflight]: concurrent admitted sessions.
+    [max_queue]: submissions waiting for admission before {!submit}
+    refuses ([0] = no waiting room: refuse once in-flight is full).
+    [quantum]: fleet slots granted per session per round.
+    [round_budget]: total slots run per round (>= [quantum]); when
+    active sessions want more than the budget, the ring rotates so no
+    session waits more than [max_inflight] rounds for service. *)
+type sconfig = {
+  max_inflight : int;
+  max_queue : int;
+  quantum : int;
+  round_budget : int;
+}
+
+val default : sconfig
+
+(** Typed backpressure: the service is saturated; retry after a
+    {!step}. *)
+type sreject = Busy of { inflight : int; queued : int }
+
+val sreject_label : sreject -> string
+val sreject_to_string : sreject -> string
+
+type completion = {
+  c_id : int;               (** the ticket {!submit} returned *)
+  c_name : string;
+  c_diagnosis : Gist.Server.diagnosis;
+  c_admitted_round : int;
+  c_completed_round : int;
+  c_slots : int;            (** fleet slots this session consumed *)
+  c_wall_s : float;         (** host seconds, admission to completion *)
+}
+
+(** Service ledger.  Always balances: [st_submitted] =
+    [st_completed] + [st_rejected] + queued + in-flight (the last two
+    are zero after {!drain}).  [st_max_wait_rounds] is the fairness
+    witness: the worst gap, in scheduler rounds, any session waited
+    between two services. *)
+type stats = {
+  st_submitted : int;
+  st_admitted : int;
+  st_rejected : int;
+  st_completed : int;
+  st_rounds : int;
+  st_slots : int;
+  st_peak_inflight : int;
+  st_max_wait_rounds : int;
+}
+
+type t
+
+(** @raise Invalid_argument on a malformed [sconfig]. *)
+val create : ?sconfig:sconfig -> ?pool:Parallel.Pool.t -> unit -> t
+
+val inflight : t -> int
+val queued : t -> int
+
+(** Ticket a session for admission, or refuse with typed
+    backpressure.  Ticket ids are unique and become the session's
+    wire-protocol session key. *)
+val submit : t -> spec -> (int, sreject) result
+
+(** One scheduler round (admit, grant, run, deliver, finalize,
+    rotate); [false] when there is nothing left to do. *)
+val step : t -> bool
+
+(** Run rounds until every queued and admitted session completes. *)
+val drain : t -> unit
+
+(** Completed sessions, in completion order (deterministic). *)
+val completions : t -> completion list
+
+(** {!completions}, harvesting: the internal list is cleared, so a
+    long-running service retains nothing per completed session. *)
+val take_completions : t -> completion list
+
+val stats : t -> stats

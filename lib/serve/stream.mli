@@ -1,0 +1,46 @@
+(** Synthetic report-stream replay: session {!Service.spec}s drawn
+    from the Bugbase entries (recycled under distinct session names)
+    and fuzz-generated labelled bugs.  Pure functions of their seed:
+    per-bug failure probes are memoised, so a stream of hundreds of
+    sessions pays each distinct bug's offline probe once. *)
+
+(** 10% aggregate rate spread uniformly over the fault taxonomy — the
+    stream's standard degraded regime. *)
+val default_fault_rates : Faults.Fault.rates
+
+(** One Bugbase session spec, unattended (no oracle), streaming
+    ingest, adaptive early exit on by default.  [tweak] post-processes
+    the config (e.g. to bound iterations for a soak).  [None] when the
+    bug's target failure never manifests. *)
+val bugbase_spec :
+  ?early_exit:bool ->
+  ?faults:Faults.Fault.rates * int ->
+  ?tweak:(Gist.Config.t -> Gist.Config.t) ->
+  name:string ->
+  Bugbase.Common.t ->
+  Service.spec option
+
+(** One fuzz-case session spec under the campaign's bounded fleet
+    configuration; [None] when the case is not diagnosable (engine
+    divergence, or no target failure in the probe window). *)
+val fuzz_spec :
+  ?early_exit:bool ->
+  ?faults:Faults.Fault.rates * int ->
+  ?tweak:(Gist.Config.t -> Gist.Config.t) ->
+  name:string ->
+  Fuzz.Gen.case ->
+  Service.spec option
+
+(** [mixed ~seed ~sessions ()]: [sessions] specs drawn in a seeded
+    deterministic shuffle from all diagnosable Bugbase bugs plus
+    [fuzz_count] (default 8) fuzz cases; session [k] recycles its base
+    bug under the name ["<bug>#<k>"]. *)
+val mixed :
+  ?early_exit:bool ->
+  ?faults:Faults.Fault.rates * int ->
+  ?tweak:(Gist.Config.t -> Gist.Config.t) ->
+  ?fuzz_count:int ->
+  seed:int ->
+  sessions:int ->
+  unit ->
+  Service.spec list

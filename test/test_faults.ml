@@ -293,14 +293,15 @@ let protocol =
             [
               P.Bad_version 2;
               P.Bad_checksum;
+              P.Wrong_session { expected = 0; got = 7 };
               P.Stale_plan { expected = 1; got = 2 };
               P.Damaged_trace "x";
               P.Bad_payload "y";
             ]
         in
         Alcotest.(check (list string)) "labels"
-          [ "bad-version"; "bad-checksum"; "stale-plan"; "damaged-trace";
-            "bad-payload" ]
+          [ "bad-version"; "bad-checksum"; "wrong-session"; "stale-plan";
+            "damaged-trace"; "bad-payload" ]
           labels);
   ]
 
@@ -345,11 +346,11 @@ let wire =
       (fun () ->
         let report, _, _ = Lazy.force fixture in
         let b = Bytes.of_string (wire_of report) in
-        (* The envelope leads with the version varint; 3 is a valid
+        (* The envelope leads with the version varint; 4 is a valid
            one-byte varint that is not [P.version]. *)
-        Bytes.set b 0 '\003';
+        Bytes.set b 0 '\004';
         expect_wire_reject "bad-version"
-          (function P.Bad_version 3 -> true | _ -> false)
+          (function P.Bad_version 4 -> true | _ -> false)
           (Bytes.to_string b));
     Alcotest.test_case "a payload bit flip is a checksum mismatch" `Quick
       (fun () ->
