@@ -530,10 +530,12 @@ let fuzz_gen_corpus dir seed count jobs faults =
 
 let print_service_stats (st : Serve.Service.stats) =
   Printf.printf
-    "service: %d submitted, %d admitted, %d rejected, %d completed; %d \
-     rounds, %d fleet slots, peak %d in flight, max wait %d round(s)\n"
-    st.st_submitted st.st_admitted st.st_rejected st.st_completed st.st_rounds
-    st.st_slots st.st_peak_inflight st.st_max_wait_rounds
+    "service: %d submitted, %d admitted, %d rejected, %d completed (%d \
+     failed); %d rounds, %d fleet slots, peak %d in flight, max wait %d \
+     round(s); %d checkpoint(s), %d divergence(s)\n"
+    st.st_submitted st.st_admitted st.st_rejected st.st_completed st.st_failed
+    st.st_rounds st.st_slots st.st_peak_inflight st.st_max_wait_rounds
+    st.st_checkpoints st.st_divergences
 
 (* The fuzz accuracy gate through the multiplexed path: same cases,
    same scoring, every diagnosable case one session of a shared
@@ -547,13 +549,45 @@ let fuzz_serve seed count jobs json min_accuracy faults =
   end;
   if Fuzz.Runner.min_pattern_accuracy report >= min_accuracy then 0 else 1
 
+(* The same gate under service faults: seeded kills between scheduler
+   rounds, torn journal tails and corrupted checkpoints ahead of every
+   recovery, poisoned sessions.  Two bars: worst-pattern accuracy over
+   the unpoisoned cases (recovery must be byte-identical), and full
+   containment of the poisoned ones (a poisoned session must come back
+   as a typed failure, never crash the service or vanish). *)
+let fuzz_serve_chaos seed count jobs json min_accuracy chaos_rate faults =
+  let rates = Faults.Chaos.spread chaos_rate in
+  let report, st, cs =
+    Serve.Gate.run_chaos ~jobs ?faults ~rates ~seed ~count ()
+  in
+  if json then print_string (Fuzz.Runner.to_json report)
+  else begin
+    Fmt.pr "%a" Fuzz.Runner.pp report;
+    print_service_stats st;
+    Printf.printf
+      "chaos: %d kill(s) (%d torn, %d corrupted), %d failed recoveries, %d \
+       resubmitted; %d/%d poisoned session(s) contained; %d divergence(s)\n"
+      cs.Serve.Gate.cs_kills cs.cs_torn cs.cs_corrupted cs.cs_failed_recoveries
+      cs.cs_resubmitted cs.cs_contained cs.cs_poisoned cs.cs_divergences
+  end;
+  let contained = cs.Serve.Gate.cs_contained = cs.cs_poisoned in
+  if not contained then begin
+    prerr_endline "chaos: a poisoned session escaped containment";
+    1
+  end
+  else if Fuzz.Runner.min_pattern_accuracy report >= min_accuracy then 0
+  else 1
+
 let fuzz_run seed count jobs json no_shrink min_accuracy save_failures
-    gen_corpus replay serve faults =
+    gen_corpus replay serve chaos faults =
   let jobs = resolve_jobs jobs in
   match (replay, gen_corpus) with
   | Some path, _ -> fuzz_replay path
   | None, Some dir -> fuzz_gen_corpus dir seed count jobs faults
-  | None, None when serve -> fuzz_serve seed count jobs json min_accuracy faults
+  | None, None when serve ->
+    (match chaos with
+     | Some rate -> fuzz_serve_chaos seed count jobs json min_accuracy rate faults
+     | None -> fuzz_serve seed count jobs json min_accuracy faults)
   | None, None ->
     let report =
       Fuzz.Runner.run ~jobs ~shrink:(not no_shrink) ?faults ~seed ~count ()
@@ -627,6 +661,17 @@ let fuzz_cmd =
                    skipped). Verdicts are bit-identical to the one-shot \
                    path.")
   in
+  let chaos =
+    Arg.(value & opt (some float) None
+         & info [ "chaos" ] ~docv:"P"
+             ~doc:"With $(b,--serve): inject seeded service faults — kill \
+                   the service between rounds with per-round probability \
+                   $(docv) (recovering it from its journal each time, \
+                   sometimes through a torn tail or a corrupted \
+                   checkpoint) and poison a fraction of sessions so their \
+                   thunks raise. Checks recovery keeps verdicts \
+                   byte-identical and poison stays contained.")
+  in
   Cmd.v
     (Cmd.info "fuzz"
        ~doc:
@@ -634,7 +679,7 @@ let fuzz_cmd =
           each end-to-end; score the sketches against the ground truth")
     Term.(
       const fuzz_run $ seed $ count $ jobs_arg $ json $ no_shrink
-      $ min_accuracy $ save_failures $ gen_corpus $ replay $ serve
+      $ min_accuracy $ save_failures $ gen_corpus $ replay $ serve $ chaos
       $ faults_term)
 
 (* ------------------------------------------------------------------ *)
@@ -643,11 +688,31 @@ let fuzz_cmd =
    recycled under distinct session names plus fuzz-generated bugs —
    through the multiplexed diagnosis service, and print the scheduling
    ledger.  Exit 0 when every session completed and the ledger
-   balances; 2 when a service invariant broke (leaked or incomplete
-   sessions); 3 when the stream is empty. *)
+   balances; 2 when the scheduler shape is refused or a service
+   invariant broke (leaked or incomplete sessions); 3 when the stream
+   is empty.
+
+   Crash-only wiring: --journal persists the write-ahead journal,
+   --kill-at-round kills the service mid-run and continues on the
+   recovered incarnation (a live demonstration of [Service.recover]),
+   --status prints a live per-session snapshot, and SIGINT requests a
+   graceful drain (stop admitting, finish in-flight, flush the
+   journal) instead of dying mid-round. *)
+
+let print_status views =
+  Printf.printf "%-6s %-28s %5s %5s %6s %6s %6s %7s %7s\n" "id" "session"
+    "adm" "wait" "slots" "strk" "iter" "sigma" "valid";
+  List.iter
+    (fun (v : Serve.Service.session_view) ->
+      let p = v.v_progress in
+      Printf.printf "%-6d %-28s %5d %5d %6d %6d %6d %7d %7d\n" v.v_id
+        v.v_name v.v_admitted_round v.v_rounds_waiting v.v_slots v.v_strikes
+        p.Gist.Server.Session.p_iteration p.p_sigma p.p_valid)
+    views
 
 let serve_run sessions fuzz_count seed jobs inflight queue quantum budget
-    summary faults =
+    checkpoint_every deadline strikes summary status journal_file kill_at
+    faults =
   let jobs = resolve_jobs jobs in
   let sconfig =
     {
@@ -655,62 +720,134 @@ let serve_run sessions fuzz_count seed jobs inflight queue quantum budget
       max_queue = queue;
       quantum;
       round_budget = budget;
+      checkpoint_every_rounds = checkpoint_every;
+      session_deadline_rounds = deadline;
+      max_session_strikes = strikes;
     }
   in
-  match Serve.Stream.mixed ?faults ~fuzz_count ~seed ~sessions () with
-  | [] -> exit_no_failure
-  | specs ->
-    Parallel.Pool.with_pool ~jobs (fun pool ->
-        let svc = Serve.Service.create ~sconfig ~pool () in
-        let completed = ref 0 in
-        let submit_all () =
-          List.iter
-            (fun sp ->
-              let rec push () =
-                match Serve.Service.submit svc sp with
-                | Ok _ -> ()
-                | Error (Serve.Service.Busy _) ->
-                  (* Saturated: run a round, harvest, retry. *)
-                  ignore (Serve.Service.step svc);
-                  completed :=
-                    !completed
-                    + List.length (Serve.Service.take_completions svc);
-                  push ()
-              in
-              push ())
-            specs
-        in
-        let t0 = Unix.gettimeofday () in
-        submit_all ();
-        Serve.Service.drain svc;
-        let wall = Unix.gettimeofday () -. t0 in
-        let last = Serve.Service.take_completions svc in
-        if summary then
-          List.iter
-            (fun (c : Serve.Service.completion) ->
-              Printf.printf
-                "%-32s %2d iteration(s) %4d runs  rounds %d..%d\n"
-                c.c_name c.c_diagnosis.Gist.Server.iterations
-                c.c_diagnosis.Gist.Server.total_runs c.c_admitted_round
-                c.c_completed_round)
-            last;
-        completed := !completed + List.length last;
-        let st = Serve.Service.stats svc in
-        print_service_stats st;
-        Printf.printf "throughput: %.1f sessions/s (%d sessions in %.2fs)\n"
-          (float_of_int st.st_completed /. wall)
-          st.st_completed wall;
-        let balanced =
-          st.st_submitted = st.st_completed + st.st_rejected
-          && Serve.Service.inflight svc = 0
-          && Serve.Service.queued svc = 0
-          && !completed = st.st_completed
-        in
-        if not balanced then begin
-          prerr_endline "serve: session ledger does not balance";
-          2
-        end
-        else 0)
+  match Serve.Service.validate sconfig with
+  | Error e ->
+    prerr_endline (Serve.Service.cerror_to_string e);
+    2
+  | Ok sconfig -> (
+    match Serve.Stream.mixed ?faults ~fuzz_count ~seed ~sessions () with
+    | [] -> exit_no_failure
+    | specs ->
+      Parallel.Pool.with_pool ~jobs (fun pool ->
+          let svc = ref (Serve.Service.create ~sconfig ~pool ()) in
+          (* SIGINT = graceful drain: already-accepted work finishes,
+             the journal keeps every record, nothing is half-done. *)
+          Sys.set_signal Sys.sigint
+            (Sys.Signal_handle
+               (fun _ -> Serve.Service.request_drain !svc));
+          let resolve =
+            let tbl = Hashtbl.create (List.length specs) in
+            List.iter
+              (fun (sp : Serve.Service.spec) ->
+                Hashtbl.replace tbl sp.sp_name sp)
+              specs;
+            fun name -> Hashtbl.find_opt tbl name
+          in
+          (* Recovery replays completions at-least-once; dedup by
+             ticket id, first sighting wins. *)
+          let seen = Hashtbl.create (List.length specs) in
+          let harvested = ref [] in
+          let harvest () =
+            List.iter
+              (fun (c : Serve.Service.completion) ->
+                if not (Hashtbl.mem seen c.c_id) then begin
+                  Hashtbl.replace seen c.c_id ();
+                  harvested := c :: !harvested
+                end)
+              (Serve.Service.take_completions !svc)
+          in
+          let submit_all () =
+            List.iter
+              (fun sp ->
+                let rec push () =
+                  match Serve.Service.submit !svc sp with
+                  | Ok _ -> ()
+                  | Error (Serve.Service.Busy _) ->
+                    (* Saturated: run a round, harvest, retry. *)
+                    ignore (Serve.Service.step !svc);
+                    harvest ();
+                    push ()
+                in
+                push ())
+              specs
+          in
+          let t0 = Unix.gettimeofday () in
+          submit_all ();
+          if status then begin
+            (* Admission happens at round start, so a freshly
+               submitted stream has an empty ring until the first
+               step; run one round so the snapshot shows the fleet. *)
+            ignore (Serve.Service.step !svc : bool);
+            harvest ();
+            print_status (Serve.Service.status !svc)
+          end;
+          let killed = ref false in
+          let rec run () =
+            if Serve.Service.step !svc then begin
+              harvest ();
+              (match kill_at with
+               | Some k
+                 when (not !killed)
+                      && (Serve.Service.stats !svc).st_rounds >= k ->
+                 killed := true;
+                 let bytes = Serve.Service.journal_bytes !svc in
+                 (match Serve.Service.recover ~pool ~resolve bytes with
+                  | Ok svc' ->
+                    Printf.printf
+                      "killed at round %d; recovered from %d journal \
+                       byte(s)\n"
+                      k (String.length bytes);
+                    svc := svc'
+                  | Error e ->
+                    prerr_endline (Serve.Service.rerror_to_string e))
+               | _ -> ());
+              run ()
+            end
+          in
+          run ();
+          harvest ();
+          let wall = Unix.gettimeofday () -. t0 in
+          (match journal_file with
+           | Some path ->
+             Serve.Journal.save_file path (Serve.Service.journal_bytes !svc)
+           | None -> ());
+          let last = List.rev !harvested in
+          if summary then
+            List.iter
+              (fun (c : Serve.Service.completion) ->
+                match c.c_result with
+                | Ok d ->
+                  Printf.printf
+                    "%-32s %2d iteration(s) %4d runs  rounds %d..%d\n"
+                    c.c_name d.Gist.Server.iterations
+                    d.Gist.Server.total_runs c.c_admitted_round
+                    c.c_completed_round
+                | Error f ->
+                  Printf.printf "%-32s FAILED %s  rounds %d..%d\n" c.c_name
+                    (Serve.Service.session_failure_to_string f)
+                    c.c_admitted_round c.c_completed_round)
+              last;
+          let st = Serve.Service.stats !svc in
+          print_service_stats st;
+          Printf.printf "throughput: %.1f sessions/s (%d sessions in %.2fs)\n"
+            (float_of_int st.st_completed /. wall)
+            st.st_completed wall;
+          let balanced =
+            st.st_submitted = st.st_completed + st.st_rejected
+            && Serve.Service.inflight !svc = 0
+            && Serve.Service.queued !svc = 0
+            && List.length last = st.st_completed
+          in
+          if not balanced then begin
+            prerr_endline "serve: session ledger does not balance";
+            2
+          end
+          else 0))
 
 let serve_cmd =
   let sessions =
@@ -755,15 +892,60 @@ let serve_cmd =
          & info [ "summary" ]
              ~doc:"Print one line per completed session.")
   in
+  let checkpoint_every =
+    Arg.(value
+         & opt int
+             Serve.Service.default.Serve.Service.checkpoint_every_rounds
+         & info [ "checkpoint-every" ] ~docv:"N"
+             ~doc:"Journal a full-state checkpoint every $(docv) scheduler \
+                   rounds (0: only the initial and shutdown checkpoints). \
+                   Recovery replays at most $(docv) rounds.")
+  in
+  let deadline =
+    Arg.(value
+         & opt int Serve.Service.default.Serve.Service.session_deadline_rounds
+         & info [ "deadline-rounds" ] ~docv:"N"
+             ~doc:"Evict a session still undiagnosed $(docv) rounds after \
+                   admission as a typed timed-out failure (0: no deadline).")
+  in
+  let strikes =
+    Arg.(value
+         & opt int Serve.Service.default.Serve.Service.max_session_strikes
+         & info [ "max-strikes" ] ~docv:"N"
+             ~doc:"Rounds with raising thunks a session survives before it \
+                   is quarantined.")
+  in
+  let status =
+    Arg.(value & flag
+         & info [ "status" ]
+             ~doc:"Print a live per-session snapshot (rounds waited, slots, \
+                   strikes, iteration, sigma, valid reports) after the \
+                   submission phase.")
+  in
+  let journal_file =
+    Arg.(value & opt (some string) None
+         & info [ "journal" ] ~docv:"FILE"
+             ~doc:"Persist the write-ahead journal to $(docv) at exit.")
+  in
+  let kill_at =
+    Arg.(value & opt (some int) None
+         & info [ "kill-at-round" ] ~docv:"K"
+             ~doc:"Crash-recovery demo: kill the service once it reaches \
+                   round $(docv), recover a fresh one from the journal, \
+                   and finish the stream on it. The ledger must still \
+                   balance.")
+  in
   Cmd.v
     (Cmd.info "serve"
        ~doc:
          "Replay a synthetic multi-bug report stream through the \
           persistent diagnosis service (admission control, fair \
-          multiplexed scheduling, typed backpressure)")
+          multiplexed scheduling, typed backpressure, durable \
+          checkpoints and crash recovery)")
     Term.(
       const serve_run $ sessions $ fuzz_count $ seed $ jobs_arg $ inflight
-      $ queue $ quantum $ budget $ summary $ faults_term)
+      $ queue $ quantum $ budget $ checkpoint_every $ deadline $ strikes
+      $ summary $ status $ journal_file $ kill_at $ faults_term)
 
 let () =
   let doc = "failure sketching for automated root cause diagnosis" in

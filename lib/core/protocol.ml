@@ -544,6 +544,20 @@ module Encode = struct
     r.W.pos <- r.W.pos + 8;
     Int64.to_int bits
 
+  (* The digest field of an already-encoded envelope, re-read from the
+     bytes (it was computed once by {!encode}): what a crash-only
+     journal folds into its accepted-report audit without paying a
+     second payload walk.  Raises [W.Short] on bytes shorter than an
+     envelope header. *)
+  let wire_digest bytes =
+    let r = W.reader bytes in
+    ignore (W.get_uint r) (* version *);
+    ignore (W.get_uint r) (* client *);
+    r.W.pos <- r.W.pos + 4 (* session *);
+    if r.W.pos > r.W.limit then raise W.Short;
+    ignore (W.get_uint r) (* plan_id *);
+    get_digest r
+
   let get_session r =
     if r.W.pos + 4 > r.W.limit then raise W.Short;
     let v = Int32.to_int (String.get_int32_le r.W.src r.W.pos) land 0xFFFFFFFF in

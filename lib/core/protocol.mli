@@ -105,4 +105,32 @@ module Encode : sig
   val ingest :
     ?session:int ->
     n_instrs:int -> plan_id:int -> string -> (Client.report, reject) result
+
+  (** {2 Codec primitives reused by the crash-only session snapshots}
+
+      The report payload codec and the envelope digest, exposed so the
+      {!Gist.Server.Session} snapshot / journal machinery serializes
+      retained reports and checksums its own records with exactly the
+      wire protocol's encoding — one binary dialect in the tree, not
+      two. *)
+
+  (** Append one report's payload encoding to the buffer (the bytes
+      {!encode} seals inside an envelope). *)
+  val put_report : Buffer.t -> Client.report -> unit
+
+  (** Decode one report payload at the reader's cursor.
+      @raise Hw.Wirebuf.Short on truncated bytes. *)
+  val get_report : Hw.Wirebuf.reader -> Client.report
+
+  (** [digest ?pos ~client ~session ~plan_id payload]: the 62-bit
+      envelope digest over [payload.[pos..]] with the header fields
+      mixed in — the checksum every envelope carries, reusable for any
+      record that wants the same integrity guarantee. *)
+  val digest :
+    ?pos:int -> client:int -> session:int -> plan_id:int -> string -> int
+
+  (** Re-read the digest field of an envelope {!encode} produced,
+      without walking the payload.
+      @raise Hw.Wirebuf.Short on bytes shorter than a header. *)
+  val wire_digest : string -> int
 end

@@ -73,6 +73,7 @@ type ingest_mode = Streaming | Retained
    (everything else about it is dropped at consume). *)
 type slot_valid = {
   sv_report : Client.report;
+  sv_digest : int;      (* the accepted envelope's wire digest *)
   sv_matches : bool;    (* failed with the target signature *)
   sv_relevant : bool;   (* matching failure or success: feeds refinement *)
   sv_confirmed : IntSet.t;          (* tracked statements it executed *)
@@ -231,6 +232,10 @@ module Session = struct
     acc : Predict.Stats.Acc.t;
     mutable observations : Predict.Stats.observation list;
     mutable repr_failing : Client.report option;
+    (* Running fold of accepted-report wire digests, in consume order:
+       the audit value a crash-only journal records per round so a
+       recovery replay can prove it re-accepted the same reports. *)
+    mutable audit : int;
     mutable base_cycles : float;
     mutable extra_cycles : float;
     mutable ov_buf : float array;
@@ -271,6 +276,7 @@ module Session = struct
   }
 
   let id t = t.s_id
+  let audit t = t.audit
 
   let bump tbl k =
     Hashtbl.replace tbl k (1 + Option.value ~default:0 (Hashtbl.find_opt tbl k))
@@ -466,6 +472,10 @@ module Session = struct
              Some
                {
                  sv_report = r;
+                 (* Re-read, not recomputed: [encode] already paid for
+                    the digest; the audit fold must stay off the slot
+                    hot path's budget. *)
+                 sv_digest = Protocol.Encode.wire_digest bytes;
                  sv_matches;
                  sv_relevant;
                  sv_confirmed;
@@ -754,6 +764,7 @@ module Session = struct
        let report = sv.sv_report in
        g.g_valid <- g.g_valid + 1;
        t.it_valid <- t.it_valid + 1;
+       t.audit <- Faults.Fault.mix t.audit sv.sv_digest;
        ov_push t report.Client.r_overhead_pct;
        t.base_cycles <- t.base_cycles +. report.r_base_cycles;
        t.extra_cycles <- t.extra_cycles +. report.r_extra_cycles;
@@ -924,6 +935,7 @@ module Session = struct
         acc = Predict.Stats.Acc.create ();
         observations = [];
         repr_failing = None;
+        audit = 0;
         base_cycles = 0.0;
         extra_cycles = 0.0;
         ov_buf = Array.make 256 0.0;
@@ -1020,6 +1032,609 @@ module Session = struct
             |> List.sort compare;
         };
     }
+
+  (* ---------------------------------------------------------------- *)
+  (* Live introspection: the cheap counters a service status view
+     reads without perturbing the state machine. *)
+
+  type progress = {
+    p_iteration : int;
+    p_sigma : int;
+    p_tracked : int;      (* statements tracked this iteration *)
+    p_clients : int;      (* fleet slots consumed this iteration *)
+    p_valid : int;        (* accepted reports this iteration *)
+    p_fails : int;
+    p_succs : int;
+    p_total_runs : int;   (* monitored production runs, whole session *)
+    p_finished : bool;
+  }
+
+  let progress t =
+    {
+      p_iteration = t.iteration;
+      p_sigma = t.sigma;
+      p_tracked =
+        (match t.phase with
+         | Gathering g -> List.length g.g_ctx.x_tracked
+         | Done -> 0);
+      p_clients = t.clients;
+      p_valid = t.it_valid;
+      p_fails = t.fails;
+      p_succs = t.succs;
+      p_total_runs = t.total_runs;
+      p_finished = t.phase = Done;
+    }
+
+  (* What a thunk that raised looks like after containment: the
+     service substitutes this deterministic "client crashed, nothing
+     arrived" outcome so a poisoned slot degrades exactly like a
+     fleet-fault crash instead of taking the scheduler down. *)
+  let crashed_outcome t =
+    {
+      o_valid = None;
+      o_attempts = 1;
+      o_lost = 1;
+      o_rejects = [];
+      o_kinds = [ Faults.Fault.Crash ];
+      o_delay = t.config.Config.straggler_timeout_s;
+      o_quarantined = false;
+    }
+
+  (* ---------------------------------------------------------------- *)
+  (* Snapshot / restore: the full session state machine as versioned,
+     digest-checked bytes (the wire protocol's own varint and digest
+     machinery), so a crash-only service can checkpoint mid-diagnosis
+     and restore a bit-identical continuation.
+
+     What is serialized: every field that is not a pure function of
+     the create-time inputs.  Derived state — the slice, the lowered
+     program, the instrumentation plan, watchpoint groups, plan ids —
+     is rebuilt deterministically from the serialized tracked lists at
+     restore ([Instrument.Place.compute] is a pure function of
+     (program, tracked)), which keeps snapshots O(slice + trace), not
+     O(program).  [best_sketch] is deliberately not serialized: every
+     path from a gathering phase to [Done] passes through [wrapup],
+     which rebuilds it from [repr_failing] and the restored sets.
+
+     Snapshots are only legal at a quiescent point: no granted thunk
+     still outstanding (the service checkpoints at round boundaries,
+     where delivery is always complete) and the session not yet
+     finished (a finished session is a completion, not a checkpoint
+     candidate). *)
+
+  module W = Hw.Wirebuf
+
+  let snapshot_magic = 0x675A (* "gZ" *)
+  let snapshot_version = 1
+
+  type snapshot_error =
+    | Snapshot_truncated
+    | Snapshot_bad_magic
+    | Snapshot_bad_version of int
+    | Snapshot_bad_digest
+    | Snapshot_mismatch of string
+
+  let snapshot_error_to_string = function
+    | Snapshot_truncated -> "snapshot truncated"
+    | Snapshot_bad_magic -> "snapshot bytes carry the wrong magic"
+    | Snapshot_bad_version v ->
+      Printf.sprintf "snapshot version %d, this build reads %d" v
+        snapshot_version
+    | Snapshot_bad_digest -> "snapshot digest mismatch (corrupt bytes)"
+    | Snapshot_mismatch what ->
+      Printf.sprintf "snapshot disagrees with the spec it was restored \
+                      against: %s" what
+
+  let put_list b put l =
+    W.put_uint b (List.length l);
+    List.iter (fun x -> put b x) l
+
+  let get_list r get =
+    let n = W.get_uint r in
+    let rec go k acc = if k = 0 then List.rev acc else go (k - 1) (get r :: acc) in
+    go n []
+
+  let put_opt b put = function
+    | None -> W.put_uint b 0
+    | Some x ->
+      W.put_uint b 1;
+      put b x
+
+  let get_opt r get =
+    match W.get_uint r with
+    | 0 -> None
+    | 1 -> Some (get r)
+    | _ -> raise W.Short
+
+  let put_pred b (p : Predict.Predictor.t) =
+    match p with
+    | Predict.Predictor.Branch_taken (iid, taken) ->
+      W.put_uint b 1;
+      W.put_uint b iid;
+      W.put_bool b taken
+    | Predict.Predictor.Data_value (iid, v) ->
+      W.put_uint b 2;
+      W.put_uint b iid;
+      W.put_string b v
+    | Predict.Predictor.Value_range (iid, v) ->
+      W.put_uint b 3;
+      W.put_uint b iid;
+      W.put_string b v
+    | Predict.Predictor.Race (k, a, bb) ->
+      W.put_uint b 4;
+      W.put_string b k;
+      W.put_uint b a;
+      W.put_uint b bb
+    | Predict.Predictor.Atomicity (k, a, bb, c) ->
+      W.put_uint b 5;
+      W.put_string b k;
+      W.put_uint b a;
+      W.put_uint b bb;
+      W.put_uint b c
+
+  let get_pred r : Predict.Predictor.t =
+    match W.get_uint r with
+    | 1 ->
+      let iid = W.get_uint r in
+      let taken = W.get_bool r in
+      Predict.Predictor.Branch_taken (iid, taken)
+    | 2 ->
+      let iid = W.get_uint r in
+      let v = W.get_string r in
+      Predict.Predictor.Data_value (iid, v)
+    | 3 ->
+      let iid = W.get_uint r in
+      let v = W.get_string r in
+      Predict.Predictor.Value_range (iid, v)
+    | 4 ->
+      let k = W.get_string r in
+      let a = W.get_uint r in
+      let bb = W.get_uint r in
+      Predict.Predictor.Race (k, a, bb)
+    | 5 ->
+      let k = W.get_string r in
+      let a = W.get_uint r in
+      let bb = W.get_uint r in
+      let c = W.get_uint r in
+      Predict.Predictor.Atomicity (k, a, bb, c)
+    | _ -> raise W.Short
+
+  let put_iteration_info b (it : iteration_info) =
+    W.put_uint b it.it_sigma;
+    W.put_uint b it.it_tracked;
+    W.put_uint b it.it_fails;
+    W.put_uint b it.it_succs;
+    W.put_uint b it.it_clients;
+    W.put_float b it.it_avg_overhead;
+    W.put_bool b it.it_oracle_pass;
+    W.put_uint b it.it_dispatched;
+    W.put_uint b it.it_lost;
+    W.put_uint b it.it_rejected;
+    W.put_uint b it.it_retried;
+    W.put_uint b it.it_quarantined;
+    W.put_bool b it.it_degraded;
+    W.put_uint b
+      (match it.it_early_exit with
+       | None -> 0
+       | Some Separated -> 1
+       | Some Converged -> 2)
+
+  let get_iteration_info r : iteration_info =
+    let it_sigma = W.get_uint r in
+    let it_tracked = W.get_uint r in
+    let it_fails = W.get_uint r in
+    let it_succs = W.get_uint r in
+    let it_clients = W.get_uint r in
+    let it_avg_overhead = W.get_float r in
+    let it_oracle_pass = W.get_bool r in
+    let it_dispatched = W.get_uint r in
+    let it_lost = W.get_uint r in
+    let it_rejected = W.get_uint r in
+    let it_retried = W.get_uint r in
+    let it_quarantined = W.get_uint r in
+    let it_degraded = W.get_bool r in
+    let it_early_exit =
+      match W.get_uint r with
+      | 0 -> None
+      | 1 -> Some Separated
+      | 2 -> Some Converged
+      | _ -> raise W.Short
+    in
+    {
+      it_sigma; it_tracked; it_fails; it_succs; it_clients; it_avg_overhead;
+      it_oracle_pass; it_dispatched; it_lost; it_rejected; it_retried;
+      it_quarantined; it_degraded; it_early_exit;
+    }
+
+  let put_assoc b l =
+    put_list b
+      (fun b (k, v) ->
+        W.put_string b k;
+        W.put_uint b v)
+      l
+
+  let get_assoc r =
+    get_list r (fun r ->
+        let k = W.get_string r in
+        let v = W.get_uint r in
+        (k, v))
+
+  let put_report_opt b o =
+    put_opt b (fun b rep -> Protocol.Encode.put_report b rep) o
+
+  let snapshot t =
+    let g =
+      match t.phase with
+      | Done -> invalid_arg "Session.snapshot: session already finished"
+      | Gathering g ->
+        if g.g_delivered < g.g_granted then
+          invalid_arg
+            "Session.snapshot: granted thunks still outstanding (snapshot \
+             only at a round boundary)";
+        g
+    in
+    let b = Buffer.create 1024 in
+    (* Spec guard fields, checked against restore's arguments. *)
+    W.put_string b t.bug_name;
+    W.put_bool b t.streaming;
+    W.put_bool b t.early;
+    W.put_uint b t.n_instrs;
+    (* Host-time ledgers (never bit-compared, but carried so recovery
+       does not forget the offline phase already paid). *)
+    W.put_float b t.offline_time;
+    W.put_float b t.online_time;
+    (* Cross-iteration AsT state. *)
+    W.put_uint b t.sigma;
+    put_list b (fun b i -> W.put_uint b i) (IntSet.elements t.discovered);
+    put_list b (fun b i -> W.put_uint b i) (IntSet.elements t.confirmed);
+    (let cells, total_failing, n_obs = Predict.Stats.Acc.export t.acc in
+     put_list b
+       (fun b (p, (f, s, cooc)) ->
+         put_pred b p;
+         W.put_uint b f;
+         W.put_uint b s;
+         (* [c_cooc] is a full-width wrapping fingerprint sum: zigzag
+            would overflow on magnitudes >= 2^61, so carry the sign
+            bit out of band instead. *)
+         W.put_bool b (cooc < 0);
+         W.put_uint b (cooc land max_int))
+       cells;
+     W.put_uint b total_failing;
+     W.put_uint b n_obs);
+    put_list b
+      (fun b (o : Predict.Stats.observation) ->
+        put_list b put_pred o.Predict.Stats.predictors;
+        W.put_bool b o.Predict.Stats.failing)
+      t.observations;
+    put_report_opt b t.repr_failing;
+    W.put_uint b t.audit;
+    W.put_float b t.base_cycles;
+    W.put_float b t.extra_cycles;
+    W.put_uint b t.ov_len;
+    for i = 0 to t.ov_len - 1 do
+      W.put_float b t.ov_buf.(i)
+    done;
+    W.put_uint b t.recurrences;
+    W.put_uint b t.total_runs;
+    W.put_uint b t.client_counter;
+    W.put_uint b t.iteration;
+    W.put_bool b t.stop;
+    put_list b put_iteration_info t.trace;
+    W.put_uint b t.f_dispatched;
+    W.put_uint b t.f_valid;
+    W.put_uint b t.f_lost;
+    W.put_uint b t.f_rejected;
+    W.put_uint b t.f_retried;
+    W.put_uint b t.f_quarantined;
+    W.put_uint b t.f_degraded;
+    put_assoc b
+      (List.sort compare
+         (Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.by_kind []));
+    put_assoc b
+      (List.sort compare
+         (Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.by_reason []));
+    W.put_float b t.sim_delay;
+    put_opt b put_pred t.prev_winner;
+    W.put_uint b t.win_streak;
+    (* The previous iteration's plan, as its tracked list: the plan,
+       id and groups are recomputed at restore. *)
+    put_opt b
+      (fun b (tracked : iid list) -> put_list b (fun b i -> W.put_uint b i) tracked)
+      (Option.map (fun (p, _, _) -> p.Instrument.Plan.tracked) t.prev_plan);
+    (* Per-iteration state. *)
+    W.put_uint b t.fails;
+    W.put_uint b t.succs;
+    W.put_uint b t.clients;
+    put_list b
+      (fun b ((rep : Client.report), matches) ->
+        Protocol.Encode.put_report b rep;
+        W.put_bool b matches)
+      t.iter_reports;
+    W.put_uint b t.it_dispatched;
+    W.put_uint b t.it_lost;
+    W.put_uint b t.it_rejected;
+    W.put_uint b t.it_retried;
+    W.put_uint b t.it_quarantined;
+    W.put_uint b t.it_valid;
+    W.put_bool b t.it_exited;
+    (* The gathering pass. *)
+    put_list b (fun b i -> W.put_uint b i) g.g_ctx.x_tracked;
+    W.put_uint b g.g_base;
+    W.put_uint b g.g_budget;
+    put_opt b
+      (fun b (v, s) ->
+        W.put_uint b v;
+        W.put_uint b s)
+      g.g_first;
+    W.put_uint b g.g_granted;
+    W.put_uint b g.g_consumed;
+    W.put_bool b g.g_stopped;
+    W.put_uint b g.g_valid;
+    W.put_uint b g.g_slots;
+    let payload = Buffer.contents b in
+    let out = Buffer.create (String.length payload + 16) in
+    W.put_uint out snapshot_magic;
+    W.put_uint out snapshot_version;
+    W.put_uint out t.s_id;
+    Buffer.add_int64_le out
+      (Int64.of_int
+         (Protocol.Encode.digest ~client:0 ~session:t.s_id
+            ~plan_id:snapshot_version payload));
+    Buffer.add_string out payload;
+    Buffer.contents out
+
+  let restore ?(config = Config.default) ?(ingest = Streaming) ?oracle
+      ~bug_name ~failure_type ~program ~workload_of
+      ~(failure : Exec.Failure.report) bytes =
+    try
+      let r = W.reader bytes in
+      let magic = W.get_uint r in
+      if magic <> snapshot_magic then Error Snapshot_bad_magic
+      else begin
+        let version = W.get_uint r in
+        if version <> snapshot_version then Error (Snapshot_bad_version version)
+        else begin
+          let s_id = W.get_uint r in
+          if r.W.pos + 8 > r.W.limit then raise W.Short;
+          let d = Int64.to_int (String.get_int64_le r.W.src r.W.pos) in
+          r.W.pos <- r.W.pos + 8;
+          let payload_start = r.W.pos in
+          if
+            Protocol.Encode.digest ~pos:payload_start ~client:0 ~session:s_id
+              ~plan_id:snapshot_version bytes
+            <> d
+          then Error Snapshot_bad_digest
+          else begin
+            let config = Config.check config in
+            let mismatch what = Error (Snapshot_mismatch what) in
+            let got_bug = W.get_string r in
+            let got_streaming = W.get_bool r in
+            let got_early = W.get_bool r in
+            let got_n_instrs = W.get_uint r in
+            let streaming = ingest = Streaming in
+            let early = config.Config.early_exit in
+            ignore (Analysis.Cache.lowered program);
+            let n_instrs =
+              1
+              + List.fold_left
+                  (fun m (i : Ir.Types.instr) -> max m i.iid)
+                  0
+                  (Ir.Program.all_instrs program)
+            in
+            if got_bug <> bug_name then
+              mismatch (Printf.sprintf "bug %S vs %S" got_bug bug_name)
+            else if got_streaming <> streaming then mismatch "ingest mode"
+            else if got_early <> early then mismatch "early-exit flag"
+            else if got_n_instrs <> n_instrs then mismatch "program shape"
+            else begin
+              let offline_time = W.get_float r in
+              let online_time = W.get_float r in
+              let sigma = W.get_uint r in
+              let discovered =
+                IntSet.of_list (get_list r (fun r -> W.get_uint r))
+              in
+              let confirmed =
+                IntSet.of_list (get_list r (fun r -> W.get_uint r))
+              in
+              let cells =
+                get_list r (fun r ->
+                    let p = get_pred r in
+                    let f = W.get_uint r in
+                    let s = W.get_uint r in
+                    let neg = W.get_bool r in
+                    let low = W.get_uint r in
+                    let cooc = if neg then low lor min_int else low in
+                    (p, (f, s, cooc)))
+              in
+              let total_failing = W.get_uint r in
+              let n_obs = W.get_uint r in
+              let acc = Predict.Stats.Acc.import ~cells ~total_failing ~n_obs in
+              let observations =
+                get_list r (fun r ->
+                    let predictors = get_list r get_pred in
+                    let failing = W.get_bool r in
+                    Predict.Stats.{ predictors; failing })
+              in
+              let repr_failing =
+                get_opt r (fun r -> Protocol.Encode.get_report r)
+              in
+              let audit = W.get_uint r in
+              let base_cycles = W.get_float r in
+              let extra_cycles = W.get_float r in
+              let ov_len = W.get_uint r in
+              let ov_buf = Array.make (max 256 ov_len) 0.0 in
+              for i = 0 to ov_len - 1 do
+                ov_buf.(i) <- W.get_float r
+              done;
+              let recurrences = W.get_uint r in
+              let total_runs = W.get_uint r in
+              let client_counter = W.get_uint r in
+              let iteration = W.get_uint r in
+              let stop = W.get_bool r in
+              let trace = get_list r get_iteration_info in
+              let f_dispatched = W.get_uint r in
+              let f_valid = W.get_uint r in
+              let f_lost = W.get_uint r in
+              let f_rejected = W.get_uint r in
+              let f_retried = W.get_uint r in
+              let f_quarantined = W.get_uint r in
+              let f_degraded = W.get_uint r in
+              let by_kind = Hashtbl.create 8 in
+              List.iter (fun (k, v) -> Hashtbl.replace by_kind k v) (get_assoc r);
+              let by_reason = Hashtbl.create 8 in
+              List.iter
+                (fun (k, v) -> Hashtbl.replace by_reason k v)
+                (get_assoc r);
+              let sim_delay = W.get_float r in
+              let prev_winner = get_opt r get_pred in
+              let win_streak = W.get_uint r in
+              let prev_tracked =
+                get_opt r (fun r -> get_list r (fun r -> W.get_uint r))
+              in
+              let fails = W.get_uint r in
+              let succs = W.get_uint r in
+              let clients = W.get_uint r in
+              let iter_reports =
+                get_list r (fun r ->
+                    let rep = Protocol.Encode.get_report r in
+                    let matches = W.get_bool r in
+                    (rep, matches))
+              in
+              let it_dispatched = W.get_uint r in
+              let it_lost = W.get_uint r in
+              let it_rejected = W.get_uint r in
+              let it_retried = W.get_uint r in
+              let it_quarantined = W.get_uint r in
+              let it_valid = W.get_uint r in
+              let it_exited = W.get_bool r in
+              let x_tracked = get_list r (fun r -> W.get_uint r) in
+              let g_base = W.get_uint r in
+              let g_budget = W.get_uint r in
+              let g_first =
+                get_opt r (fun r ->
+                    let v = W.get_uint r in
+                    let s = W.get_uint r in
+                    (v, s))
+              in
+              let g_granted = W.get_uint r in
+              let g_consumed = W.get_uint r in
+              let g_stopped = W.get_bool r in
+              let g_valid = W.get_uint r in
+              let g_slots = W.get_uint r in
+              if not (W.eof r) then Error Snapshot_truncated
+              else begin
+                (* Rebuild every derived structure from the serialized
+                   tracked lists — pure functions of (program, tracked),
+                   so the restored plans, ids and groups are the bytes'
+                   exact originals. *)
+                let t0 = Sys.time () in
+                let plan_of tracked =
+                  let plan =
+                    Instrument.Place.compute ~enable_cf:config.Config.enable_cf
+                      ~enable_df:config.Config.enable_df program tracked
+                  in
+                  let groups =
+                    Array.of_list
+                      (wp_groups ~wp_capacity:config.Config.wp_capacity
+                         plan.Instrument.Plan.wp_targets)
+                  in
+                  (plan, Instrument.Plan.id plan, groups)
+                in
+                let prev_plan = Option.map plan_of prev_tracked in
+                let plan, plan_id, groups = plan_of x_tracked in
+                let slice = Slicing.Slicer.compute program failure in
+                let t =
+                  {
+                    s_id;
+                    config;
+                    bug_name;
+                    failure_type;
+                    program;
+                    workload_of;
+                    failure;
+                    oracle;
+                    streaming;
+                    early;
+                    n_instrs;
+                    slice;
+                    slice_size = Slicing.Slicer.instr_count slice;
+                    target_sig = Exec.Failure.signature failure;
+                    t_online0 = Sys.time ();
+                    offline_time = offline_time +. (Sys.time () -. t0);
+                    online_time;
+                    sigma;
+                    discovered;
+                    confirmed;
+                    acc;
+                    observations;
+                    repr_failing;
+                    audit;
+                    base_cycles;
+                    extra_cycles;
+                    ov_buf;
+                    ov_len;
+                    recurrences;
+                    total_runs;
+                    client_counter;
+                    iteration;
+                    best_sketch = None;
+                    stop;
+                    trace;
+                    f_dispatched;
+                    f_valid;
+                    f_lost;
+                    f_rejected;
+                    f_retried;
+                    f_quarantined;
+                    f_degraded;
+                    by_kind;
+                    by_reason;
+                    sim_delay;
+                    prev_winner;
+                    win_streak;
+                    prev_plan;
+                    fails;
+                    succs;
+                    clients;
+                    iter_reports;
+                    it_dispatched;
+                    it_lost;
+                    it_rejected;
+                    it_retried;
+                    it_quarantined;
+                    it_valid;
+                    it_exited;
+                    phase =
+                      Gathering
+                        {
+                          g_ctx =
+                            {
+                              x_tracked;
+                              x_tracked_set = IntSet.of_list x_tracked;
+                              x_plan = plan;
+                              x_plan_id = plan_id;
+                              x_groups = groups;
+                              x_prev = prev_plan;
+                            };
+                          g_base;
+                          g_budget;
+                          g_first;
+                          g_granted;
+                          g_delivered = g_granted;
+                          g_consumed;
+                          g_stopped;
+                          g_valid;
+                          g_slots;
+                        };
+                  }
+                in
+                Ok t
+              end
+            end
+          end
+        end
+      end
+    with W.Short -> Error Snapshot_truncated
 end
 
 (* The one-shot entry point, now a thin single-session driver over

@@ -173,6 +173,81 @@ module Session : sig
 
   (** @raise Invalid_argument before {!need} returns [Finished]. *)
   val result : t -> diagnosis
+
+  (** {2 Introspection} *)
+
+  (** A cheap live view of the state machine, for a service status
+      report.  Reading it never perturbs the session. *)
+  type progress = {
+    p_iteration : int;
+    p_sigma : int;
+    p_tracked : int;    (** statements tracked this iteration *)
+    p_clients : int;    (** fleet slots consumed this iteration *)
+    p_valid : int;      (** accepted reports this iteration *)
+    p_fails : int;
+    p_succs : int;
+    p_total_runs : int; (** monitored production runs, whole session *)
+    p_finished : bool;
+  }
+
+  val progress : t -> progress
+
+  (** Running digest of every report this session accepted, in consume
+      order (wire digests folded through {!Faults.Fault.mix}).  Two
+      sessions that consumed the same reports in the same order agree;
+      the recovery audit compares it against the journaled value. *)
+  val audit : t -> int
+
+  (** The outcome the containment layer substitutes for a granted
+      thunk that raised: deterministic "client crashed, nothing
+      arrived", so a poisoned slot degrades exactly like a fleet-fault
+      crash instead of killing the service. *)
+  val crashed_outcome : t -> outcome
+
+  (** {2 Crash-only snapshots}
+
+      The full session state machine as versioned, digest-checked
+      bytes, built from the wire protocol's own varint and digest
+      machinery ({!Protocol.Encode}).  Derived state (slice, plans,
+      watchpoint groups) is rebuilt deterministically at restore from
+      the serialized tracked lists, so snapshots are O(slice + trace)
+      and a restored session is a bit-identical continuation: the same
+      grants, deliveries and final diagnosis (host-time fields aside)
+      as the never-interrupted original. *)
+
+  (** Why bytes were refused by {!restore}. *)
+  type snapshot_error =
+    | Snapshot_truncated
+    | Snapshot_bad_magic
+    | Snapshot_bad_version of int
+    | Snapshot_bad_digest  (** framing intact, checksum wrong *)
+    | Snapshot_mismatch of string
+        (** valid bytes, wrong spec: bug name, ingest mode, early-exit
+            flag or program shape disagree with the restore arguments *)
+
+  val snapshot_error_to_string : snapshot_error -> string
+
+  (** Serialize the session.  Only legal at a quiescent point: every
+      granted thunk delivered and the session not yet finished.
+      @raise Invalid_argument mid-grant or after [Finished]. *)
+  val snapshot : t -> string
+
+  (** [restore ~bug_name ~failure_type ~program ~workload_of ~failure
+      bytes] rebuilds the session from {!snapshot} output plus the
+      same create-time spec.  [config], [ingest] and [oracle] must
+      match the original [create] (the codec cross-checks what it
+      can: bug name, ingest mode, early-exit flag, program shape). *)
+  val restore :
+    ?config:Config.t ->
+    ?ingest:ingest_mode ->
+    ?oracle:(Fsketch.Sketch.t -> bool) ->
+    bug_name:string ->
+    failure_type:string ->
+    program:program ->
+    workload_of:(int -> Exec.Interp.workload) ->
+    failure:Exec.Failure.report ->
+    string ->
+    (t, snapshot_error) result
 end
 
 (** [diagnose ~bug_name ~failure_type ~program ~workload_of ~failure ()]

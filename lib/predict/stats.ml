@@ -266,6 +266,30 @@ module Acc = struct
         | 0 -> Predictor.compare a.predictor b.predictor
         | c -> c)
 
+  (* Snapshot codec support: the accumulator as a deterministic value.
+     Cells come out sorted by [Predictor.compare], so the same counts
+     always serialize to the same bytes whatever the hashtable's
+     internal order; [import] rebuilds an accumulator that is
+     indistinguishable from the original (every query is a pure
+     function of the counts). *)
+  let export t =
+    let cells =
+      Hashtbl.fold (fun p c acc -> (p, (c.c_fail, c.c_succ, c.c_cooc)) :: acc)
+        t.counts []
+      |> List.sort (fun (p, _) (q, _) -> Predictor.compare p q)
+    in
+    (cells, t.total_failing, t.n_obs)
+
+  let import ~cells ~total_failing ~n_obs =
+    let t = create () in
+    List.iter
+      (fun (p, (c_fail, c_succ, c_cooc)) ->
+        Hashtbl.replace t.counts p { c_fail; c_succ; c_cooc })
+      cells;
+    t.total_failing <- total_failing;
+    t.n_obs <- n_obs;
+    t
+
   (* Evidence floors for [separated]: below these the intervals are
      near-vacuous anyway, but the explicit floor keeps the very first
      reports of a diagnosis from "separating" a lone predictor before

@@ -90,6 +90,18 @@ module Acc : sig
       unchanged.  Used to combine per-worker accumulators. *)
   val merge : into:t -> t -> unit
 
+  (** The accumulator as a deterministic value, for snapshot codecs:
+      [(cells, total_failing, n_obs)] with cells sorted by
+      [Predictor.compare] — the same counts always export to the same
+      list whatever the accumulation order. *)
+  val export : t -> (Predictor.t * (int * int * int)) list * int * int
+
+  (** Rebuild an accumulator from {!export}'s output; every query on
+      the result is identical to the original. *)
+  val import :
+    cells:(Predictor.t * (int * int * int)) list ->
+    total_failing:int -> n_obs:int -> t
+
   val rank : ?beta:float -> t -> ranked list
 
   (** The sequential stopping test: [Some p] when the top-ranked

@@ -1,0 +1,133 @@
+(* Kill-and-recover campaigns over a live Service.  See chaos.mli. *)
+
+module FC = Faults.Chaos
+
+type outcome = {
+  o_done : (string * Service.completion) list;
+  o_kills : int;
+  o_torn : int;
+  o_corrupted : int;
+  o_resubmitted : int;
+  o_failed_recoveries : int;
+  o_stats : Service.stats;
+}
+
+let poison_spec ~rates ~seed (sp : Service.spec) =
+  if not (FC.poisoned rates ~seed ~name:sp.Service.sp_name) then sp
+  else
+    {
+      sp with
+      Service.sp_workload_of =
+        (fun _client -> failwith ("chaos poison: " ^ sp.Service.sp_name));
+    }
+
+let drive ?(pool = Parallel.Pool.sequential) ~rates ~seed ~resolve ~specs svc =
+  let done_ = Hashtbl.create 64 in
+  let order = ref [] in
+  let harvest svc =
+    List.iter
+      (fun (c : Service.completion) ->
+        if not (Hashtbl.mem done_ c.Service.c_name) then begin
+          Hashtbl.replace done_ c.Service.c_name c;
+          order := c.Service.c_name :: !order
+        end)
+      (Service.take_completions svc)
+  in
+  let kills = ref 0 in
+  let torn = ref 0 in
+  let corrupted = ref 0 in
+  let resubmitted = ref 0 in
+  let failed_recoveries = ref 0 in
+  (* The campaign clock the draws are keyed by.  NOT the service's
+     round counter: a torn tail rewinds the recovered service to an
+     earlier round, and a draw keyed by round number would then
+     deterministically repeat the same kill and the same tear at the
+     same round, forever.  The clock only moves forward, so every
+     re-lived round faces a fresh draw and the campaign always makes
+     progress. *)
+  let tick = ref 0 in
+  let rec loop svc =
+    if Service.step svc then begin
+      harvest svc;
+      incr tick;
+      let plan = FC.draw rates ~seed ~round:!tick in
+      if not plan.FC.p_kill then loop svc
+      else begin
+        incr kills;
+        (* The kill: this incarnation is dead; all that survives is
+           whatever prefix of the journal made it to "disk" — here,
+           possibly torn and possibly bit-rotted. *)
+        let bytes = Service.journal_bytes svc in
+        let bytes =
+          match plan.FC.p_torn with
+          | Some n ->
+            incr torn;
+            Journal.tear ~n bytes
+          | None -> bytes
+        in
+        let bytes =
+          match plan.FC.p_ckpt_corrupt with
+          | Some salt -> (
+            match Journal.corrupt_last_checkpoint ~salt bytes with
+            | Some damaged ->
+              incr corrupted;
+              damaged
+            | None -> bytes)
+          | None -> bytes
+        in
+        match Service.recover ~pool ~resolve bytes with
+        | Ok svc' ->
+          harvest svc';
+          loop svc'
+        | Error _ ->
+          (* Refused recovery (e.g. the tear ate every checkpoint in a
+             journal that was nearly empty).  The campaign carries on
+             with the still-live object — the kill just didn't take —
+             and books the refusal. *)
+          incr failed_recoveries;
+          loop svc
+      end
+    end
+    else begin
+      harvest svc;
+      (* A torn tail can silently lose journaled submissions: the
+         recovered incarnation never knew them.  Detect by absence and
+         resubmit — the same at-least-once stance the completion dedup
+         takes. *)
+      let missing =
+        List.filter
+          (fun (sp : Service.spec) ->
+            not (Hashtbl.mem done_ sp.Service.sp_name))
+          specs
+      in
+      if missing = [] then svc
+      else begin
+        List.iter
+          (fun sp ->
+            incr resubmitted;
+            let rec push () =
+              match Service.submit svc sp with
+              | Ok _ -> ()
+              | Error (Service.Busy _) ->
+                ignore (Service.step svc : bool);
+                harvest svc;
+                push ()
+            in
+            push ())
+          missing;
+        loop svc
+      end
+    end
+  in
+  let svc = loop svc in
+  harvest svc;
+  {
+    o_done =
+      List.rev_map (fun name -> (name, Hashtbl.find done_ name)) !order;
+    o_kills = !kills;
+    o_torn = !torn;
+    o_corrupted = !corrupted;
+    o_resubmitted = !resubmitted;
+    o_failed_recoveries = !failed_recoveries;
+    o_stats = Service.stats svc;
+  }

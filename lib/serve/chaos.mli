@@ -1,0 +1,46 @@
+(** The service chaos harness: drive a {!Service} to completion while
+    killing it between rounds, damaging the journal it must recover
+    from, and poisoning sessions — all decisions seeded and pure
+    ({!Faults.Chaos}), so a chaos campaign replays from its seed.
+
+    The harness is the executable statement of the crash-only claims:
+    whatever the kill schedule, every submitted bug still completes —
+    diagnosed bit-identically, or contained as a typed failure — and
+    the service object that emerges is live and balanced. *)
+
+(** What one campaign did and produced. *)
+type outcome = {
+  o_done : (string * Service.completion) list;
+      (** by bug name, first completion wins (recovery replays are
+          at-least-once; duplicates are dropped by ticket identity) *)
+  o_kills : int;
+  o_torn : int;        (** kills that also tore the journal tail *)
+  o_corrupted : int;   (** kills that also corrupted a checkpoint *)
+  o_resubmitted : int; (** submissions lost to a torn tail, re-sent *)
+  o_failed_recoveries : int;
+      (** recover refusals (campaign continued on the live object) *)
+  o_stats : Service.stats;  (** the final incarnation's ledger *)
+}
+
+(** Wrap a spec so every granted slot raises iff {!Faults.Chaos.poisoned}
+    says the session is poisoned.  Identity on unpoisoned specs. *)
+val poison_spec :
+  rates:Faults.Chaos.rates -> seed:int -> Service.spec -> Service.spec
+
+(** [drive ~rates ~seed ~resolve ~specs svc] steps [svc] to
+    completion.  After every round, {!Faults.Chaos.draw} may kill the
+    incarnation: the journal bytes are taken (optionally torn /
+    checkpoint-corrupted per the draw), a fresh service is
+    {!Service.recover}ed from them, and the campaign continues on it.
+    Completions are harvested every round and deduplicated by name;
+    submissions lost to a torn tail are detected (a name with no
+    completion once the service idles) and resubmitted.  [specs] is
+    the full submitted population; [resolve] must cover it. *)
+val drive :
+  ?pool:Parallel.Pool.t ->
+  rates:Faults.Chaos.rates ->
+  seed:int ->
+  resolve:(string -> Service.spec option) ->
+  specs:Service.spec list ->
+  Service.t ->
+  outcome

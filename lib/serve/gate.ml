@@ -13,6 +13,7 @@
 module G = Fuzz.Gen
 module C = Fuzz.Check
 module R = Fuzz.Runner
+module FC = Faults.Chaos
 
 (* What the pre-service probe decided about one case. *)
 type prep =
@@ -130,11 +131,16 @@ let run ?(jobs = 0) ?(retries = 5) ?faults ?(early_exit = false)
         cases;
       Service.drain svc;
       let by_case = Hashtbl.create (List.length cases) in
+      let by_fail = Hashtbl.create 4 in
       List.iter
         (fun (c : Service.completion) ->
-          match Hashtbl.find_opt tickets c.Service.c_id with
-          | Some i -> Hashtbl.replace by_case i c.Service.c_diagnosis
-          | None -> ())
+          match (Hashtbl.find_opt tickets c.Service.c_id, c.Service.c_result) with
+          | Some i, Ok d -> Hashtbl.replace by_case i d
+          | Some i, Error f ->
+            (* Contained session failure: booked as a crash verdict,
+               never as a missing case. *)
+            Hashtbl.replace by_fail i (Service.session_failure_to_string f)
+          | None, _ -> ())
         (Service.completions svc);
       let reports =
         List.mapi
@@ -145,10 +151,14 @@ let run ?(jobs = 0) ?(retries = 5) ?faults ?(early_exit = false)
               (match Hashtbl.find_opt by_case i with
                | Some d -> report_of_diagnosis case d
                | None ->
-                 (* Unreachable after [drain]: every submission was
-                    admitted (the push loop retries Busy) and every
-                    admitted session completes. *)
-                 report_of_verdict case (C.Crash "session never completed")))
+                 (match Hashtbl.find_opt by_fail i with
+                  | Some detail -> report_of_verdict case (C.Crash detail)
+                  | None ->
+                    (* Unreachable after [drain]: every submission was
+                       admitted (the push loop retries Busy) and every
+                       admitted session completes — diagnosed or as a
+                       typed failure. *)
+                    report_of_verdict case (C.Crash "session never completed"))))
           cases
       in
       ( {
@@ -159,3 +169,125 @@ let run ?(jobs = 0) ?(retries = 5) ?faults ?(early_exit = false)
           r_faults = faults;
         },
         Service.stats svc ))
+
+type chaos_summary = {
+  cs_kills : int;
+  cs_torn : int;
+  cs_corrupted : int;
+  cs_resubmitted : int;
+  cs_failed_recoveries : int;
+  cs_poisoned : int;
+  cs_contained : int;
+  cs_divergences : int;
+}
+
+let run_chaos ?(jobs = 0) ?(retries = 5) ?faults ?(early_exit = false)
+    ?(sconfig = Service.default) ~rates ~seed ~count () =
+  let cases =
+    List.map
+      (fun case ->
+        match faults with
+        | None -> case
+        | Some _ -> { case with G.c_faults = faults })
+      (R.cases ~retries ~seed ~count ())
+  in
+  Parallel.Pool.with_pool ~jobs (fun pool ->
+      let preps =
+        Parallel.Pool.map_array pool prep_case (Array.of_list cases)
+      in
+      (* Every diagnosable case's spec, poison applied up front — the
+         resolver must hand recovery the poisoned spec, or a replayed
+         session would not strike like the original did. *)
+      let specs = Hashtbl.create (List.length cases) in
+      List.iteri
+        (fun i case ->
+          match preps.(i) with
+          | Verdict _ -> ()
+          | Diagnose failure ->
+            let sp =
+              Chaos.poison_spec ~rates ~seed
+                (spec_of ~early_exit case failure)
+            in
+            Hashtbl.replace specs case.G.c_name (i, sp))
+        cases;
+      let resolve name =
+        Option.map snd (Hashtbl.find_opt specs name)
+      in
+      let spec_list =
+        List.filter_map
+          (fun case ->
+            Option.map snd (Hashtbl.find_opt specs case.G.c_name))
+          cases
+      in
+      let svc = Service.create ~sconfig ~pool () in
+      List.iter
+        (fun sp ->
+          let rec push () =
+            match Service.submit svc sp with
+            | Ok _ -> ()
+            | Error (Service.Busy _) ->
+              ignore (Service.step svc : bool);
+              push ()
+          in
+          push ())
+        spec_list;
+      let oc =
+        Chaos.drive ~pool ~rates ~seed ~resolve ~specs:spec_list svc
+      in
+      let by_name = Hashtbl.create (List.length oc.Chaos.o_done) in
+      List.iter
+        (fun (name, c) -> Hashtbl.replace by_name name c)
+        oc.Chaos.o_done;
+      let poisoned = ref 0 in
+      let contained = ref 0 in
+      let reports =
+        List.concat
+          (List.mapi
+             (fun i case ->
+               match preps.(i) with
+               | Verdict v -> [ report_of_verdict case v ]
+               | Diagnose _ ->
+                 let name = case.G.c_name in
+                 let completion = Hashtbl.find_opt by_name name in
+                 if FC.poisoned rates ~seed ~name then begin
+                   incr poisoned;
+                   (match completion with
+                    | Some { Service.c_result = Error _; _ } ->
+                      incr contained
+                    | Some _ | None -> ());
+                   (* Destroyed by design: containment is the check,
+                      not accuracy — keep it out of the statistics. *)
+                   []
+                 end
+                 else
+                   [
+                     (match completion with
+                      | Some { Service.c_result = Ok d; _ } ->
+                        report_of_diagnosis case d
+                      | Some { Service.c_result = Error f; _ } ->
+                        report_of_verdict case
+                          (C.Crash (Service.session_failure_to_string f))
+                      | None ->
+                        report_of_verdict case
+                          (C.Crash "session never completed"));
+                   ])
+             cases)
+      in
+      ( {
+          R.r_seed = seed;
+          r_count = count;
+          r_cases = reports;
+          r_stats = stats_of reports;
+          r_faults = faults;
+        },
+        oc.Chaos.o_stats,
+        {
+          cs_kills = oc.Chaos.o_kills;
+          cs_torn = oc.Chaos.o_torn;
+          cs_corrupted = oc.Chaos.o_corrupted;
+          cs_resubmitted = oc.Chaos.o_resubmitted;
+          cs_failed_recoveries = oc.Chaos.o_failed_recoveries;
+          cs_poisoned = !poisoned;
+          cs_contained = !contained;
+          cs_divergences = oc.Chaos.o_stats.Service.st_divergences;
+        } ))

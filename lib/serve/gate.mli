@@ -21,3 +21,38 @@ val run :
   count:int ->
   unit ->
   Fuzz.Runner.report * Service.stats
+
+(** What the chaos campaign did on top of the fuzz verdicts. *)
+type chaos_summary = {
+  cs_kills : int;
+  cs_torn : int;
+  cs_corrupted : int;
+  cs_resubmitted : int;
+  cs_failed_recoveries : int;
+  cs_poisoned : int;    (** sessions {!Faults.Chaos.poisoned} *)
+  cs_contained : int;   (** poisoned sessions that completed as typed
+                            failures — must equal [cs_poisoned] *)
+  cs_divergences : int; (** recovery audit mismatches, final ledger *)
+}
+
+(** {!run} under service faults: the same campaign driven by
+    {!Chaos.drive} — seeded kills between rounds, torn journal tails
+    and corrupted checkpoints ahead of recovery, poisoned sessions.
+
+    Poisoned cases are excluded from the report's accuracy statistics
+    (their diagnosis is destroyed by design; what the gate checks is
+    containment, via [cs_contained]); every other case must come back
+    with the same verdict as the unkilled service — recovery is
+    byte-identical — so the worst-pattern accuracy bar carries over
+    unchanged. *)
+val run_chaos :
+  ?jobs:int ->
+  ?retries:int ->
+  ?faults:Faults.Fault.rates * int ->
+  ?early_exit:bool ->
+  ?sconfig:Service.sconfig ->
+  rates:Faults.Chaos.rates ->
+  seed:int ->
+  count:int ->
+  unit ->
+  Fuzz.Runner.report * Service.stats * chaos_summary

@@ -1,13 +1,18 @@
 (* Diagnosis as a service: a deterministic scheduler multiplexing many
    {!Gist.Server.Session} state machines over one shared pool.
 
-   One scheduler round: admit queued submissions up to the in-flight
-   cap, walk the active ring granting each session up to [quantum]
-   fleet slots (never more than [round_budget] across the round), run
-   every granted thunk in ONE parallel batch over the shared pool,
-   deliver each session its outcome segment in ring order, finalize
-   whatever finished, then move the sessions just served to the back
-   of the ring so budget exhaustion cannot starve the tail.
+   One scheduler round: evict sessions past their deadline, admit
+   queued submissions up to the in-flight cap, walk the active ring
+   granting each session up to [quantum] fleet slots (never more than
+   [round_budget] across the round), run every granted thunk in ONE
+   parallel batch over the shared pool — each thunk wrapped so a raise
+   becomes a value, not a service crash — deliver each session its
+   outcome segment in ring order (substituting deterministic crash
+   outcomes for raising slots, striking the session, quarantining it
+   at the strike limit), finalize whatever finished, journal the
+   round's audit digest, maybe checkpoint, then move the sessions just
+   served to the back of the ring so budget exhaustion cannot starve
+   the tail.
 
    Determinism: admission order is submission order; grant order is
    ring order; the single [Pool.map_array] per round returns outcomes
@@ -15,10 +20,21 @@
    own outcome fold is in its own slot order regardless of what the
    scheduler interleaves between grants, every diagnosis the service
    produces is bit-identical (all fields but host time) to the same
-   spec run through the one-shot [Gist.Server.diagnose]. *)
+   spec run through the one-shot [Gist.Server.diagnose].
+
+   Crash-only lifecycle: the journal records exactly the decisions
+   that cannot be re-derived — admissions (accepted and rejected, so
+   ticket ids replay exactly), per-round audit digests, completion
+   digests — plus periodic full-state checkpoints.  [recover] =
+   restore the newest intact checkpoint, then re-run the journaled
+   tail through the very same [submit]/[step] code, auditing replayed
+   digests against journaled ones.  Everything a round does is a pure
+   function of service state, so replay converges on the
+   uninterrupted run byte for byte. *)
 
 module Server = Gist.Server
 module Session = Gist.Server.Session
+module W = Hw.Wirebuf
 
 type spec = {
   sp_name : string;
@@ -36,31 +52,99 @@ type sconfig = {
   max_queue : int;
   quantum : int;
   round_budget : int;
+  checkpoint_every_rounds : int;
+  session_deadline_rounds : int;
+  max_session_strikes : int;
 }
 
-let default = { max_inflight = 16; max_queue = 64; quantum = 8; round_budget = 64 }
+let default =
+  {
+    max_inflight = 16;
+    max_queue = 64;
+    quantum = 8;
+    round_budget = 64;
+    checkpoint_every_rounds = 8;
+    session_deadline_rounds = 0;
+    max_session_strikes = 3;
+  }
 
-let check_sconfig c =
-  if c.max_inflight <= 0 then invalid_arg "Service: max_inflight must be > 0";
-  if c.max_queue < 0 then invalid_arg "Service: max_queue must be >= 0";
-  if c.quantum <= 0 then invalid_arg "Service: quantum must be > 0";
-  if c.round_budget < c.quantum then
-    invalid_arg "Service: round_budget must be >= quantum";
-  c
+type cerror =
+  | Bad_inflight of int
+  | Bad_queue of int
+  | Bad_quantum of int
+  | Bad_budget of { budget : int; quantum : int }
+  | Bad_checkpoint_every of int
+  | Bad_deadline of int
+  | Bad_strikes of int
 
-type sreject = Busy of { inflight : int; queued : int }
+let cerror_to_string = function
+  | Bad_inflight n ->
+    Printf.sprintf "Service: max_inflight must be > 0 (got %d)" n
+  | Bad_queue n -> Printf.sprintf "Service: max_queue must be >= 0 (got %d)" n
+  | Bad_quantum n -> Printf.sprintf "Service: quantum must be > 0 (got %d)" n
+  | Bad_budget { budget; quantum } ->
+    Printf.sprintf "Service: round_budget (%d) must be >= quantum (%d)" budget
+      quantum
+  | Bad_checkpoint_every n ->
+    Printf.sprintf
+      "Service: checkpoint_every_rounds must be >= 0 (got %d; 0 disables the \
+       cadence)"
+      n
+  | Bad_deadline n ->
+    Printf.sprintf
+      "Service: session_deadline_rounds must be >= 0 (got %d; 0 disables \
+       eviction)"
+      n
+  | Bad_strikes n ->
+    Printf.sprintf "Service: max_session_strikes must be > 0 (got %d)" n
+
+let validate c =
+  if c.max_inflight <= 0 then Error (Bad_inflight c.max_inflight)
+  else if c.max_queue < 0 then Error (Bad_queue c.max_queue)
+  else if c.quantum <= 0 then Error (Bad_quantum c.quantum)
+  else if c.round_budget < c.quantum then
+    Error (Bad_budget { budget = c.round_budget; quantum = c.quantum })
+  else if c.checkpoint_every_rounds < 0 then
+    Error (Bad_checkpoint_every c.checkpoint_every_rounds)
+  else if c.session_deadline_rounds < 0 then
+    Error (Bad_deadline c.session_deadline_rounds)
+  else if c.max_session_strikes <= 0 then
+    Error (Bad_strikes c.max_session_strikes)
+  else Ok c
+
+type sreject =
+  | Busy of { inflight : int; queued : int; retry_after_rounds : int }
 
 let sreject_label (Busy _) = "busy"
 
-let sreject_to_string (Busy { inflight; queued }) =
+let sreject_to_string (Busy { inflight; queued; retry_after_rounds }) =
   Printf.sprintf
-    "service saturated: %d sessions in flight, %d queued for admission"
-    inflight queued
+    "service saturated: %d sessions in flight, %d queued for admission; \
+     retry after %d rounds"
+    inflight queued retry_after_rounds
+
+type failure_reason = Crashed | Quarantined | Timed_out
+
+let failure_reason_label = function
+  | Crashed -> "crashed"
+  | Quarantined -> "quarantined"
+  | Timed_out -> "timed-out"
+
+type session_failure = {
+  sf_reason : failure_reason;
+  sf_detail : string;
+  sf_strikes : int;
+}
+
+let session_failure_to_string f =
+  Printf.sprintf "%s (%d strikes): %s"
+    (failure_reason_label f.sf_reason)
+    f.sf_strikes f.sf_detail
 
 type completion = {
   c_id : int;
   c_name : string;
-  c_diagnosis : Server.diagnosis;
+  c_result : (Server.diagnosis, session_failure) result;
   c_admitted_round : int;
   c_completed_round : int;
   c_slots : int;
@@ -72,10 +156,13 @@ type stats = {
   st_admitted : int;
   st_rejected : int;
   st_completed : int;
+  st_failed : int;
   st_rounds : int;
   st_slots : int;
   st_peak_inflight : int;
   st_max_wait_rounds : int;
+  st_checkpoints : int;
+  st_divergences : int;
 }
 
 (* One admitted session and its scheduling ledger. *)
@@ -87,83 +174,259 @@ type active = {
   a_t0 : float;
   mutable a_last_served : int;
   mutable a_slots : int;
+  mutable a_strikes : int;
 }
 
 type t = {
   cfg : sconfig;
   pool : Parallel.Pool.t;
+  journal : Journal.t option;
   queue : (int * spec) Queue.t;
   mutable active : active list; (* ring order; admission appends *)
   mutable completions : completion list; (* newest first *)
+  mutable draining : bool;
+  (* ticket id -> journaled completion digest, populated by recovery
+     replay and consumed (audited) as the replay re-completes them *)
+  expected : (int, int) Hashtbl.t;
   mutable submitted : int;
   mutable admitted : int;
   mutable rejected : int;
   mutable completed : int;
+  mutable failed : int;
   mutable rounds : int;
   mutable slots : int;
   mutable peak_inflight : int;
   mutable max_wait : int;
+  mutable checkpoints : int;
+  mutable divergences : int;
+  mutable last_round_digest : int;
+  (* a cadence checkpoint was skipped because completions were waiting
+     to be harvested; written at the next harvest instead *)
+  mutable ckpt_due : bool;
 }
-
-let create ?(sconfig = default) ?(pool = Parallel.Pool.sequential) () =
-  {
-    cfg = check_sconfig sconfig;
-    pool;
-    queue = Queue.create ();
-    active = [];
-    completions = [];
-    submitted = 0;
-    admitted = 0;
-    rejected = 0;
-    completed = 0;
-    rounds = 0;
-    slots = 0;
-    peak_inflight = 0;
-    max_wait = 0;
-  }
 
 let inflight t = List.length t.active
 let queued t = Queue.length t.queue
 
+let jrnl t r =
+  match t.journal with None -> () | Some j -> Journal.append j r
+
+(* ------------------------------------------------------------------ *)
+(* Audit digests.  Host-time fields are excluded on principle: they
+   are the one part of a diagnosis recovery does not reproduce. *)
+
+let mix = Faults.Fault.mix
+
+let diagnosis_digest (d : Server.diagnosis) =
+  let ds = mix 0x6A09 (Hashtbl.hash (Fsketch.Render.render d.sketch)) in
+  let ds = mix ds d.iterations in
+  let ds = mix ds d.recurrences in
+  let ds = mix ds d.total_runs in
+  let ds = mix ds d.final_sigma in
+  let ds = List.fold_left mix ds d.tracked in
+  let ds =
+    List.fold_left (fun acc it -> mix acc (Hashtbl.hash it)) ds d.trace
+  in
+  mix ds (Hashtbl.hash d.fleet)
+
+let result_digest = function
+  | Ok d -> diagnosis_digest d
+  | Error f ->
+    let tag =
+      match f.sf_reason with
+      | Crashed -> 101
+      | Quarantined -> 102
+      | Timed_out -> 103
+    in
+    mix tag (mix f.sf_strikes (Hashtbl.hash f.sf_detail))
+
+(* ------------------------------------------------------------------ *)
+(* Checkpoint codec: the whole service, sessions as
+   [Session.snapshot] bytes, queued and active specs by name (specs
+   hold closures; recovery re-resolves them). *)
+
+let state_version = 1
+
+let encode_state t =
+  let b = Buffer.create 4096 in
+  W.put_uint b state_version;
+  W.put_uint b t.cfg.max_inflight;
+  W.put_uint b t.cfg.max_queue;
+  W.put_uint b t.cfg.quantum;
+  W.put_uint b t.cfg.round_budget;
+  W.put_uint b t.cfg.checkpoint_every_rounds;
+  W.put_uint b t.cfg.session_deadline_rounds;
+  W.put_uint b t.cfg.max_session_strikes;
+  W.put_uint b t.submitted;
+  W.put_uint b t.admitted;
+  W.put_uint b t.rejected;
+  W.put_uint b t.completed;
+  W.put_uint b t.failed;
+  W.put_uint b t.rounds;
+  W.put_uint b t.slots;
+  W.put_uint b t.peak_inflight;
+  W.put_uint b t.max_wait;
+  W.put_uint b t.divergences;
+  W.put_bool b t.draining;
+  W.put_uint b (Queue.length t.queue);
+  Queue.iter
+    (fun (id, sp) ->
+      W.put_uint b id;
+      W.put_string b sp.sp_name)
+    t.queue;
+  W.put_uint b (List.length t.active);
+  List.iter
+    (fun a ->
+      W.put_uint b a.a_id;
+      W.put_string b a.a_name;
+      W.put_uint b a.a_admitted_round;
+      W.put_uint b a.a_last_served;
+      W.put_uint b a.a_slots;
+      W.put_uint b a.a_strikes;
+      W.put_string b (Session.snapshot a.a_session))
+    t.active;
+  Buffer.contents b
+
+(* ------------------------------------------------------------------ *)
+
+let do_checkpoint t =
+  match t.journal with
+  | None -> false
+  | Some j ->
+    if t.completions <> [] then false
+    else begin
+      t.checkpoints <- t.checkpoints + 1;
+      Journal.append j
+        (Journal.Checkpoint { round = t.rounds; state = encode_state t });
+      (* The journal lives in memory for the service's whole life:
+         without compaction the dead prefix grows without bound (the
+         PR8 soak's flat-heap gate is what catches this). *)
+      Journal.compact j;
+      true
+    end
+
+let create ?(sconfig = default) ?(journal = true) ?(pool = Parallel.Pool.sequential)
+    () =
+  let cfg =
+    match validate sconfig with
+    | Ok c -> c
+    | Error e -> invalid_arg (cerror_to_string e)
+  in
+  let t =
+    {
+      cfg;
+      pool;
+      journal = (if journal then Some (Journal.create ()) else None);
+      queue = Queue.create ();
+      active = [];
+      completions = [];
+      draining = false;
+      expected = Hashtbl.create 16;
+      submitted = 0;
+      admitted = 0;
+      rejected = 0;
+      completed = 0;
+      failed = 0;
+      rounds = 0;
+      slots = 0;
+      peak_inflight = 0;
+      max_wait = 0;
+      checkpoints = 0;
+      divergences = 0;
+      last_round_digest = 0;
+      ckpt_due = false;
+    }
+  in
+  (* The initial checkpoint: an untorn journal always has something to
+     restart from. *)
+  ignore (do_checkpoint t);
+  t
+
+(* Deterministic backpressure hint: rounds to chew through the backlog
+   at the configured budget rate — the earliest step count at which a
+   retry can plausibly be admitted. *)
+let retry_hint cfg ~queued =
+  max 1 (((queued * cfg.quantum) + cfg.round_budget - 1) / cfg.round_budget)
+
 (* Admission control: a submission is either ticketed into the queue
    or refused with a typed [Busy] — backpressure the caller can act
    on (retry after [step]) instead of unbounded buffering.  Every
-   submission, accepted or not, is booked, so the ledger always
-   balances: submitted = completed + rejected + queued + in-flight. *)
+   submission, accepted or not, is booked and journaled, so the
+   ledger always balances — and replays exactly:
+   submitted = completed + rejected + queued + in-flight. *)
 let submit t spec =
   t.submitted <- t.submitted + 1;
-  if Queue.length t.queue >= t.cfg.max_queue && t.cfg.max_queue > 0 then begin
+  let refuse () =
     t.rejected <- t.rejected + 1;
-    Error (Busy { inflight = inflight t; queued = queued t })
-  end
-  else if t.cfg.max_queue = 0 && inflight t >= t.cfg.max_inflight then begin
+    jrnl t
+      (Journal.Submitted
+         { id = t.submitted; name = spec.sp_name; rejected = true });
+    Error
+      (Busy
+         {
+           inflight = inflight t;
+           queued = queued t;
+           retry_after_rounds = retry_hint t.cfg ~queued:(queued t);
+         })
+  in
+  if t.draining then refuse ()
+  else if Queue.length t.queue >= t.cfg.max_queue && t.cfg.max_queue > 0 then
+    refuse ()
+  else if t.cfg.max_queue = 0 && inflight t >= t.cfg.max_inflight then
     (* No queue at all: admission happens next [step]; refuse once the
        in-flight cap alone is saturated. *)
-    t.rejected <- t.rejected + 1;
-    Error (Busy { inflight = inflight t; queued = queued t })
-  end
+    refuse ()
   else begin
     let id = t.submitted in
     Queue.add (id, spec) t.queue;
+    jrnl t (Journal.Submitted { id; name = spec.sp_name; rejected = false });
     Ok id
   end
+
+(* Book one session's exit — diagnosis or typed failure — into the
+   completion list, the ledger and the journal, auditing against any
+   digest the recovery replay expects for this ticket. *)
+let complete t round a result =
+  let digest = result_digest result in
+  (match Hashtbl.find_opt t.expected a.a_id with
+   | Some d ->
+     Hashtbl.remove t.expected a.a_id;
+     if d <> digest then t.divergences <- t.divergences + 1
+   | None -> ());
+  jrnl t (Journal.Completed { id = a.a_id; digest });
+  t.completions <-
+    {
+      c_id = a.a_id;
+      c_name = a.a_name;
+      c_result = result;
+      c_admitted_round = a.a_admitted_round;
+      c_completed_round = round;
+      c_slots = a.a_slots;
+      c_wall_s = Unix.gettimeofday () -. a.a_t0;
+    }
+    :: t.completions;
+  t.completed <- t.completed + 1;
+  match result with
+  | Error _ -> t.failed <- t.failed + 1
+  | Ok _ -> ()
+
+let fail t round a reason detail =
+  complete t round a
+    (Error { sf_reason = reason; sf_detail = detail; sf_strikes = a.a_strikes })
 
 let finalize t round a =
   match Session.need a.a_session with
   | Session.Slots _ -> true
-  | Session.Finished ->
-    t.completions <-
-      {
-        c_id = a.a_id;
-        c_name = a.a_name;
-        c_diagnosis = Session.result a.a_session;
-        c_admitted_round = a.a_admitted_round;
-        c_completed_round = round;
-        c_slots = a.a_slots;
-        c_wall_s = Unix.gettimeofday () -. a.a_t0;
-      }
-      :: t.completions;
-    t.completed <- t.completed + 1;
+  | Session.Finished -> (
+    match Session.result a.a_session with
+    | d ->
+      complete t round a (Ok d);
+      false
+    | exception e ->
+      fail t round a Crashed (Printexc.to_string e);
+      false)
+  | exception e ->
+    fail t round a Crashed (Printexc.to_string e);
     false
 
 let step t =
@@ -171,6 +434,22 @@ let step t =
   else begin
     t.rounds <- t.rounds + 1;
     let round = t.rounds in
+    (* 0. Deadline eviction: a session that cannot converge must not
+       hold an in-flight slot forever. *)
+    if t.cfg.session_deadline_rounds > 0 then begin
+      let expired, alive =
+        List.partition
+          (fun a -> round - a.a_admitted_round >= t.cfg.session_deadline_rounds)
+          t.active
+      in
+      List.iter
+        (fun a ->
+          fail t round a Timed_out
+            (Printf.sprintf "no diagnosis %d rounds after admission"
+               t.cfg.session_deadline_rounds))
+        expired;
+      t.active <- alive
+    end;
     (* 1. Admission, in submission order.  The session's offline phase
        (slice, instrumentation cache) runs here, once, at admission. *)
     while inflight t < t.cfg.max_inflight && not (Queue.is_empty t.queue) do
@@ -193,12 +472,15 @@ let step t =
               a_t0 = Unix.gettimeofday ();
               a_last_served = round - 1;
               a_slots = 0;
+              a_strikes = 0;
             };
           ]
     done;
     t.peak_inflight <- max t.peak_inflight (inflight t);
     (* 2. Grant: walk the ring, [quantum] slots per session, stopping
-       when the round budget is spent. *)
+       when the round budget is spent.  Each thunk is wrapped so a
+       raise comes back as a value — containment happens at delivery,
+       deterministically, not wherever the pool happened to run it. *)
     let budget = ref t.cfg.round_budget in
     let grants =
       List.filter_map
@@ -216,26 +498,98 @@ let step t =
                 t.max_wait <- max t.max_wait (round - a.a_last_served - 1);
                 a.a_last_served <- round;
                 Some (a, thunks)
-              end)
+              end
+            | exception e -> Some (a, [| (fun () -> raise e) |]))
         t.active
+    in
+    let wrapped =
+      Array.concat
+        (List.map
+           (fun (_, thunks) ->
+             Array.map
+               (fun th () ->
+                 match th () with
+                 | o -> Ok o
+                 | exception e -> Error (Printexc.to_string e))
+               thunks)
+           grants)
     in
     (* 3. One parallel batch per round over the shared pool: outcomes
        come back in submission order at any job count. *)
-    let all = Array.concat (List.map snd grants) in
-    let outs = Parallel.Pool.map_array t.pool (fun th -> th ()) all in
-    (* 4. Deliver each session its segment, in ring (= grant) order. *)
+    let outs = Parallel.Pool.map_array t.pool (fun th -> th ()) wrapped in
+    (* 4. Deliver each session its segment, in ring (= grant) order.
+       A raising slot strikes the session and degrades into a
+       deterministic crash outcome; at the strike limit the session is
+       quarantined — a typed failure, never a service crash. *)
+    let dead = Hashtbl.create 4 in
     let off = ref 0 in
     List.iter
       (fun (a, thunks) ->
         let n = Array.length thunks in
-        Session.deliver a.a_session (Array.sub outs !off n);
+        let seg = Array.sub outs !off n in
         off := !off + n;
         a.a_slots <- a.a_slots + n;
-        t.slots <- t.slots + n)
+        t.slots <- t.slots + n;
+        let first_err =
+          Array.fold_left
+            (fun acc o ->
+              match (acc, o) with
+              | None, Error e -> Some e
+              | acc, _ -> acc)
+            None seg
+        in
+        let deliver outcomes =
+          try Session.deliver a.a_session outcomes
+          with e ->
+            fail t round a Crashed (Printexc.to_string e);
+            Hashtbl.replace dead a.a_id ()
+        in
+        match first_err with
+        | None ->
+          deliver
+            (Array.map
+               (function Ok o -> o | Error _ -> assert false)
+               seg)
+        | Some err ->
+          a.a_strikes <- a.a_strikes + 1;
+          if a.a_strikes >= t.cfg.max_session_strikes then begin
+            fail t round a Quarantined err;
+            Hashtbl.replace dead a.a_id ()
+          end
+          else
+            deliver
+              (Array.map
+                 (function
+                   | Ok o -> o
+                   | Error _ -> Session.crashed_outcome a.a_session)
+                 seg))
       grants;
     (* 5. Finalize finished sessions, freeing in-flight capacity. *)
-    t.active <- List.filter (finalize t round) t.active;
-    (* 6. Re-ring: sessions served this round go to the back, the rest
+    t.active <-
+      List.filter
+        (fun a -> (not (Hashtbl.mem dead a.a_id)) && finalize t round a)
+        t.active;
+    (* 6. Journal the round: the digest folds what was served and every
+       surviving session's accepted-report audit — the recovery replay
+       recomputes exactly this and compares. *)
+    let digest =
+      let d =
+        List.fold_left
+          (fun acc (a, thunks) -> mix (mix acc a.a_id) (Array.length thunks))
+          round grants
+      in
+      List.fold_left (fun acc a -> mix acc (Session.audit a.a_session)) d t.active
+    in
+    t.last_round_digest <- digest;
+    jrnl t (Journal.Round { round; digest });
+    (* 7. Checkpoint on cadence — only when no completion is waiting to
+       be harvested, so nothing the caller has not seen can be
+       checkpointed away. *)
+    if
+      t.cfg.checkpoint_every_rounds > 0
+      && round mod t.cfg.checkpoint_every_rounds = 0
+    then if not (do_checkpoint t) then t.ckpt_due <- true;
+    (* 8. Re-ring: sessions served this round go to the back, the rest
        keep their order at the front.  (Blindly rotating the head is
        not enough: when the served head finishes and is removed, the
        next — unserved — session would be the one rotated to the back,
@@ -260,6 +614,11 @@ let completions t = List.rev t.completions
 let take_completions t =
   let cs = List.rev t.completions in
   t.completions <- [];
+  (* The cadence checkpoint that was blocked on these completions. *)
+  if t.ckpt_due then begin
+    t.ckpt_due <- false;
+    ignore (do_checkpoint t)
+  end;
   cs
 
 let stats t =
@@ -268,8 +627,265 @@ let stats t =
     st_admitted = t.admitted;
     st_rejected = t.rejected;
     st_completed = t.completed;
+    st_failed = t.failed;
     st_rounds = t.rounds;
     st_slots = t.slots;
     st_peak_inflight = t.peak_inflight;
     st_max_wait_rounds = t.max_wait;
+    st_checkpoints = t.checkpoints;
+    st_divergences = t.divergences;
   }
+
+(* ------------------------------------------------------------------ *)
+(* Introspection *)
+
+type session_view = {
+  v_id : int;
+  v_name : string;
+  v_admitted_round : int;
+  v_rounds_waiting : int;
+  v_slots : int;
+  v_strikes : int;
+  v_progress : Session.progress;
+}
+
+let status t =
+  List.map
+    (fun a ->
+      {
+        v_id = a.a_id;
+        v_name = a.a_name;
+        v_admitted_round = a.a_admitted_round;
+        v_rounds_waiting = max 0 (t.rounds - a.a_last_served);
+        v_slots = a.a_slots;
+        v_strikes = a.a_strikes;
+        v_progress = Session.progress a.a_session;
+      })
+    t.active
+
+(* ------------------------------------------------------------------ *)
+(* Crash-only lifecycle *)
+
+let journal_bytes t =
+  match t.journal with None -> "" | Some j -> Journal.contents j
+
+let checkpoint t = do_checkpoint t
+
+let request_drain t = t.draining <- true
+
+let shutdown t =
+  request_drain t;
+  drain t;
+  let cs = take_completions t in
+  ignore (do_checkpoint t);
+  cs
+
+type rerror =
+  | No_checkpoint
+  | Unresolved_spec of string
+  | Bad_session of { name : string; detail : string }
+
+let rerror_to_string = function
+  | No_checkpoint -> "recover: no intact checkpoint in the journal"
+  | Unresolved_spec name ->
+    Printf.sprintf "recover: no spec resolves bug %S" name
+  | Bad_session { name; detail } ->
+    Printf.sprintf "recover: session %S refused its snapshot: %s" name detail
+
+exception Recover_failed of rerror
+
+(* Rebuild a service value from one checkpoint's state bytes.  Raises
+   [W.Short] on a state this build cannot decode (the caller falls
+   back to an older checkpoint) and [Recover_failed] on resolver or
+   snapshot refusals (hard errors: no older checkpoint can fix a
+   missing spec). *)
+let decode_state ~pool ~resolve state =
+  let r = W.reader state in
+  if W.get_uint r <> state_version then raise W.Short;
+  let max_inflight = W.get_uint r in
+  let max_queue = W.get_uint r in
+  let quantum = W.get_uint r in
+  let round_budget = W.get_uint r in
+  let checkpoint_every_rounds = W.get_uint r in
+  let session_deadline_rounds = W.get_uint r in
+  let max_session_strikes = W.get_uint r in
+  let cfg =
+    {
+      max_inflight;
+      max_queue;
+      quantum;
+      round_budget;
+      checkpoint_every_rounds;
+      session_deadline_rounds;
+      max_session_strikes;
+    }
+  in
+  let submitted = W.get_uint r in
+  let admitted = W.get_uint r in
+  let rejected = W.get_uint r in
+  let completed = W.get_uint r in
+  let failed = W.get_uint r in
+  let rounds = W.get_uint r in
+  let slots = W.get_uint r in
+  let peak_inflight = W.get_uint r in
+  let max_wait = W.get_uint r in
+  let divergences = W.get_uint r in
+  let draining = W.get_bool r in
+  let resolve_exn name =
+    match resolve name with
+    | Some sp -> sp
+    | None -> raise (Recover_failed (Unresolved_spec name))
+  in
+  let queue = Queue.create () in
+  let nq = W.get_uint r in
+  for _ = 1 to nq do
+    let id = W.get_uint r in
+    let name = W.get_string r in
+    Queue.add (id, resolve_exn name) queue
+  done;
+  let na = W.get_uint r in
+  let active = ref [] in
+  for _ = 1 to na do
+    let a_id = W.get_uint r in
+    let a_name = W.get_string r in
+    let a_admitted_round = W.get_uint r in
+    let a_last_served = W.get_uint r in
+    let a_slots = W.get_uint r in
+    let a_strikes = W.get_uint r in
+    let snap = W.get_string r in
+    let sp = resolve_exn a_name in
+    let session =
+      match
+        Session.restore ~config:sp.sp_config ~ingest:sp.sp_ingest
+          ?oracle:sp.sp_oracle ~bug_name:sp.sp_name
+          ~failure_type:sp.sp_failure_type ~program:sp.sp_program
+          ~workload_of:sp.sp_workload_of ~failure:sp.sp_failure snap
+      with
+      | Ok s -> s
+      | Error e ->
+        raise
+          (Recover_failed
+             (Bad_session
+                {
+                  name = a_name;
+                  detail = Session.snapshot_error_to_string e;
+                }))
+    in
+    active :=
+      {
+        a_id;
+        a_name;
+        a_session = session;
+        a_admitted_round;
+        a_t0 = Unix.gettimeofday ();
+        a_last_served;
+        a_slots;
+        a_strikes;
+      }
+      :: !active
+  done;
+  if not (W.eof r) then raise W.Short;
+  let t =
+    {
+      cfg;
+      pool;
+      journal = Some (Journal.create ());
+      queue;
+      active = List.rev !active;
+      completions = [];
+      draining;
+      expected = Hashtbl.create 16;
+      submitted;
+      admitted;
+      rejected;
+      completed;
+      failed;
+      rounds;
+      slots;
+      peak_inflight;
+      max_wait;
+      checkpoints = 0;
+      divergences;
+      last_round_digest = 0;
+      ckpt_due = false;
+    }
+  in
+  (* Seed the fresh journal so a second crash recovers the same way. *)
+  ignore (do_checkpoint t);
+  t
+
+let recover ?(pool = Parallel.Pool.sequential) ~resolve bytes =
+  let entries = Journal.load bytes in
+  (* Newest intact checkpoint wins; a damaged one is skipped by
+     construction (it loads as [Damaged], not [Checkpoint]), falling
+     back to an older one — ultimately the initial checkpoint
+     [create] wrote. *)
+  let candidates =
+    (* (index, state) of every intact checkpoint, newest first. *)
+    List.rev
+      (List.mapi (fun i e -> (i, e)) entries
+      |> List.filter_map (function
+           | i, Journal.Rec (Journal.Checkpoint { state; _ }) -> Some (i, state)
+           | _ -> None))
+  in
+  let rec restart = function
+    | [] -> Error No_checkpoint
+    | (idx, state) :: older -> (
+      match decode_state ~pool ~resolve state with
+      | t -> Ok (idx, t)
+      | exception W.Short -> restart older
+      | exception Recover_failed e -> Error e)
+  in
+  match restart candidates with
+  | Error e -> Error e
+  | Ok (idx, t) ->
+    (* Replay the journaled tail through the real submit/step code.
+       [Completed] records precede their round's [Round] record, so
+       expectations are always in the table before the replayed round
+       re-completes the ticket. *)
+    let tail = List.filteri (fun i _ -> i > idx) entries in
+    let replay entry =
+        match entry with
+        | Journal.Rec (Journal.Submitted { id; name; rejected }) ->
+          if rejected then begin
+            (* The spec is not needed to replay a refusal — only the
+               counters (and the journal record) matter. *)
+            t.submitted <- t.submitted + 1;
+            t.rejected <- t.rejected + 1;
+            jrnl t (Journal.Submitted { id = t.submitted; name; rejected = true });
+            if t.submitted <> id then t.divergences <- t.divergences + 1
+          end
+          else begin
+            let sp =
+              match resolve name with
+              | Some sp -> sp
+              | None -> raise (Recover_failed (Unresolved_spec name))
+            in
+            (* Draining refuses submissions; the original journal can
+               only hold an accepted record from before the drain, so
+               lift the flag for the replayed call. *)
+            let was_draining = t.draining in
+            t.draining <- false;
+            (match submit t sp with
+             | Ok id' -> if id' <> id then t.divergences <- t.divergences + 1
+             | Error _ -> t.divergences <- t.divergences + 1);
+            t.draining <- was_draining
+          end
+        | Journal.Rec (Journal.Completed { id; digest }) ->
+          Hashtbl.replace t.expected id digest
+        | Journal.Rec (Journal.Round { round; digest }) ->
+          ignore (step t : bool);
+          if t.rounds <> round || t.last_round_digest <> digest then
+            t.divergences <- t.divergences + 1
+        | Journal.Rec (Journal.Checkpoint _) ->
+          (* The replay writes its own checkpoints on its own cadence. *)
+          ()
+        | Journal.Damaged _ ->
+          (* Framing survived, content did not: whatever decision the
+             record held is lost to the replay.  Book the divergence
+             rather than guess. *)
+          t.divergences <- t.divergences + 1
+    in
+    (match List.iter replay tail with
+     | () -> Ok t
+     | exception Recover_failed e -> Error e)

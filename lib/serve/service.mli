@@ -1,14 +1,28 @@
 (** Diagnosis as a service: a deterministic event scheduler
     multiplexing many concurrent {!Gist.Server.Session} diagnoses over
     one shared {!Parallel.Pool}, with admission control, fair
-    round-robin budget sharing, and typed backpressure.
+    round-robin budget sharing, typed backpressure — and a crash-only
+    lifecycle: every scheduler decision is journaled ({!Journal}),
+    the full service state is checkpointed periodically, and
+    {!recover} rebuilds a killed service from journal bytes such that
+    the diagnoses it goes on to produce are bit-identical to the ones
+    the uninterrupted service would have produced.
 
     Determinism contract: for a fixed submission sequence, every
     per-bug diagnosis the service completes is bit-identical (all
     fields except host time) to the same spec diagnosed one-shot
     through {!Gist.Server.diagnose}, at any pool size and under any
     interleaving with other sessions.  Completion order, round counts
-    and the whole stats ledger are likewise independent of [--jobs]. *)
+    and the whole stats ledger are likewise independent of [--jobs].
+    Recovery preserves all of it: kill the process after any round,
+    {!recover} from the journal, and the remaining completions are
+    the uninterrupted run's, byte for byte.
+
+    Blast-radius contract: a session whose granted thunks raise, or
+    whose own state machine raises, never takes the service down — the
+    failure is contained to that session's typed [Error] completion
+    (strikes then quarantine for poisoned thunks, immediate [Crashed]
+    for a broken state machine, [Timed_out] for deadline eviction). *)
 
 (** Everything needed to open one bug's diagnosis session. *)
 type spec = {
@@ -28,27 +42,72 @@ type spec = {
     [quantum]: fleet slots granted per session per round.
     [round_budget]: total slots run per round (>= [quantum]); when
     active sessions want more than the budget, the ring rotates so no
-    session waits more than [max_inflight] rounds for service. *)
+    session waits more than [max_inflight] rounds for service.
+    [checkpoint_every_rounds]: journal a full-state checkpoint every
+    that many rounds ([0] = only the initial and {!shutdown}
+    checkpoints); recovery replays at most that many rounds.
+    [session_deadline_rounds]: evict a session still undiagnosed that
+    many rounds after admission ([0] = no deadline).
+    [max_session_strikes]: rounds with raising thunks a session
+    survives (each substitutes deterministic crash outcomes) before it
+    is quarantined. *)
 type sconfig = {
   max_inflight : int;
   max_queue : int;
   quantum : int;
   round_budget : int;
+  checkpoint_every_rounds : int;
+  session_deadline_rounds : int;
+  max_session_strikes : int;
 }
 
 val default : sconfig
 
-(** Typed backpressure: the service is saturated; retry after a
-    {!step}. *)
-type sreject = Busy of { inflight : int; queued : int }
+(** Why an [sconfig] was refused. *)
+type cerror =
+  | Bad_inflight of int
+  | Bad_queue of int
+  | Bad_quantum of int
+  | Bad_budget of { budget : int; quantum : int }
+  | Bad_checkpoint_every of int
+  | Bad_deadline of int
+  | Bad_strikes of int
+
+val cerror_to_string : cerror -> string
+
+(** Typed validation; {!create} is [validate] with the [Error] raised
+    as [Invalid_argument]. *)
+val validate : sconfig -> (sconfig, cerror) result
+
+(** Typed backpressure: the service is saturated (or draining); retry
+    after [retry_after_rounds] calls to {!step} — the backlog's depth
+    over the round budget, the deterministic earliest point admission
+    can plausibly succeed. *)
+type sreject =
+  | Busy of { inflight : int; queued : int; retry_after_rounds : int }
 
 val sreject_label : sreject -> string
 val sreject_to_string : sreject -> string
 
+(** Why a session was failed rather than diagnosed. *)
+type failure_reason =
+  | Crashed      (** the session state machine itself raised *)
+  | Quarantined  (** [max_session_strikes] rounds of raising thunks *)
+  | Timed_out    (** evicted at [session_deadline_rounds] *)
+
+type session_failure = {
+  sf_reason : failure_reason;
+  sf_detail : string;  (** the exception text, or the deadline *)
+  sf_strikes : int;
+}
+
+val failure_reason_label : failure_reason -> string
+val session_failure_to_string : session_failure -> string
+
 type completion = {
   c_id : int;               (** the ticket {!submit} returned *)
   c_name : string;
-  c_diagnosis : Gist.Server.diagnosis;
+  c_result : (Gist.Server.diagnosis, session_failure) result;
   c_admitted_round : int;
   c_completed_round : int;
   c_slots : int;            (** fleet slots this session consumed *)
@@ -57,35 +116,48 @@ type completion = {
 
 (** Service ledger.  Always balances: [st_submitted] =
     [st_completed] + [st_rejected] + queued + in-flight (the last two
-    are zero after {!drain}).  [st_max_wait_rounds] is the fairness
-    witness: the worst gap, in scheduler rounds, any session waited
-    between two services. *)
+    are zero after {!drain}) — and keeps balancing across {!recover},
+    eviction and quarantine, since every failed session still books a
+    completion ([st_failed] counts the [Error] subset of
+    [st_completed]).  [st_max_wait_rounds] is the fairness witness:
+    the worst gap, in scheduler rounds, any session waited between two
+    services.  [st_divergences] counts recovery audit mismatches
+    (journaled digest vs recomputed) — zero unless the journal was
+    damaged. *)
 type stats = {
   st_submitted : int;
   st_admitted : int;
   st_rejected : int;
   st_completed : int;
+  st_failed : int;
   st_rounds : int;
   st_slots : int;
   st_peak_inflight : int;
   st_max_wait_rounds : int;
+  st_checkpoints : int;
+  st_divergences : int;
 }
 
 type t
 
-(** @raise Invalid_argument on a malformed [sconfig]. *)
-val create : ?sconfig:sconfig -> ?pool:Parallel.Pool.t -> unit -> t
+(** [journal] (default true) turns the write-ahead journal on; pass
+    [false] only to measure its cost (a journal-less service cannot
+    be recovered).  Writes the initial checkpoint.
+    @raise Invalid_argument on a malformed [sconfig]. *)
+val create :
+  ?sconfig:sconfig -> ?journal:bool -> ?pool:Parallel.Pool.t -> unit -> t
 
 val inflight : t -> int
 val queued : t -> int
 
 (** Ticket a session for admission, or refuse with typed
     backpressure.  Ticket ids are unique and become the session's
-    wire-protocol session key. *)
+    wire-protocol session key.  Always refuses while draining. *)
 val submit : t -> spec -> (int, sreject) result
 
-(** One scheduler round (admit, grant, run, deliver, finalize,
-    rotate); [false] when there is nothing left to do. *)
+(** One scheduler round (evict expired, admit, grant, run, deliver —
+    with containment — finalize, journal, maybe checkpoint, rotate);
+    [false] when there is nothing left to do. *)
 val step : t -> bool
 
 (** Run rounds until every queued and admitted session completes. *)
@@ -95,7 +167,84 @@ val drain : t -> unit
 val completions : t -> completion list
 
 (** {!completions}, harvesting: the internal list is cleared, so a
-    long-running service retains nothing per completed session. *)
+    long-running service retains nothing per completed session.
+    Harvesting also re-arms checkpointing — a checkpoint is only
+    written when no unharvested completion could be lost with it. *)
 val take_completions : t -> completion list
 
 val stats : t -> stats
+
+(** {2 Introspection} *)
+
+(** One live session, for a status report. *)
+type session_view = {
+  v_id : int;
+  v_name : string;
+  v_admitted_round : int;
+  v_rounds_waiting : int;  (** rounds since last granted slots *)
+  v_slots : int;
+  v_strikes : int;
+  v_progress : Gist.Server.Session.progress;
+}
+
+(** Every admitted session, in ring order.  Cheap; never perturbs the
+    scheduler. *)
+val status : t -> session_view list
+
+(** {2 Crash-only lifecycle} *)
+
+(** The journal's bytes so far (the empty string when the journal is
+    off).  Persist them wherever you like ({!Journal.save_file});
+    any prefix of any call's result is a valid recovery input — that
+    is the crash model. *)
+val journal_bytes : t -> string
+
+(** Journal a full-state checkpoint now.  [false] — and no record
+    written — when completions are waiting to be harvested (a
+    checkpoint must never strand a completion: un-harvested results
+    are regenerated by replay, harvested ones must not be) or when the
+    journal is off. *)
+val checkpoint : t -> bool
+
+(** Stop admitting: every later {!submit} is refused.  Already-queued
+    and in-flight sessions still run to completion, so the ledger
+    balances at shutdown. *)
+val request_drain : t -> unit
+
+(** Graceful shutdown: {!request_drain}, run every remaining session
+    down, harvest all completions, journal a final checkpoint, return
+    the harvest. *)
+val shutdown : t -> completion list
+
+(** Why {!recover} refused. *)
+type rerror =
+  | No_checkpoint
+      (** no intact checkpoint record in the bytes — nothing to
+          restart from *)
+  | Unresolved_spec of string
+      (** the journal names a bug [resolve] cannot supply *)
+  | Bad_session of { name : string; detail : string }
+      (** a checkpointed session snapshot failed {!Gist.Server.Session.restore} *)
+
+val rerror_to_string : rerror -> string
+
+(** [recover ~resolve bytes] rebuilds a killed service from journal
+    bytes: restore the newest intact checkpoint (a corrupted one falls
+    back to an older one — the initial checkpoint is written by
+    {!create}, so an untorn journal always has one), then replay every
+    later journaled decision — re-submitting through [resolve],
+    re-running rounds — auditing the replayed digests against the
+    journaled ones ([st_divergences]).  Scheduler shape comes from the
+    checkpoint, not the caller, so replay matches the original.
+
+    [resolve] maps a bug name back to its spec (specs hold closures
+    and cannot live in the journal); it must supply every name the
+    journal mentions.
+
+    The recovered service owns a fresh journal (seeded with a new
+    initial checkpoint), so a second kill recovers the same way. *)
+val recover :
+  ?pool:Parallel.Pool.t ->
+  resolve:(string -> spec option) ->
+  string ->
+  (t, rerror) result

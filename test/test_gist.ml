@@ -270,6 +270,59 @@ let validation =
                    ~failure ())));
   ]
 
+(* The service-level scheduler knobs (lib/serve) carry the same typed
+   validation contract as the diagnosis config above: every reject is
+   a [cerror] naming the knob and the offending value, and [create] is
+   [validate] with the error raised. *)
+let sconfig_validation =
+  let module Svc = Serve.Service in
+  let expects name bad (err : Svc.cerror) =
+    Alcotest.test_case name `Quick (fun () ->
+        match Svc.validate bad with
+        | Ok _ -> Alcotest.failf "%s: bad sconfig accepted" name
+        | Error e ->
+          Alcotest.(check string)
+            (name ^ ": typed reject")
+            (Svc.cerror_to_string err)
+            (Svc.cerror_to_string e))
+  in
+  [
+    Alcotest.test_case "the default sconfig validates" `Quick (fun () ->
+        Alcotest.(check bool) "default ok" true
+          (Svc.validate Svc.default = Ok Svc.default));
+    Alcotest.test_case "checkpointing and deadlines may be disabled"
+      `Quick (fun () ->
+        let off =
+          { Svc.default with
+            Svc.checkpoint_every_rounds = 0;
+            session_deadline_rounds = 0 }
+        in
+        Alcotest.(check bool) "zero disables" true
+          (Svc.validate off = Ok off));
+    expects "negative checkpoint cadence is rejected"
+      { Svc.default with Svc.checkpoint_every_rounds = -1 }
+      (Svc.Bad_checkpoint_every (-1));
+    expects "negative session deadline is rejected"
+      { Svc.default with Svc.session_deadline_rounds = -7 }
+      (Svc.Bad_deadline (-7));
+    expects "zero strikes is rejected"
+      { Svc.default with Svc.max_session_strikes = 0 }
+      (Svc.Bad_strikes 0);
+    expects "negative strikes is rejected"
+      { Svc.default with Svc.max_session_strikes = -2 }
+      (Svc.Bad_strikes (-2));
+    Alcotest.test_case "create raises Invalid_argument on a bad sconfig"
+      `Quick (fun () ->
+        Alcotest.check_raises "raises"
+          (Invalid_argument
+             (Svc.cerror_to_string (Svc.Bad_strikes 0)))
+          (fun () ->
+            ignore
+              (Svc.create
+                 ~sconfig:{ Svc.default with Svc.max_session_strikes = 0 }
+                 ())));
+  ]
+
 let () =
   Alcotest.run "gist"
     [
@@ -279,4 +332,5 @@ let () =
       ("end-to-end", end_to_end);
       ("ablation", ablation);
       ("validation", validation);
+      ("sconfig-validation", sconfig_validation);
     ]

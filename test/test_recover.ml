@@ -1,0 +1,702 @@
+(* Crash-only recovery differential suite (lib/serve + lib/core
+   snapshots + the journal).
+
+   The crash-only contract: kill the service after ANY round, recover
+   from the journal bytes, and every diagnosis the recovered service
+   goes on to produce is bit-identical (host-time fields aside) to the
+   uninterrupted run's — which test_serve already pins to the one-shot
+   [Gist.Server.diagnose].  The suite holds that contract by killing
+   at EVERY round boundary over the whole Bugbase and the 50-bug
+   seed-42 fuzz campaign, in the zero-fault and 10%-aggregate-fault
+   regimes, at jobs 1 and jobs 4, under the same adversarial scheduler
+   shape test_serve uses (plus a tight checkpoint cadence so recovery
+   replays real rounds, not just checkpoint restores).
+
+   Also here: the journal codec and its damage model (torn tails
+   truncate, checksum failures degrade to [Damaged] and recovery falls
+   back to an older checkpoint), session snapshot/restore roundtrips
+   and typed refusals, blast-radius containment (poisoned sessions
+   quarantine, deadlines evict — the service survives, the ledger
+   balances), the [Busy] retry hint, and a seeded chaos campaign
+   (kills + torn tails + corrupted checkpoints) over the Bugbase. *)
+
+module S = Gist.Server
+module Svc = Serve.Service
+module J = Serve.Journal
+
+let compare_diagnoses name (a : S.diagnosis) (b : S.diagnosis) =
+  Alcotest.(check string)
+    (name ^ ": sketch")
+    (Fsketch.Render.render a.sketch)
+    (Fsketch.Render.render b.sketch);
+  Alcotest.(check int) (name ^ ": iterations") a.iterations b.iterations;
+  Alcotest.(check int) (name ^ ": recurrences") a.recurrences b.recurrences;
+  Alcotest.(check int) (name ^ ": total runs") a.total_runs b.total_runs;
+  Alcotest.(check int) (name ^ ": final sigma") a.final_sigma b.final_sigma;
+  Alcotest.(check (list int)) (name ^ ": tracked") a.tracked b.tracked;
+  Alcotest.(check bool)
+    (name ^ ": avg overhead bit-identical")
+    true
+    (Int64.bits_of_float a.avg_overhead_pct
+    = Int64.bits_of_float b.avg_overhead_pct);
+  Alcotest.(check bool) (name ^ ": per-iteration trace") true (a.trace = b.trace);
+  Alcotest.(check bool) (name ^ ": fleet ledger") true (a.fleet = b.fleet)
+
+(* The adversarial shape of test_serve, with a checkpoint every 3
+   rounds so a kill usually lands rounds past the newest checkpoint
+   and recovery must replay through the real scheduler. *)
+let tight =
+  { Svc.default with
+    Svc.max_inflight = 16; max_queue = 64; quantum = 7; round_budget = 23;
+    checkpoint_every_rounds = 3 }
+
+let one_shot (sp : Svc.spec) =
+  S.diagnose ~config:sp.sp_config ~ingest:sp.sp_ingest
+    ?oracle:sp.sp_oracle ~bug_name:sp.sp_name
+    ~failure_type:sp.sp_failure_type ~program:sp.sp_program
+    ~workload_of:sp.sp_workload_of ~failure:sp.sp_failure ()
+
+let resolver specs =
+  let by_name = Hashtbl.create (List.length specs) in
+  List.iter
+    (fun (sp : Svc.spec) -> Hashtbl.replace by_name sp.Svc.sp_name sp)
+    specs;
+  fun name -> Hashtbl.find_opt by_name name
+
+(* ------------------------------------------------------------------ *)
+(* Spec builders (as in test_serve). *)
+
+let bugbase_spec ~faults (b : Bugbase.Common.t) =
+  let _, failure = Option.get (Bugbase.Common.find_target_failure b) in
+  let config =
+    let base = { Gist.Config.default with preempt_prob = b.preempt_prob } in
+    if faults then
+      {
+        base with
+        Gist.Config.fault_rates = Faults.Fault.spread 0.10;
+        fault_seed = 42;
+      }
+    else base
+  in
+  {
+    Svc.sp_name = b.name;
+    sp_failure_type = b.failure_type;
+    sp_config = config;
+    sp_ingest = S.Streaming;
+    sp_oracle = Some (Experiments.Oracle.for_bug b);
+    sp_program = b.program;
+    sp_workload_of = b.workload_of;
+    sp_failure = failure;
+  }
+
+let fuzz_count = 50
+
+let fuzz_cases =
+  lazy
+    (let patterns = Array.of_list Fuzz.Gen.all_patterns in
+     List.init fuzz_count (fun i ->
+         Fuzz.Gen.generate patterns.(i mod Array.length patterns) (42 + i)))
+
+let fuzz_specs ~faults =
+  List.filter_map
+    (fun (case : Fuzz.Gen.case) ->
+      let case =
+        if faults then
+          { case with Fuzz.Gen.c_faults = Some (Faults.Fault.spread 0.10, 42) }
+        else case
+      in
+      match Fuzz.Check.probe case with
+      | { Fuzz.Check.p_target = Some failure; _ } as p
+        when Fuzz.Check.viable p ->
+        Some
+          {
+            Svc.sp_name = case.Fuzz.Gen.c_name;
+            sp_failure_type =
+              Exec.Failure.kind_to_string failure.Exec.Failure.kind;
+            sp_config = Fuzz.Check.config_of case;
+            sp_ingest = S.Streaming;
+            sp_oracle = None;
+            sp_program = case.Fuzz.Gen.c_program;
+            sp_workload_of = Fuzz.Gen.workload_of case;
+            sp_failure = failure;
+          }
+      | _ -> None)
+    (Lazy.force fuzz_cases)
+
+let small_spec name =
+  let b = List.hd Bugbase.Registry.all in
+  let sp = bugbase_spec ~faults:false b in
+  { sp with Svc.sp_name = name }
+
+(* ------------------------------------------------------------------ *)
+(* Kill-at-every-round differential.
+
+   [run_with_kills] drives all [specs] through one service under
+   [sconfig], and after every round — every possible crash point —
+   takes the journal bytes as the crash image, recovers a fresh
+   service from them and continues on the recovered object.
+   Completions are harvested every round (first completion per name
+   wins: recovery replay is at-least-once).  Whatever the kill
+   schedule did, every diagnosis must equal the one-shot reference. *)
+
+let run_with_kills ~jobs ~sconfig specs =
+  let resolve = resolver specs in
+  Parallel.Pool.with_pool ~jobs (fun pool ->
+      let svc = ref (Svc.create ~sconfig ~pool ()) in
+      List.iter
+        (fun sp ->
+          match Svc.submit !svc sp with
+          | Ok _ -> ()
+          | Error r ->
+            Alcotest.failf "submit %s: %s" sp.Svc.sp_name
+              (Svc.sreject_to_string r))
+        specs;
+      let done_ = Hashtbl.create (List.length specs) in
+      let harvest () =
+        List.iter
+          (fun (c : Svc.completion) ->
+            if not (Hashtbl.mem done_ c.Svc.c_name) then
+              Hashtbl.replace done_ c.Svc.c_name c)
+          (Svc.take_completions !svc)
+      in
+      let kills = ref 0 in
+      while Svc.step !svc do
+        harvest ();
+        incr kills;
+        match Svc.recover ~pool ~resolve (Svc.journal_bytes !svc) with
+        | Ok s -> svc := s
+        | Error e ->
+          Alcotest.failf "recover after round %d: %s" !kills
+            (Svc.rerror_to_string e)
+      done;
+      harvest ();
+      let st = Svc.stats !svc in
+      (* The final incarnation's ledger balances after the drain. *)
+      Alcotest.(check int) "ledger balances" st.Svc.st_submitted
+        (st.Svc.st_completed + st.Svc.st_rejected);
+      Alcotest.(check int) "nothing in flight" 0 (Svc.inflight !svc);
+      Alcotest.(check int) "nothing queued" 0 (Svc.queued !svc);
+      Alcotest.(check int) "no replay divergences" 0 st.Svc.st_divergences;
+      Alcotest.(check bool) "killed at every round" true (!kills >= 1);
+      Hashtbl.fold (fun name c acc -> (name, c) :: acc) done_ [])
+
+let kill_differential ~jobs ~faults specs () =
+  Alcotest.(check bool)
+    (Printf.sprintf "enough sessions (%d)" (List.length specs))
+    true
+    (List.length specs >= 10);
+  let reference = List.map (fun sp -> (sp.Svc.sp_name, one_shot sp)) specs in
+  let served = run_with_kills ~jobs ~sconfig:tight specs in
+  Alcotest.(check int) "every session completed across the kills"
+    (List.length specs) (List.length served);
+  List.iter
+    (fun (name, (c : Svc.completion)) ->
+      match c.Svc.c_result with
+      | Ok d ->
+        compare_diagnoses
+          (Printf.sprintf "%s (jobs %d, faults %b)" name jobs faults)
+          (List.assoc name reference) d
+      | Error f ->
+        Alcotest.failf "session %s failed: %s" name
+          (Svc.session_failure_to_string f))
+    served
+
+(* ------------------------------------------------------------------ *)
+(* Corpus replay through a recovery: every diagnosable shrunk
+   reproducer, diagnosed across one mid-stream kill under the
+   adversarial shape, still bit-identical to one-shot. *)
+
+let corpus_cases =
+  lazy
+    (let dir =
+       if Sys.file_exists "corpus" then "corpus"
+       else if Sys.file_exists "test/corpus" then "test/corpus"
+       else Filename.concat (Filename.dirname Sys.executable_name) "corpus"
+     in
+     match Fuzz.Corpus.load_dir dir with
+     | Ok cases -> cases
+     | Error e -> Alcotest.failf "corpus load: %s" e)
+
+let corpus_spec (case : Fuzz.Gen.case) =
+  match Fuzz.Check.divergence case with
+  | Some _ -> None
+  | None ->
+    (match (Fuzz.Check.probe case).Fuzz.Check.p_target with
+     | None -> None
+     | Some failure ->
+       Some
+         {
+           Svc.sp_name = case.Fuzz.Gen.c_name;
+           sp_failure_type =
+             Exec.Failure.kind_to_string failure.Exec.Failure.kind;
+           sp_config = Fuzz.Check.config_of case;
+           sp_ingest = S.Streaming;
+           sp_oracle = None;
+           sp_program = case.Fuzz.Gen.c_program;
+           sp_workload_of = Fuzz.Gen.workload_of case;
+           sp_failure = failure;
+         })
+
+let corpus_through_recovery () =
+  let specs = List.filter_map corpus_spec (Lazy.force corpus_cases) in
+  Alcotest.(check bool)
+    (Printf.sprintf "enough diagnosable reproducers (%d)" (List.length specs))
+    true
+    (List.length specs >= 15);
+  let resolve = resolver specs in
+  let reference = List.map (fun sp -> (sp.Svc.sp_name, one_shot sp)) specs in
+  Parallel.Pool.with_pool ~jobs:4 (fun pool ->
+      let svc = Svc.create ~sconfig:tight ~pool () in
+      List.iter (fun sp -> ignore (Svc.submit svc sp)) specs;
+      let harvested = ref [] in
+      (* One kill, landed mid-stream: five rounds past submission. *)
+      for _ = 1 to 5 do
+        ignore (Svc.step svc);
+        harvested := Svc.take_completions svc @ !harvested
+      done;
+      let svc2 =
+        match Svc.recover ~pool ~resolve (Svc.journal_bytes svc) with
+        | Ok s -> s
+        | Error e -> Alcotest.failf "recover: %s" (Svc.rerror_to_string e)
+      in
+      Svc.drain svc2;
+      let done_ = Hashtbl.create (List.length specs) in
+      List.iter
+        (fun (c : Svc.completion) ->
+          if not (Hashtbl.mem done_ c.Svc.c_name) then
+            Hashtbl.replace done_ c.Svc.c_name c)
+        (!harvested @ Svc.take_completions svc2);
+      Alcotest.(check int) "every reproducer completed" (List.length specs)
+        (Hashtbl.length done_);
+      Hashtbl.iter
+        (fun name (c : Svc.completion) ->
+          match c.Svc.c_result with
+          | Ok d -> compare_diagnoses name (List.assoc name reference) d
+          | Error f ->
+            Alcotest.failf "session %s failed: %s" name
+              (Svc.session_failure_to_string f))
+        done_)
+
+(* ------------------------------------------------------------------ *)
+(* Chaos campaign over the Bugbase: seeded kills, torn tails and
+   corrupted checkpoints via the harness — every bug still completes,
+   bit-identically, with zero failed recoveries. *)
+
+let bugbase_chaos () =
+  let specs = List.map (bugbase_spec ~faults:false) Bugbase.Registry.all in
+  let resolve = resolver specs in
+  let reference = List.map (fun sp -> (sp.Svc.sp_name, one_shot sp)) specs in
+  let rates =
+    { Faults.Chaos.kill = 0.3; ckpt_corrupt = 0.3; torn_write = 0.3;
+      poison = 0.0 }
+  in
+  Parallel.Pool.with_pool ~jobs:4 (fun pool ->
+      let svc = Svc.create ~sconfig:tight ~pool () in
+      List.iter (fun sp -> ignore (Svc.submit svc sp)) specs;
+      let oc = Serve.Chaos.drive ~pool ~rates ~seed:7 ~resolve ~specs svc in
+      Alcotest.(check bool) "the campaign killed the service" true
+        (oc.Serve.Chaos.o_kills >= 1);
+      (* A refusal is legal only when damage ate every checkpoint (the
+         campaign then continues on the live object); it must stay
+         bounded by the kills that carried damage. *)
+      Alcotest.(check bool)
+        (Printf.sprintf "refusals (%d) bounded by damaged kills (%d)"
+           oc.Serve.Chaos.o_failed_recoveries
+           (oc.Serve.Chaos.o_torn + oc.Serve.Chaos.o_corrupted))
+        true
+        (oc.Serve.Chaos.o_failed_recoveries
+        <= oc.Serve.Chaos.o_torn + oc.Serve.Chaos.o_corrupted);
+      Alcotest.(check int) "every bug completed" (List.length specs)
+        (List.length oc.Serve.Chaos.o_done);
+      List.iter
+        (fun (name, (c : Svc.completion)) ->
+          match c.Svc.c_result with
+          | Ok d -> compare_diagnoses name (List.assoc name reference) d
+          | Error f ->
+            Alcotest.failf "session %s failed: %s" name
+              (Svc.session_failure_to_string f))
+        oc.Serve.Chaos.o_done)
+
+(* ------------------------------------------------------------------ *)
+(* Journal codec and damage model. *)
+
+let sample_records =
+  [
+    J.Submitted { id = 1; name = "pbzip2"; rejected = false };
+    J.Submitted { id = 2; name = "curl"; rejected = true };
+    J.Round { round = 1; digest = 0x1234ABCD };
+    J.Completed { id = 1; digest = 0x77FF0011 };
+    J.Checkpoint { round = 1; state = "state bytes \x00\xff here" };
+    J.Round { round = 2; digest = 42 };
+  ]
+
+let journal_tests =
+  [
+    Alcotest.test_case "codec roundtrip" `Quick (fun () ->
+        let j = J.create () in
+        List.iter (J.append j) sample_records;
+        let entries = J.load (J.contents j) in
+        Alcotest.(check int) "all records back" (List.length sample_records)
+          (List.length entries);
+        List.iter2
+          (fun r e ->
+            match e with
+            | J.Rec r' ->
+              Alcotest.(check bool) "record equal" true (r = r')
+            | J.Damaged { reason; _ } ->
+              Alcotest.failf "record damaged: %s" reason)
+          sample_records entries);
+    Alcotest.test_case "any prefix is loadable; a torn tail truncates"
+      `Quick (fun () ->
+        let j = J.create () in
+        List.iter (J.append j) sample_records;
+        let bytes = J.contents j in
+        (* Every tear length: load never raises, never fabricates. *)
+        for n = 0 to String.length bytes do
+          let entries = J.load (J.tear ~n bytes) in
+          Alcotest.(check bool)
+            (Printf.sprintf "tear %d: a prefix of the records" n)
+            true
+            (List.length entries <= List.length sample_records
+            && List.for_all
+                 (function J.Rec _ -> true | J.Damaged _ -> false)
+                 entries)
+        done;
+        (* A one-byte tear must drop exactly the last record. *)
+        Alcotest.(check int) "one-byte tear drops the tail record"
+          (List.length sample_records - 1)
+          (List.length (J.load (J.tear ~n:1 bytes))));
+    Alcotest.test_case
+      "a corrupted checkpoint degrades to Damaged; later records load"
+      `Quick (fun () ->
+        let j = J.create () in
+        List.iter (J.append j) sample_records;
+        let bytes =
+          match J.corrupt_last_checkpoint ~salt:7 (J.contents j) with
+          | Some b -> b
+          | None -> Alcotest.fail "no checkpoint found to corrupt"
+        in
+        let entries = J.load bytes in
+        Alcotest.(check int) "framing intact: every record accounted for"
+          (List.length sample_records)
+          (List.length entries);
+        (match List.nth entries 4 with
+         | J.Damaged { kind; _ } ->
+           Alcotest.(check int) "the checkpoint is the damaged one" 4 kind
+         | J.Rec _ -> Alcotest.fail "corrupted checkpoint loaded as intact");
+        match List.nth entries 5 with
+        | J.Rec (J.Round { round = 2; digest = 42 }) -> ()
+        | _ -> Alcotest.fail "the record after the damage did not load");
+    Alcotest.test_case "file roundtrip" `Quick (fun () ->
+        let j = J.create () in
+        List.iter (J.append j) sample_records;
+        let path = Filename.temp_file "journal" ".bin" in
+        Fun.protect
+          ~finally:(fun () -> Sys.remove path)
+          (fun () ->
+            J.save_file path (J.contents j);
+            match J.load_file path with
+            | Some bytes ->
+              Alcotest.(check string) "bytes back" (J.contents j) bytes
+            | None -> Alcotest.fail "load_file found nothing"));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Checkpoint corruption during recovery: the newest checkpoint is
+   damaged, recovery falls back to an older one and replays further —
+   every session still completes correctly. *)
+
+let corrupted_checkpoint_fallback () =
+  let specs = List.map small_spec [ "a"; "b"; "c" ] in
+  let resolve = resolver specs in
+  let reference = List.map (fun sp -> (sp.Svc.sp_name, one_shot sp)) specs in
+  Parallel.Pool.with_pool ~jobs:2 (fun pool ->
+      let sconfig = { tight with Svc.checkpoint_every_rounds = 2 } in
+      let svc = Svc.create ~sconfig ~pool () in
+      List.iter (fun sp -> ignore (Svc.submit svc sp)) specs;
+      let harvested = ref [] in
+      for _ = 1 to 5 do
+        ignore (Svc.step svc);
+        harvested := Svc.take_completions svc @ !harvested
+      done;
+      let bytes =
+        match J.corrupt_last_checkpoint ~salt:3 (Svc.journal_bytes svc) with
+        | Some b -> b
+        | None -> Alcotest.fail "no checkpoint to corrupt after 5 rounds"
+      in
+      let svc2 =
+        match Svc.recover ~pool ~resolve bytes with
+        | Ok s -> s
+        | Error e ->
+          Alcotest.failf "recover should fall back to an older checkpoint: %s"
+            (Svc.rerror_to_string e)
+      in
+      Svc.drain svc2;
+      let done_ = Hashtbl.create 3 in
+      List.iter
+        (fun (c : Svc.completion) ->
+          if not (Hashtbl.mem done_ c.Svc.c_name) then
+            Hashtbl.replace done_ c.Svc.c_name c)
+        (!harvested @ Svc.take_completions svc2);
+      Alcotest.(check int) "all three sessions completed" 3
+        (Hashtbl.length done_);
+      Hashtbl.iter
+        (fun name (c : Svc.completion) ->
+          match c.Svc.c_result with
+          | Ok d -> compare_diagnoses name (List.assoc name reference) d
+          | Error f ->
+            Alcotest.failf "session %s failed: %s" name
+              (Svc.session_failure_to_string f))
+        done_)
+
+(* ------------------------------------------------------------------ *)
+(* Blast-radius containment. *)
+
+let containment_tests =
+  [
+    Alcotest.test_case
+      "a poisoned session quarantines; the service survives" `Quick
+      (fun () ->
+        let rates = { Faults.Chaos.zero with Faults.Chaos.poison = 1.0 } in
+        let poisoned =
+          Serve.Chaos.poison_spec ~rates ~seed:9 (small_spec "poisoned")
+        in
+        let healthy = small_spec "healthy" in
+        let svc = Svc.create ~sconfig:Svc.default () in
+        ignore (Svc.submit svc poisoned);
+        ignore (Svc.submit svc healthy);
+        Svc.drain svc;
+        let completions = Svc.take_completions svc in
+        Alcotest.(check int) "both sessions completed" 2
+          (List.length completions);
+        List.iter
+          (fun (c : Svc.completion) ->
+            match (c.Svc.c_name, c.Svc.c_result) with
+            | "poisoned", Error f ->
+              Alcotest.(check string) "quarantined" "quarantined"
+                (Svc.failure_reason_label f.Svc.sf_reason);
+              Alcotest.(check int) "struck out"
+                Svc.default.Svc.max_session_strikes f.Svc.sf_strikes
+            | "poisoned", Ok _ ->
+              Alcotest.fail "poisoned session produced a diagnosis"
+            | "healthy", Ok _ -> ()
+            | "healthy", Error f ->
+              Alcotest.failf "healthy session failed: %s"
+                (Svc.session_failure_to_string f)
+            | name, _ -> Alcotest.failf "unexpected session %s" name)
+          completions;
+        let st = Svc.stats svc in
+        Alcotest.(check int) "ledger balances across quarantine"
+          st.Svc.st_submitted
+          (st.Svc.st_completed + st.Svc.st_rejected);
+        Alcotest.(check int) "the failure is booked" 1 st.Svc.st_failed);
+    Alcotest.test_case "deadline eviction books a typed timeout" `Quick
+      (fun () ->
+        (* One slot per round against a bug needing hundreds: the
+           1-round deadline must evict. *)
+        let sconfig =
+          { Svc.default with
+            Svc.quantum = 1; round_budget = 1; session_deadline_rounds = 1 }
+        in
+        let svc = Svc.create ~sconfig () in
+        ignore (Svc.submit svc (small_spec "doomed"));
+        Svc.drain svc;
+        (match Svc.take_completions svc with
+         | [ { Svc.c_result = Error f; _ } ] ->
+           Alcotest.(check string) "timed out" "timed-out"
+             (Svc.failure_reason_label f.Svc.sf_reason)
+         | [ { Svc.c_result = Ok _; _ } ] ->
+           Alcotest.fail "a 1-round deadline produced a diagnosis"
+         | l -> Alcotest.failf "%d completions, expected 1" (List.length l));
+        let st = Svc.stats svc in
+        Alcotest.(check int) "ledger balances across eviction"
+          st.Svc.st_submitted
+          (st.Svc.st_completed + st.Svc.st_rejected));
+    Alcotest.test_case "Busy carries the deterministic retry hint" `Quick
+      (fun () ->
+        let sconfig =
+          { Svc.default with
+            Svc.max_inflight = 1; max_queue = 4; quantum = 4;
+            round_budget = 4 }
+        in
+        let svc = Svc.create ~sconfig () in
+        for i = 1 to 4 do
+          match Svc.submit svc (small_spec (string_of_int i)) with
+          | Ok _ -> ()
+          | Error _ -> Alcotest.failf "submit %d refused below the cap" i
+        done;
+        (match Svc.submit svc (small_spec "overflow") with
+         | Error (Svc.Busy { queued = 4; retry_after_rounds; _ }) ->
+           (* ceil(queued * quantum / round_budget) = ceil(16/4) = 4 *)
+           Alcotest.(check int) "hint is the backlog depth in rounds" 4
+             retry_after_rounds
+         | Error (Svc.Busy { queued; _ }) ->
+           Alcotest.failf "queued %d, expected 4" queued
+         | Ok _ -> Alcotest.fail "submit accepted past the cap");
+        Svc.drain svc;
+        ignore (Svc.take_completions svc));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Session snapshot/restore. *)
+
+let session_of (sp : Svc.spec) =
+  S.Session.create ~config:sp.Svc.sp_config ~ingest:sp.Svc.sp_ingest
+    ?oracle:sp.Svc.sp_oracle ~bug_name:sp.Svc.sp_name
+    ~failure_type:sp.Svc.sp_failure_type ~program:sp.Svc.sp_program
+    ~workload_of:sp.Svc.sp_workload_of ~failure:sp.Svc.sp_failure ()
+
+let finish s =
+  let rec loop () =
+    match S.Session.need s with
+    | S.Session.Finished -> S.Session.result s
+    | S.Session.Slots n ->
+      let thunks = S.Session.grant s (min 5 n) in
+      S.Session.deliver s (Array.map (fun th -> th ()) thunks);
+      loop ()
+  in
+  loop ()
+
+(* Drive [cycles] grant/deliver exchanges, stopping early if the
+   session finishes first; the session is quiescent on return. *)
+let advance s cycles =
+  let rec loop k =
+    if k > 0 then
+      match S.Session.need s with
+      | S.Session.Finished -> ()
+      | S.Session.Slots n ->
+        let thunks = S.Session.grant s (min 5 n) in
+        S.Session.deliver s (Array.map (fun th -> th ()) thunks);
+        loop (k - 1)
+  in
+  loop cycles
+
+let restore_of (sp : Svc.spec) bytes =
+  S.Session.restore ~config:sp.Svc.sp_config ~ingest:sp.Svc.sp_ingest
+    ?oracle:sp.Svc.sp_oracle ~bug_name:sp.Svc.sp_name
+    ~failure_type:sp.Svc.sp_failure_type ~program:sp.Svc.sp_program
+    ~workload_of:sp.Svc.sp_workload_of ~failure:sp.Svc.sp_failure bytes
+
+let snapshot_tests =
+  [
+    Alcotest.test_case
+      "a restored session is a bit-identical continuation" `Quick (fun () ->
+        let sp = bugbase_spec ~faults:true (List.hd Bugbase.Registry.all) in
+        let original = session_of sp in
+        advance original 3;
+        let bytes = S.Session.snapshot original in
+        let restored =
+          match restore_of sp bytes with
+          | Ok s -> s
+          | Error e ->
+            Alcotest.failf "restore: %s" (S.Session.snapshot_error_to_string e)
+        in
+        compare_diagnoses "mid-flight snapshot" (finish original)
+          (finish restored));
+    Alcotest.test_case "typed refusals" `Quick (fun () ->
+        let sp = bugbase_spec ~faults:false (List.hd Bugbase.Registry.all) in
+        let s = session_of sp in
+        advance s 2;
+        let bytes = S.Session.snapshot s in
+        (match restore_of sp (String.sub bytes 0 6) with
+         | Error S.Session.Snapshot_truncated -> ()
+         | Error e ->
+           Alcotest.failf "truncated: %s"
+             (S.Session.snapshot_error_to_string e)
+         | Ok _ -> Alcotest.fail "truncated bytes restored");
+        (let b = Bytes.of_string bytes in
+         Bytes.set b 0 '\x00';
+         match restore_of sp (Bytes.to_string b) with
+         | Error S.Session.Snapshot_bad_magic -> ()
+         | Error e ->
+           Alcotest.failf "bad magic: %s"
+             (S.Session.snapshot_error_to_string e)
+         | Ok _ -> Alcotest.fail "wrong magic restored");
+        (let b = Bytes.of_string bytes in
+         let mid = Bytes.length b / 2 in
+         Bytes.set b mid (Char.chr (Char.code (Bytes.get b mid) lxor 0x40));
+         match restore_of sp (Bytes.to_string b) with
+         | Error S.Session.Snapshot_bad_digest -> ()
+         | Error e ->
+           Alcotest.failf "bad digest: %s"
+             (S.Session.snapshot_error_to_string e)
+         | Ok _ -> Alcotest.fail "bit-rotted bytes restored");
+        match
+          restore_of { sp with Svc.sp_name = "somebody else" } bytes
+        with
+        | Error (S.Session.Snapshot_mismatch _) -> ()
+        | Error e ->
+          Alcotest.failf "mismatch: %s"
+            (S.Session.snapshot_error_to_string e)
+        | Ok _ -> Alcotest.fail "bytes restored against the wrong spec");
+    Alcotest.test_case "snapshot is refused mid-grant and when done" `Quick
+      (fun () ->
+        let sp = bugbase_spec ~faults:false (List.hd Bugbase.Registry.all) in
+        let s = session_of sp in
+        (match S.Session.need s with
+         | S.Session.Slots n ->
+           let thunks = S.Session.grant s (min 2 n) in
+           (match S.Session.snapshot s with
+            | exception Invalid_argument _ -> ()
+            | _ -> Alcotest.fail "snapshot mid-grant accepted");
+           S.Session.deliver s (Array.map (fun th -> th ()) thunks)
+         | S.Session.Finished -> Alcotest.fail "finished before any grant");
+        ignore (finish s);
+        match S.Session.snapshot s with
+        | exception Invalid_argument _ -> ()
+        | _ -> Alcotest.fail "snapshot after Finished accepted");
+  ]
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Alcotest.run "recover"
+    [
+      ( "bugbase-kills",
+        [
+          Alcotest.test_case "kill at every round, jobs 1" `Slow
+            (fun () ->
+              kill_differential ~jobs:1 ~faults:false
+                (List.map (bugbase_spec ~faults:false) Bugbase.Registry.all)
+                ());
+          Alcotest.test_case "kill at every round, jobs 4" `Slow
+            (fun () ->
+              kill_differential ~jobs:4 ~faults:false
+                (List.map (bugbase_spec ~faults:false) Bugbase.Registry.all)
+                ());
+          Alcotest.test_case "kill at every round, 10% faults, jobs 4" `Slow
+            (fun () ->
+              kill_differential ~jobs:4 ~faults:true
+                (List.map (bugbase_spec ~faults:true) Bugbase.Registry.all)
+                ());
+        ] );
+      ( "fuzz-kills",
+        [
+          Alcotest.test_case "50 generated bugs, kill at every round" `Slow
+            (fun () ->
+              kill_differential ~jobs:4 ~faults:false (fuzz_specs ~faults:false)
+                ());
+          Alcotest.test_case
+            "50 generated bugs, 10% faults, kill at every round, jobs 1"
+            `Slow
+            (fun () ->
+              kill_differential ~jobs:1 ~faults:true (fuzz_specs ~faults:true)
+                ());
+        ] );
+      ( "corpus",
+        [
+          Alcotest.test_case "corpus replay through a recovery" `Slow
+            corpus_through_recovery;
+        ] );
+      ( "chaos",
+        [ Alcotest.test_case "seeded chaos over the Bugbase" `Slow
+            bugbase_chaos ] );
+      ("journal", journal_tests);
+      ( "fallback",
+        [
+          Alcotest.test_case "corrupted checkpoint falls back and replays"
+            `Quick corrupted_checkpoint_fallback;
+        ] );
+      ("containment", containment_tests);
+      ("snapshot", snapshot_tests);
+    ]

@@ -42,7 +42,10 @@ let compare_diagnoses name (a : S.diagnosis) (b : S.diagnosis) =
    that cannot serve every session, so every pass spans rounds, grants
    are partial, and the ring rotation carries starved sessions to the
    front. *)
-let tight = { Serve.Service.max_inflight = 16; max_queue = 64; quantum = 7; round_budget = 23 }
+let tight =
+  { Serve.Service.default with
+    Serve.Service.max_inflight = 16; max_queue = 64; quantum = 7;
+    round_budget = 23 }
 
 let one_shot (sp : Serve.Service.spec) =
   S.diagnose ~config:sp.sp_config ~ingest:sp.sp_ingest
@@ -66,7 +69,11 @@ let multiplexed ~jobs specs =
       Serve.Service.drain svc;
       List.map
         (fun (c : Serve.Service.completion) ->
-          (c.Serve.Service.c_name, c.Serve.Service.c_diagnosis))
+          match c.Serve.Service.c_result with
+          | Ok d -> (c.Serve.Service.c_name, d)
+          | Error f ->
+            Alcotest.failf "session %s failed: %s" c.Serve.Service.c_name
+              (Serve.Service.session_failure_to_string f))
         (Serve.Service.completions svc))
 
 (* ------------------------------------------------------------------ *)
@@ -195,7 +202,8 @@ let admission =
     Alcotest.test_case "typed reject once the waiting room is full" `Quick
       (fun () ->
         let sconfig =
-          { Serve.Service.max_inflight = 1; max_queue = 2; quantum = 4;
+          { Serve.Service.default with
+            Serve.Service.max_inflight = 1; max_queue = 2; quantum = 4;
             round_budget = 4 }
         in
         let svc = Serve.Service.create ~sconfig () in
@@ -207,8 +215,10 @@ let admission =
          | Ok _ -> ()
          | Error _ -> Alcotest.fail "second submit rejected");
         (match Serve.Service.submit svc (small_spec "c") with
-         | Error (Serve.Service.Busy { inflight = 0; queued = 2 }) -> ()
-         | Error (Serve.Service.Busy { inflight; queued }) ->
+         | Error (Serve.Service.Busy { inflight = 0; queued = 2; retry_after_rounds }) ->
+           Alcotest.(check bool) "retry hint positive" true
+             (retry_after_rounds >= 1)
+         | Error (Serve.Service.Busy { inflight; queued; _ }) ->
            Alcotest.failf "busy payload inflight=%d queued=%d" inflight queued
          | Ok _ -> Alcotest.fail "third submit accepted past the cap");
         (* A round admits one session, freeing a queue slot. *)
@@ -224,7 +234,10 @@ let admission =
         Alcotest.(check int) "completed" 3 st.st_completed;
         Alcotest.(check int) "peak inflight" 1 st.st_peak_inflight);
     Alcotest.test_case "reject labels" `Quick (fun () ->
-        let r = Serve.Service.Busy { inflight = 3; queued = 7 } in
+        let r =
+          Serve.Service.Busy
+            { inflight = 3; queued = 7; retry_after_rounds = 1 }
+        in
         Alcotest.(check string) "label" "busy" (Serve.Service.sreject_label r);
         Alcotest.(check bool) "string mentions both numbers" true
           (let s = Serve.Service.sreject_to_string r in
@@ -234,7 +247,8 @@ let admission =
       "ledger balances: submitted = completed + rejected after drain" `Quick
       (fun () ->
         let sconfig =
-          { Serve.Service.max_inflight = 3; max_queue = 2; quantum = 5;
+          { Serve.Service.default with
+            Serve.Service.max_inflight = 3; max_queue = 2; quantum = 5;
             round_budget = 10 }
         in
         let svc = Serve.Service.create ~sconfig () in
@@ -266,7 +280,8 @@ let admission =
         (* round_budget = quantum: only one session served per round —
            the worst case the rotation has to keep fair. *)
         let sconfig =
-          { Serve.Service.max_inflight = 6; max_queue = 8; quantum = 8;
+          { Serve.Service.default with
+            Serve.Service.max_inflight = 6; max_queue = 8; quantum = 8;
             round_budget = 8 }
         in
         let svc = Serve.Service.create ~sconfig () in
