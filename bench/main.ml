@@ -1266,7 +1266,7 @@ let serve_wave svc specs =
       let rec push () =
         match Serve.Service.submit svc sp with
         | Ok _ -> ()
-        | Error (Serve.Service.Busy _) ->
+        | Error (Serve.Service.Busy _ | Serve.Service.Shed _) ->
           ignore (Serve.Service.step svc);
           ignore (Sys.opaque_identity (Serve.Service.take_completions svc));
           push ()
@@ -1523,7 +1523,7 @@ let chaos_soak ~pool ~sconfig ~specs ~resolve ~sessions () =
         let rec push () =
           match Serve.Service.submit svc sp with
           | Ok _ -> ()
-          | Error (Serve.Service.Busy _) ->
+          | Error (Serve.Service.Busy _ | Serve.Service.Shed _) ->
             ignore (Serve.Service.step svc);
             push ()
         in
@@ -1690,7 +1690,7 @@ let run_recover ?(smoke = false) () =
             let rec push () =
               match Serve.Service.submit svc sp with
               | Ok _ -> ()
-              | Error (Serve.Service.Busy _) ->
+              | Error (Serve.Service.Busy _ | Serve.Service.Shed _) ->
                 ignore (Serve.Service.step svc);
                 ignore
                   (Sys.opaque_identity (Serve.Service.take_completions svc));
@@ -1889,6 +1889,293 @@ let run_recover ?(smoke = false) () =
           (Sys.getcwd ())
       end)
 
+(* ------------------------------------------------------------------ *)
+(* PR10: storm-proof triage.  Benches the duplicate-storm front-end
+   (fingerprint coalescing, two admission lanes, recurrence shedding)
+   and gates its point: under a duplicate-heavy stream,
+
+     - fresh bugs are diagnosed no later than they would be on a
+       service without triage fed the same storm (rounds-based, so
+       the gate is deterministic at any core count);
+     - fresh-bug latency does not regress against the storm-free
+       baseline (the same fresh traffic with no storm around it);
+     - duplicates actually coalesce (a dedup-ratio floor at 80%
+       duplicates) and shedding under a tight queue is typed, counted
+       and ledger-balanced — never silent;
+     - the triage tables are bounded: flat live heap across repeated
+       storm waves through one service, and no fresh-lane starvation
+       (the st_fresh_wait_rounds witness stays within the storm-free
+       bound plus the in-flight cap).
+
+   Emits BENCH_PR10.json: sessions/s, time-to-first/last-new-diagnosis
+   with and without triage, dedup ratio, shed counts, soak heap. *)
+
+(* Storm streams name duplicate re-reports "<bug>@<k>"; fresh traffic
+   keeps its own name.  (Hot bugs' own first arrival is also "@"-named
+   — their fingerprint is new, but the bug is the storm's, not fresh
+   traffic's, so it stays out of the fresh-latency metrics.) *)
+let is_fresh_name name = not (String.contains name '@')
+
+let storm_sconfig ~sessions ~triage =
+  {
+    Serve.Service.default with
+    Serve.Service.max_inflight = 32;
+    max_queue = sessions;
+    round_budget = 128;
+    triage;
+    (* One round of grace after a diagnosis, then duplicates re-open
+       the cluster as recurrences — so multi-wave soaks exercise the
+       recurrence lane, not just coalescing. *)
+    recency_rounds = 1;
+  }
+
+(* One wave: submit [specs] riding [Busy] backpressure; a [Shed] is
+   final for that submission (load shedding means the client backs
+   off).  Returns (completions, shed notices, wall seconds). *)
+let storm_wave svc specs =
+  let t0 = Unix.gettimeofday () in
+  let completions = ref [] in
+  let sheds = ref [] in
+  let harvest () =
+    completions := !completions @ Serve.Service.take_completions svc;
+    sheds := !sheds @ Serve.Service.take_shed svc
+  in
+  List.iter
+    (fun sp ->
+      let rec push () =
+        match Serve.Service.submit svc sp with
+        | Ok _ -> ()
+        | Error (Serve.Service.Shed _) -> ()
+        | Error (Serve.Service.Busy _) ->
+          ignore (Serve.Service.step svc);
+          harvest ();
+          push ()
+      in
+      push ())
+    specs;
+  Serve.Service.drain svc;
+  harvest ();
+  (!completions, !sheds, Unix.gettimeofday () -. t0)
+
+(* Completion rounds of the fresh-named sessions: (first, last).
+   Rounds, not wall seconds — deterministic at any [jobs]. *)
+let fresh_rounds completions =
+  List.fold_left
+    (fun (first, last) (c : Serve.Service.completion) ->
+      if is_fresh_name c.Serve.Service.c_name then
+        ( (if first = 0 then c.c_completed_round
+           else min first c.c_completed_round),
+          max last c.c_completed_round )
+      else (first, last))
+    (0, 0) completions
+
+let storm_ledger_check label svc (st : Serve.Service.stats) =
+  if
+    st.st_submitted
+    <> st.st_completed + st.st_rejected + st.st_coalesced + st.st_shed
+    || Serve.Service.inflight svc <> 0
+    || Serve.Service.queued svc <> 0
+  then
+    failwith
+      (Printf.sprintf
+         "storm bench (%s): ledger does not balance: %d submitted, %d \
+          completed, %d rejected, %d coalesced, %d shed, %d in flight, %d \
+          queued"
+         label st.st_submitted st.st_completed st.st_rejected st.st_coalesced
+         st.st_shed
+         (Serve.Service.inflight svc)
+         (Serve.Service.queued svc))
+
+let run_storm ?(sessions = 200) ?(json = true) () =
+  let jobs = max 2 (Parallel.Jobs.default ()) in
+  let dup_ratio = 0.8 in
+  let specs =
+    Serve.Stream.storm ~tweak:soak_tweak ~seed:42 ~sessions ~dup_ratio ()
+  in
+  let fresh_specs =
+    List.filter
+      (fun (sp : Serve.Service.spec) -> is_fresh_name sp.sp_name)
+      specs
+  in
+  Parallel.Pool.with_pool ~jobs (fun pool ->
+      let one label ~triage specs =
+        let sconfig = storm_sconfig ~sessions ~triage in
+        let svc = Serve.Service.create ~sconfig ~pool () in
+        let completions, sheds, wall = storm_wave svc specs in
+        let st = Serve.Service.stats svc in
+        storm_ledger_check label svc st;
+        (completions, sheds, wall, st)
+      in
+      (* The same storm, with and without the triage front-end, plus
+         the storm-free baseline: just the fresh traffic. *)
+      let c_on, _, wall_on, st_on = one "triage" ~triage:true specs in
+      let c_off, _, wall_off, st_off = one "no-triage" ~triage:false specs in
+      let c_free, _, _, st_free = one "storm-free" ~triage:true fresh_specs in
+      let first_on, last_on = fresh_rounds c_on in
+      let first_off, last_off = fresh_rounds c_off in
+      let first_free, last_free = fresh_rounds c_free in
+      let dedup = float_of_int st_on.st_coalesced /. float_of_int st_on.st_submitted in
+      Printf.printf
+        "PR10 storm: %d sessions at %.0f%% duplicates: triage %d diagnosed \
+         (%.1f sessions/s offered, dedup %.2f), no-triage %d diagnosed \
+         (%.1f/s)\n"
+        sessions (100. *. dup_ratio) st_on.st_completed
+        (float_of_int sessions /. wall_on)
+        dedup st_off.st_completed
+        (float_of_int sessions /. wall_off);
+      Printf.printf
+        "PR10 storm: fresh diagnosis rounds first/last: triage %d/%d, \
+         no-triage %d/%d, storm-free %d/%d\n"
+        first_on last_on first_off last_off first_free last_free;
+      (* Gate 1: triage never delays the fresh traffic relative to the
+         same storm without it. *)
+      if last_on > last_off || first_on > first_off then
+        failwith
+          (Printf.sprintf
+             "storm bench: triage delayed fresh diagnoses (first %d vs %d, \
+              last %d vs %d)"
+             first_on first_off last_on last_off);
+      (* Gate 2: no regression against the storm-free baseline beyond
+         one in-flight window of slack. *)
+      let slack = (storm_sconfig ~sessions ~triage:true).Serve.Service.max_inflight in
+      if last_on > last_free + slack then
+        failwith
+          (Printf.sprintf
+             "storm bench: storm pushed the last fresh diagnosis to round \
+              %d (storm-free %d + slack %d)"
+             last_on last_free slack);
+      (* Gate 3: at 80%% duplicates, at least half the offered sessions
+         must coalesce (the rest are first arrivals and recurrences). *)
+      if dedup < 0.5 then
+        failwith
+          (Printf.sprintf "storm bench: dedup ratio %.2f below 0.5" dedup);
+      if st_on.st_fresh_wait_rounds
+         > st_free.st_max_wait_rounds + slack
+      then
+        failwith
+          (Printf.sprintf
+             "storm bench: fresh lane waited %d rounds (storm-free bound %d \
+              + %d)"
+             st_on.st_fresh_wait_rounds st_free.st_max_wait_rounds slack);
+      (* Shed regime: a tight waiting room under the same storm.
+         Recurrences must be refused/evicted typed and counted; fresh
+         bugs never shed; the ledger still balances. *)
+      let shed_sc =
+        {
+          (storm_sconfig ~sessions ~triage:true) with
+          Serve.Service.max_inflight = 4;
+          max_queue = 4;
+          round_budget = 32;
+        }
+      in
+      let shed_svc = Serve.Service.create ~sconfig:shed_sc ~pool () in
+      let _, shed_notices, _ = storm_wave shed_svc specs in
+      let st_shed = Serve.Service.stats shed_svc in
+      storm_ledger_check "shed" shed_svc st_shed;
+      Printf.printf
+        "PR10 storm: tight queue (%d/%d): %d shed (%d evicted-queued \
+         notices), %d coalesced, %d completed\n"
+        shed_sc.Serve.Service.max_inflight shed_sc.Serve.Service.max_queue
+        st_shed.st_shed
+        (List.length shed_notices)
+        st_shed.st_coalesced st_shed.st_completed;
+      (* Soak: 3 storm waves through ONE service.  Waves 2..3 re-offer
+         every bug, so diagnosed clusters re-open as recurrences (the
+         recurrence lane earns its keep) and the cluster table, lanes
+         and journal must stay bounded: flat live heap, like PR8. *)
+      let soak_sc = storm_sconfig ~sessions ~triage:true in
+      let soak_svc = Serve.Service.create ~sconfig:soak_sc ~pool () in
+      let wave () =
+        let completions, _, _ = storm_wave soak_svc specs in
+        ignore (Sys.opaque_identity completions);
+        Gc.compact ();
+        (List.length completions, (Gc.stat ()).Gc.live_words)
+      in
+      let d1, w1 = wave () in
+      let d2, w2 = wave () in
+      let d3, w3 = wave () in
+      let st_soak = Serve.Service.stats soak_svc in
+      storm_ledger_check "soak" soak_svc st_soak;
+      Printf.printf
+        "PR10 storm: soak 3 waves of %d: diagnosed %d %d %d; live words %d \
+         %d %d; %d coalesced, %d recurrence-admitted, fresh wait %d\n"
+        sessions d1 d2 d3 w1 w2 w3 st_soak.st_coalesced
+        st_soak.st_recur_admitted st_soak.st_fresh_wait_rounds;
+      if w3 > w2 + (w2 / 100) then
+        failwith
+          (Printf.sprintf
+             "storm bench: live words grew across storm waves (%d -> %d)" w2
+             w3);
+      if st_soak.st_recur_admitted = 0 then
+        failwith "storm bench: the soak never exercised the recurrence lane";
+      if st_soak.st_fresh_wait_rounds > st_free.st_max_wait_rounds + slack
+      then
+        failwith
+          (Printf.sprintf
+             "storm bench: soak fresh lane waited %d rounds (storm-free \
+              bound %d + %d)"
+             st_soak.st_fresh_wait_rounds st_free.st_max_wait_rounds slack);
+      if json then begin
+        let buf = Buffer.create 4096 in
+        Buffer.add_string buf "{\n";
+        Printf.bprintf buf "  \"pr\": 10,\n";
+        Printf.bprintf buf "  \"available_cores\": %d,\n"
+          (Parallel.Jobs.available ());
+        Printf.bprintf buf "  \"jobs\": %d,\n" jobs;
+        Printf.bprintf buf
+          "  \"storm\": {\"sessions\": %d, \"dup_ratio\": %.2f, \
+           \"hot\": 4},\n"
+          sessions dup_ratio;
+        Printf.bprintf buf
+          "  \"triage\": {\"diagnosed\": %d, \"coalesced\": %d, \
+           \"dedup_ratio\": %.3f, \"sessions_per_s\": %.2f, \
+           \"fresh_first_round\": %d, \"fresh_last_round\": %d, \
+           \"fresh_wait_rounds\": %d},\n"
+          st_on.st_completed st_on.st_coalesced (json_num dedup)
+          (json_num (float_of_int sessions /. wall_on))
+          first_on last_on st_on.st_fresh_wait_rounds;
+        Printf.bprintf buf
+          "  \"no_triage\": {\"diagnosed\": %d, \"sessions_per_s\": %.2f, \
+           \"fresh_first_round\": %d, \"fresh_last_round\": %d},\n"
+          st_off.st_completed
+          (json_num (float_of_int sessions /. wall_off))
+          first_off last_off;
+        Printf.bprintf buf
+          "  \"storm_free\": {\"fresh_first_round\": %d, \
+           \"fresh_last_round\": %d, \"max_wait_rounds\": %d},\n"
+          first_free last_free st_free.st_max_wait_rounds;
+        Printf.bprintf buf
+          "  \"shed_regime\": {\"max_inflight\": %d, \"max_queue\": %d, \
+           \"shed\": %d, \"evicted_notices\": %d, \"coalesced\": %d, \
+           \"completed\": %d},\n"
+          shed_sc.Serve.Service.max_inflight shed_sc.Serve.Service.max_queue
+          st_shed.st_shed
+          (List.length shed_notices)
+          st_shed.st_coalesced st_shed.st_completed;
+        Printf.bprintf buf
+          "  \"soak\": {\"waves\": 3, \"sessions_per_wave\": %d, \
+           \"diagnosed\": [%d, %d, %d], \"live_words\": [%d, %d, %d], \
+           \"recur_admitted\": %d, \"fresh_wait_rounds\": %d},\n"
+          sessions d1 d2 d3 w1 w2 w3 st_soak.st_recur_admitted
+          st_soak.st_fresh_wait_rounds;
+        Printf.bprintf buf
+          "  \"gates\": {\"fresh_not_delayed_vs_no_triage\": true, \
+           \"fresh_last_round_within_storm_free_slack\": true, \
+           \"dedup_floor\": 0.5, \"ledger_balanced\": true}\n";
+        Buffer.add_string buf "}\n";
+        let oc = open_out "BENCH_PR10.json" in
+        output_string oc (Buffer.contents buf);
+        close_out oc;
+        json_check "BENCH_PR10.json";
+        Printf.printf "PR10 storm: wrote %s/BENCH_PR10.json\n%!"
+          (Sys.getcwd ())
+      end)
+
+(* The standalone @check gate: the full-scale storm (3 x 200 sessions
+   at 80% duplicates through one service, plus the triage-vs-no-triage
+   and storm-free differentials), no JSON. *)
+let run_storm_soak () = run_storm ~json:false ()
+
 (* The @check gate (fast variant of the full report): Bugbase plus the
    25-case seed-42 fuzz campaign, early exit on, asserting the top-1
    predictor matches the exhaustive oracle everywhere and that the
@@ -1963,6 +2250,8 @@ let experiments =
     ("serve", fun () -> run_serve ());
     ("recover", fun () -> run_recover ());
     ("recover_soak", run_recover_soak);
+    ("storm", fun () -> run_storm ());
+    ("storm_soak", run_storm_soak);
     ("smoke",
      fun () ->
        run_perf ~smoke:true ();
@@ -1970,7 +2259,8 @@ let experiments =
        run_ingest ~smoke:true ();
        run_adaptive ~smoke:true ();
        run_serve ~smoke:true ();
-       run_recover ~smoke:true ());
+       run_recover ~smoke:true ();
+       run_storm ~sessions:120 ~json:false ());
   ]
 
 let () =

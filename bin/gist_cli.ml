@@ -535,7 +535,17 @@ let print_service_stats (st : Serve.Service.stats) =
      round(s); %d checkpoint(s), %d divergence(s)\n"
     st.st_submitted st.st_admitted st.st_rejected st.st_completed st.st_failed
     st.st_rounds st.st_slots st.st_peak_inflight st.st_max_wait_rounds
-    st.st_checkpoints st.st_divergences
+    st.st_checkpoints st.st_divergences;
+  if
+    st.st_coalesced > 0 || st.st_shed > 0 || st.st_clusters > 0
+    || st.st_evicted_clusters > 0 || st.st_recur_admitted > 0
+  then
+    Printf.printf
+      "triage: %d coalesced, %d shed; %d fresh / %d recurrence admitted \
+       (max lane wait %d/%d round(s)); %d cluster(s) live, %d evicted\n"
+      st.st_coalesced st.st_shed st.st_fresh_admitted st.st_recur_admitted
+      st.st_fresh_wait_rounds st.st_recur_wait_rounds st.st_clusters
+      st.st_evicted_clusters
 
 (* The fuzz accuracy gate through the multiplexed path: same cases,
    same scoring, every diagnosable case one session of a shared
@@ -700,19 +710,77 @@ let fuzz_cmd =
    journal) instead of dying mid-round. *)
 
 let print_status views =
-  Printf.printf "%-6s %-28s %5s %5s %6s %6s %6s %7s %7s\n" "id" "session"
-    "adm" "wait" "slots" "strk" "iter" "sigma" "valid";
+  Printf.printf "%-6s %-28s %-5s %5s %5s %6s %6s %6s %7s %7s\n" "id" "session"
+    "lane" "adm" "wait" "slots" "strk" "iter" "sigma" "valid";
   List.iter
     (fun (v : Serve.Service.session_view) ->
       let p = v.v_progress in
-      Printf.printf "%-6d %-28s %5d %5d %6d %6d %6d %7d %7d\n" v.v_id
-        v.v_name v.v_admitted_round v.v_rounds_waiting v.v_slots v.v_strikes
+      Printf.printf "%-6d %-28s %-5s %5d %5d %6d %6d %6d %7d %7d\n" v.v_id
+        v.v_name
+        (Serve.Service.lane_label v.v_lane)
+        v.v_admitted_round v.v_rounds_waiting v.v_slots v.v_strikes
         p.Gist.Server.Session.p_iteration p.p_sigma p.p_valid)
     views
 
+let print_lanes (lv : Serve.Service.lane_view) =
+  Printf.printf
+    "lanes: fresh %d queued (credit %d, %d admitted) / recurrence %d queued \
+     (credit %d, %d admitted)\n"
+    lv.lv_fresh_queued lv.lv_fresh_credit lv.lv_fresh_admitted
+    lv.lv_recur_queued lv.lv_recur_credit lv.lv_recur_admitted
+
+let print_clusters views =
+  if views <> [] then begin
+    Printf.printf "%-18s %-28s %6s %6s %6s\n" "fingerprint" "cluster" "canon"
+      "count" "done";
+    List.iter
+      (fun (v : Serve.Triage.view) ->
+        Printf.printf "%-18s %-28s %6d %6d %6s\n"
+          (Printf.sprintf "%016x" v.v_fp)
+          v.v_name v.v_canonical v.v_count
+          (if v.v_done_round < 0 then "-" else string_of_int v.v_done_round))
+      views
+  end
+
+(* Per-cluster artifacts: the canonical diagnosis's sketch, and — when
+   the bug came from the fuzzer — a shrunk standalone reproducer (.gir
+   with its ground truth) that re-triggers the same cluster. *)
+let emit_reproducers dir ~resolve ~completions views =
+  (try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+  let by_id = Hashtbl.create 16 in
+  List.iter
+    (fun (c : Serve.Service.completion) -> Hashtbl.replace by_id c.c_id c)
+    completions;
+  let emitted = ref 0 in
+  List.iter
+    (fun (v : Serve.Triage.view) ->
+      let stem = Filename.concat dir (Printf.sprintf "%016x" v.v_fp) in
+      (match Hashtbl.find_opt by_id v.v_canonical with
+       | Some { Serve.Service.c_result = Ok d; _ } ->
+         let oc = open_out (stem ^ ".sketch.txt") in
+         output_string oc (Fsketch.Render.render d.Gist.Server.sketch);
+         close_out oc;
+         incr emitted
+       | Some { Serve.Service.c_result = Error _; _ } | None -> ());
+      match resolve v.Serve.Triage.v_name with
+      | Some { Serve.Service.sp_case = Some case; _ } ->
+        let verdict =
+          match Hashtbl.find_opt by_id v.v_canonical with
+          | Some { Serve.Service.c_result = Ok d; _ } ->
+            Fuzz.Check.verdict_of_sketch case d.Gist.Server.sketch
+          | _ -> Fuzz.Check.Correct
+        in
+        let shrunk = (Fuzz.Shrink.run case verdict).Fuzz.Shrink.shrunk in
+        Fuzz.Corpus.save (stem ^ ".gir") shrunk
+      | Some _ | None -> ())
+    views;
+  Printf.printf "reproducers: %d sketch(es) and corpus case(s) under %s\n"
+    !emitted dir
+
 let serve_run sessions fuzz_count seed jobs inflight queue quantum budget
     checkpoint_every deadline strikes summary status journal_file kill_at
-    faults =
+    triage max_clusters fresh_weight recur_weight recency storm dup_ratio
+    reproducer_dir faults =
   let jobs = resolve_jobs jobs in
   let sconfig =
     {
@@ -723,6 +791,11 @@ let serve_run sessions fuzz_count seed jobs inflight queue quantum budget
       checkpoint_every_rounds = checkpoint_every;
       session_deadline_rounds = deadline;
       max_session_strikes = strikes;
+      triage;
+      max_clusters;
+      fresh_weight;
+      recur_weight;
+      recency_rounds = recency;
     }
   in
   match Serve.Service.validate sconfig with
@@ -730,7 +803,12 @@ let serve_run sessions fuzz_count seed jobs inflight queue quantum budget
     prerr_endline (Serve.Service.cerror_to_string e);
     2
   | Ok sconfig -> (
-    match Serve.Stream.mixed ?faults ~fuzz_count ~seed ~sessions () with
+    let specs =
+      if storm then
+        Serve.Stream.storm ?faults ~fuzz_count ~seed ~sessions ~dup_ratio ()
+      else Serve.Stream.mixed ?faults ~fuzz_count ~seed ~sessions ()
+    in
+    match specs with
     | [] -> exit_no_failure
     | specs ->
       Parallel.Pool.with_pool ~jobs (fun pool ->
@@ -752,6 +830,7 @@ let serve_run sessions fuzz_count seed jobs inflight queue quantum budget
              ticket id, first sighting wins. *)
           let seen = Hashtbl.create (List.length specs) in
           let harvested = ref [] in
+          let sheds = ref [] in
           let harvest () =
             List.iter
               (fun (c : Serve.Service.completion) ->
@@ -759,7 +838,8 @@ let serve_run sessions fuzz_count seed jobs inflight queue quantum budget
                   Hashtbl.replace seen c.c_id ();
                   harvested := c :: !harvested
                 end)
-              (Serve.Service.take_completions !svc)
+              (Serve.Service.take_completions !svc);
+            sheds := !sheds @ Serve.Service.take_shed !svc
           in
           let submit_all () =
             List.iter
@@ -767,6 +847,11 @@ let serve_run sessions fuzz_count seed jobs inflight queue quantum budget
                 let rec push () =
                   match Serve.Service.submit !svc sp with
                   | Ok _ -> ()
+                  | Error (Serve.Service.Shed _) ->
+                    (* Load shedding is final for this submission: the
+                       recurrence was refused under load, typed and
+                       booked — the client backs off, not the CLI. *)
+                    ()
                   | Error (Serve.Service.Busy _) ->
                     (* Saturated: run a round, harvest, retry. *)
                     ignore (Serve.Service.step !svc);
@@ -784,7 +869,11 @@ let serve_run sessions fuzz_count seed jobs inflight queue quantum budget
                step; run one round so the snapshot shows the fleet. *)
             ignore (Serve.Service.step !svc : bool);
             harvest ();
-            print_status (Serve.Service.status !svc)
+            print_status (Serve.Service.status !svc);
+            if Serve.Service.triage_enabled !svc then begin
+              print_lanes (Serve.Service.lanes !svc);
+              print_clusters (Serve.Service.clusters !svc)
+            end
           end;
           let killed = ref false in
           let rec run () =
@@ -834,11 +923,27 @@ let serve_run sessions fuzz_count seed jobs inflight queue quantum budget
               last;
           let st = Serve.Service.stats !svc in
           print_service_stats st;
+          if Serve.Service.triage_enabled !svc && status then begin
+            print_lanes (Serve.Service.lanes !svc);
+            print_clusters (Serve.Service.clusters !svc)
+          end;
+          List.iter
+            (fun (sh : Serve.Service.shed_notice) ->
+              Printf.printf
+                "shed: ticket %d (%s) at round %d; retry after %d round(s)\n"
+                sh.sh_id sh.sh_name sh.sh_round sh.sh_retry_after_rounds)
+            !sheds;
           Printf.printf "throughput: %.1f sessions/s (%d sessions in %.2fs)\n"
             (float_of_int st.st_completed /. wall)
             st.st_completed wall;
+          (match reproducer_dir with
+           | Some dir when Serve.Service.triage_enabled !svc ->
+             emit_reproducers dir ~resolve ~completions:last
+               (Serve.Service.clusters !svc)
+           | Some _ | None -> ());
           let balanced =
-            st.st_submitted = st.st_completed + st.st_rejected
+            st.st_submitted
+            = st.st_completed + st.st_rejected + st.st_coalesced + st.st_shed
             && Serve.Service.inflight !svc = 0
             && Serve.Service.queued !svc = 0
             && List.length last = st.st_completed
@@ -935,17 +1040,74 @@ let serve_cmd =
                    and finish the stream on it. The ledger must still \
                    balance.")
   in
+  let triage =
+    Arg.(value & flag
+         & info [ "triage" ]
+             ~doc:"Turn the duplicate-storm front-end on: fingerprint-keyed \
+                   coalescing of duplicate reports, two-lane (fresh vs \
+                   recurrence) deficit-round-robin admission, and typed \
+                   recurrence shedding at the queue bound.")
+  in
+  let max_clusters =
+    Arg.(value & opt int Serve.Service.default.Serve.Service.max_clusters
+         & info [ "max-clusters" ] ~docv:"N"
+             ~doc:"LRU bound on the fingerprint cluster table (only \
+                   diagnosed clusters are evictable).")
+  in
+  let fresh_weight =
+    Arg.(value & opt int Serve.Service.default.Serve.Service.fresh_weight
+         & info [ "fresh-weight" ] ~docv:"W"
+             ~doc:"Deficit-round-robin credit refill for the fresh \
+                   (never-seen fingerprint) admission lane.")
+  in
+  let recur_weight =
+    Arg.(value & opt int Serve.Service.default.Serve.Service.recur_weight
+         & info [ "recur-weight" ] ~docv:"W"
+             ~doc:"Deficit-round-robin credit refill for the recurrence \
+                   (re-diagnosis) admission lane.")
+  in
+  let recency =
+    Arg.(value & opt int Serve.Service.default.Serve.Service.recency_rounds
+         & info [ "recency-rounds" ] ~docv:"N"
+             ~doc:"A diagnosed cluster keeps coalescing duplicates for \
+                   $(docv) rounds, then a duplicate re-opens it as a \
+                   recurrence (0: coalesce for as long as it stays tabled).")
+  in
+  let storm =
+    Arg.(value & flag
+         & info [ "storm" ]
+             ~doc:"Replay a duplicate-heavy storm stream instead of the \
+                   uniform mix: a seeded hot set of bugs is re-reported \
+                   over and over while the remaining bugs arrive once \
+                   each as fresh traffic.")
+  in
+  let dup_ratio =
+    Arg.(value & opt float 0.8
+         & info [ "dup-ratio" ] ~docv:"R"
+             ~doc:"With $(b,--storm): the fraction of sessions that are \
+                   duplicates of the hot set.")
+  in
+  let reproducers =
+    Arg.(value & opt (some string) None
+         & info [ "emit-reproducers" ] ~docv:"DIR"
+             ~doc:"With $(b,--triage): after the drain, write one \
+                   artifact pair per cluster under $(docv) — the \
+                   canonical diagnosis's sketch and, for fuzz-born bugs, \
+                   a shrunk standalone .gir reproducer.")
+  in
   Cmd.v
     (Cmd.info "serve"
        ~doc:
          "Replay a synthetic multi-bug report stream through the \
           persistent diagnosis service (admission control, fair \
-          multiplexed scheduling, typed backpressure, durable \
-          checkpoints and crash recovery)")
+          multiplexed scheduling, typed backpressure, duplicate triage, \
+          durable checkpoints and crash recovery)")
     Term.(
       const serve_run $ sessions $ fuzz_count $ seed $ jobs_arg $ inflight
       $ queue $ quantum $ budget $ checkpoint_every $ deadline $ strikes
-      $ summary $ status $ journal_file $ kill_at $ faults_term)
+      $ summary $ status $ journal_file $ kill_at $ triage $ max_clusters
+      $ fresh_weight $ recur_weight $ recency $ storm $ dup_ratio
+      $ reproducers $ faults_term)
 
 let () =
   let doc = "failure sketching for automated root cause diagnosis" in

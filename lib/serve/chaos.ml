@@ -108,7 +108,7 @@ let drive ?(pool = Parallel.Pool.sequential) ~rates ~seed ~resolve ~specs svc =
             let rec push () =
               match Service.submit svc sp with
               | Ok _ -> ()
-              | Error (Service.Busy _) ->
+              | Error (Service.Busy _ | Service.Shed _) ->
                 ignore (Service.step svc : bool);
                 harvest svc;
                 push ()

@@ -43,6 +43,7 @@ let spec_of ~early_exit (case : G.case) failure =
     sp_program = case.G.c_program;
     sp_workload_of = G.workload_of case;
     sp_failure = failure;
+    sp_case = Some case;
   }
 
 let report_of_diagnosis (case : G.case) (d : Gist.Server.diagnosis) =
@@ -122,8 +123,11 @@ let run ?(jobs = 0) ?(retries = 5) ?faults ?(early_exit = false)
             let spec = spec_of ~early_exit case failure in
             let rec push () =
               match Service.submit svc spec with
-              | Ok id -> Hashtbl.replace tickets id i
-              | Error (Service.Busy _) ->
+              | Ok (Service.Ticket id) -> Hashtbl.replace tickets id i
+              | Ok (Service.Coalesced _) ->
+                (* Unreachable: the gate runs without triage. *)
+                ()
+              | Error (Service.Busy _ | Service.Shed _) ->
                 ignore (Service.step svc);
                 push ()
             in
@@ -225,7 +229,7 @@ let run_chaos ?(jobs = 0) ?(retries = 5) ?faults ?(early_exit = false)
           let rec push () =
             match Service.submit svc sp with
             | Ok _ -> ()
-            | Error (Service.Busy _) ->
+            | Error (Service.Busy _ | Service.Shed _) ->
               ignore (Service.step svc : bool);
               push ()
           in

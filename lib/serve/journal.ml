@@ -9,6 +9,11 @@ type record =
   | Round of { round : int; digest : int }
   | Completed of { id : int; digest : int }
   | Checkpoint of { round : int; state : string }
+  | Triaged of { id : int; name : string; fp : int; disp : int }
+
+(* Triaged payloads carry their own version byte: the disposition
+   vocabulary can grow without a journal-wide version bump. *)
+let triaged_version = 1
 
 type entry = Rec of record | Damaged of { kind : int; reason : string }
 
@@ -27,6 +32,7 @@ let kind_of = function
   | Round _ -> 2
   | Completed _ -> 3
   | Checkpoint _ -> 4
+  | Triaged _ -> 5
 
 let put_payload b = function
   | Submitted { id; name; rejected } ->
@@ -42,6 +48,12 @@ let put_payload b = function
   | Checkpoint { round; state } ->
     W.put_uint b round;
     W.put_string b state
+  | Triaged { id; name; fp; disp } ->
+    W.put_uint b triaged_version;
+    W.put_uint b id;
+    W.put_string b name;
+    W.put_uint b fp;
+    W.put_uint b disp
 
 let get_payload kind r =
   match kind with
@@ -62,6 +74,13 @@ let get_payload kind r =
     let round = W.get_uint r in
     let state = W.get_string r in
     Checkpoint { round; state }
+  | 5 ->
+    if W.get_uint r <> triaged_version then raise W.Short;
+    let id = W.get_uint r in
+    let name = W.get_string r in
+    let fp = W.get_uint r in
+    let disp = W.get_uint r in
+    Triaged { id; name; fp; disp }
   | _ -> raise W.Short
 
 let record_digest ~kind payload =
@@ -72,7 +91,7 @@ let create () = { buf = Buffer.create 4096; ckpts = [] }
 let append t record =
   (match record with
    | Checkpoint _ -> t.ckpts <- Buffer.length t.buf :: t.ckpts
-   | Submitted _ | Round _ | Completed _ -> ());
+   | Submitted _ | Round _ | Completed _ | Triaged _ -> ());
   let p = Buffer.create 64 in
   put_payload p record;
   let payload = Buffer.contents p in

@@ -31,6 +31,15 @@ type record =
   | Checkpoint of { round : int; state : string }
       (** full service snapshot after [round]; [state] is
           {!Service}'s own codec output *)
+  | Triaged of { id : int; name : string; fp : int; disp : int }
+      (** a triage-gated admission decision (replaces [Submitted]
+          when the service runs with triage on): the submission's
+          fingerprint and its disposition — fresh-lane ticket,
+          recurrence-lane ticket, coalesced, shed, or busy-rejected
+          ({!Service} owns the encoding).  The payload carries its own
+          version byte so the disposition vocabulary can grow without
+          a journal-wide bump; replay re-derives the decision through
+          the real [submit] and audits it against this record *)
 
 (** What {!load} recovered a frame into. *)
 type entry =

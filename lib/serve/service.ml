@@ -45,6 +45,7 @@ type spec = {
   sp_program : Ir.Types.program;
   sp_workload_of : int -> Exec.Interp.workload;
   sp_failure : Exec.Failure.report;
+  sp_case : Fuzz.Gen.case option;
 }
 
 type sconfig = {
@@ -55,6 +56,11 @@ type sconfig = {
   checkpoint_every_rounds : int;
   session_deadline_rounds : int;
   max_session_strikes : int;
+  triage : bool;
+  max_clusters : int;
+  fresh_weight : int;
+  recur_weight : int;
+  recency_rounds : int;
 }
 
 let default =
@@ -66,6 +72,11 @@ let default =
     checkpoint_every_rounds = 8;
     session_deadline_rounds = 0;
     max_session_strikes = 3;
+    triage = false;
+    max_clusters = 256;
+    fresh_weight = 4;
+    recur_weight = 1;
+    recency_rounds = 0;
   }
 
 type cerror =
@@ -76,6 +87,9 @@ type cerror =
   | Bad_checkpoint_every of int
   | Bad_deadline of int
   | Bad_strikes of int
+  | Bad_clusters of int
+  | Bad_lane_weight of { fresh : int; recur : int }
+  | Bad_recency of int
 
 let cerror_to_string = function
   | Bad_inflight n ->
@@ -97,6 +111,17 @@ let cerror_to_string = function
       n
   | Bad_strikes n ->
     Printf.sprintf "Service: max_session_strikes must be > 0 (got %d)" n
+  | Bad_clusters n ->
+    Printf.sprintf "Service: max_clusters must be > 0 (got %d)" n
+  | Bad_lane_weight { fresh; recur } ->
+    Printf.sprintf
+      "Service: lane weights must be > 0 (got fresh %d, recurrence %d)" fresh
+      recur
+  | Bad_recency n ->
+    Printf.sprintf
+      "Service: recency_rounds must be >= 0 (got %d; 0 coalesces for as long \
+       as the cluster stays tabled)"
+      n
 
 let validate c =
   if c.max_inflight <= 0 then Error (Bad_inflight c.max_inflight)
@@ -110,18 +135,47 @@ let validate c =
     Error (Bad_deadline c.session_deadline_rounds)
   else if c.max_session_strikes <= 0 then
     Error (Bad_strikes c.max_session_strikes)
+  else if c.max_clusters <= 0 then Error (Bad_clusters c.max_clusters)
+  else if c.fresh_weight <= 0 || c.recur_weight <= 0 then
+    Error (Bad_lane_weight { fresh = c.fresh_weight; recur = c.recur_weight })
+  else if c.recency_rounds < 0 then Error (Bad_recency c.recency_rounds)
   else Ok c
 
 type sreject =
   | Busy of { inflight : int; queued : int; retry_after_rounds : int }
+  | Shed of { queued : int; retry_after_rounds : int }
 
-let sreject_label (Busy _) = "busy"
+let sreject_label = function Busy _ -> "busy" | Shed _ -> "shed"
 
-let sreject_to_string (Busy { inflight; queued; retry_after_rounds }) =
-  Printf.sprintf
-    "service saturated: %d sessions in flight, %d queued for admission; \
-     retry after %d rounds"
-    inflight queued retry_after_rounds
+let sreject_to_string = function
+  | Busy { inflight; queued; retry_after_rounds } ->
+    Printf.sprintf
+      "service saturated: %d sessions in flight, %d queued for admission; \
+       retry after %d rounds"
+      inflight queued retry_after_rounds
+  | Shed { queued; retry_after_rounds } ->
+    Printf.sprintf
+      "recurrence shed under load: %d queued for admission; retry after %d \
+       rounds"
+      queued retry_after_rounds
+
+(* What {!submit} accepted. *)
+type admission =
+  | Ticket of int
+  | Coalesced of { canonical : int; count : int }
+
+(* The two admission lanes: unseen fingerprints (and every session of
+   a triage-less service) versus re-diagnoses of already-seen ones. *)
+type lane = Fresh_lane | Recur_lane
+
+let lane_label = function Fresh_lane -> "fresh" | Recur_lane -> "recur"
+
+(* Journal disposition codes for [Journal.Triaged]. *)
+let disp_fresh = 0
+and disp_recur = 1
+and disp_coalesced = 2
+and disp_shed = 3
+and disp_busy = 4
 
 type failure_reason = Crashed | Quarantined | Timed_out
 
@@ -163,12 +217,33 @@ type stats = {
   st_max_wait_rounds : int;
   st_checkpoints : int;
   st_divergences : int;
+  st_coalesced : int;
+  st_shed : int;
+  st_fresh_admitted : int;
+  st_recur_admitted : int;
+  st_fresh_wait_rounds : int;
+  st_recur_wait_rounds : int;
+  st_clusters : int;
+  st_evicted_clusters : int;
+}
+
+(* One submission waiting for admission. *)
+type pending = {
+  p_id : int;
+  p_spec : spec;
+  p_fp : int; (* 0 when triage is off *)
+  p_round : int; (* round counter at submission, for lane wait stats *)
+  (* when this ticket re-opened a [Done] cluster: the canonical and
+     round to restore if the ticket is shed before admission *)
+  p_revert : (int * int) option;
 }
 
 (* One admitted session and its scheduling ledger. *)
 type active = {
   a_id : int;
   a_name : string;
+  a_lane : lane;
+  a_fp : int;
   a_session : Session.t;
   a_admitted_round : int;
   a_t0 : float;
@@ -177,13 +252,26 @@ type active = {
   mutable a_strikes : int;
 }
 
+(* A queued recurrence ticket shed to make room for a fresh bug —
+   typed, harvested like completions, never silent. *)
+type shed_notice = {
+  sh_id : int;
+  sh_name : string;
+  sh_fp : int;
+  sh_round : int;
+  sh_retry_after_rounds : int;
+}
+
 type t = {
   cfg : sconfig;
   pool : Parallel.Pool.t;
   journal : Journal.t option;
-  queue : (int * spec) Queue.t;
+  queue : pending Queue.t; (* fresh lane; the only lane w/o triage *)
+  rqueue : pending Queue.t; (* recurrence lane (triage only) *)
+  triage : Triage.t option;
   mutable active : active list; (* ring order; admission appends *)
   mutable completions : completion list; (* newest first *)
+  mutable sheds : shed_notice list; (* newest first *)
   mutable draining : bool;
   (* ticket id -> journaled completion digest, populated by recovery
      replay and consumed (audited) as the replay re-completes them *)
@@ -193,6 +281,16 @@ type t = {
   mutable rejected : int;
   mutable completed : int;
   mutable failed : int;
+  mutable coalesced : int;
+  mutable shed : int;
+  mutable fresh_admitted : int;
+  mutable recur_admitted : int;
+  mutable fresh_wait : int;
+  mutable recur_wait : int;
+  (* deficit-round-robin lane credits; refilled by weight when both
+     lanes contend, zeroed when contention ends *)
+  mutable fresh_credit : int;
+  mutable recur_credit : int;
   mutable rounds : int;
   mutable slots : int;
   mutable peak_inflight : int;
@@ -206,7 +304,7 @@ type t = {
 }
 
 let inflight t = List.length t.active
-let queued t = Queue.length t.queue
+let queued t = Queue.length t.queue + Queue.length t.rqueue
 
 let jrnl t r =
   match t.journal with None -> () | Some j -> Journal.append j r
@@ -241,11 +339,44 @@ let result_digest = function
     mix tag (mix f.sf_strikes (Hashtbl.hash f.sf_detail))
 
 (* ------------------------------------------------------------------ *)
+(* Triage fingerprinting.  The salt folds the diagnosis-affecting
+   parts of the spec beyond (program, failure): two submissions of the
+   same bug under different configs are different artifacts and must
+   not coalesce.  [Hashtbl.hash_param] with a deep limit keeps the
+   whole config significant; it is a structural hash, so it is stable
+   across processes for equal values. *)
+
+let spec_salt sp =
+  let ingest_tag =
+    match sp.sp_ingest with Server.Streaming -> 1 | Server.Retained -> 2
+  in
+  mix ingest_tag (Hashtbl.hash_param 128 256 sp.sp_config)
+
+let fingerprint_of_spec sp =
+  Fsketch.Fingerprint.to_int
+    (Fsketch.Fingerprint.compute ~salt:(spec_salt sp) sp.sp_program
+       sp.sp_failure)
+
+(* ------------------------------------------------------------------ *)
 (* Checkpoint codec: the whole service, sessions as
    [Session.snapshot] bytes, queued and active specs by name (specs
-   hold closures; recovery re-resolves them). *)
+   hold closures; recovery re-resolves them).  Version 2 added the
+   triage front-end: lane queues, DRR credits, lane counters and the
+   cluster table. *)
 
-let state_version = 1
+let state_version = 2
+
+let put_pending b p =
+  W.put_uint b p.p_id;
+  W.put_string b p.p_spec.sp_name;
+  W.put_uint b p.p_fp;
+  W.put_uint b p.p_round;
+  match p.p_revert with
+  | None -> W.put_bool b false
+  | Some (canonical, round) ->
+    W.put_bool b true;
+    W.put_uint b canonical;
+    W.put_uint b round
 
 let encode_state t =
   let b = Buffer.create 4096 in
@@ -257,11 +388,24 @@ let encode_state t =
   W.put_uint b t.cfg.checkpoint_every_rounds;
   W.put_uint b t.cfg.session_deadline_rounds;
   W.put_uint b t.cfg.max_session_strikes;
+  W.put_bool b t.cfg.triage;
+  W.put_uint b t.cfg.max_clusters;
+  W.put_uint b t.cfg.fresh_weight;
+  W.put_uint b t.cfg.recur_weight;
+  W.put_uint b t.cfg.recency_rounds;
   W.put_uint b t.submitted;
   W.put_uint b t.admitted;
   W.put_uint b t.rejected;
   W.put_uint b t.completed;
   W.put_uint b t.failed;
+  W.put_uint b t.coalesced;
+  W.put_uint b t.shed;
+  W.put_uint b t.fresh_admitted;
+  W.put_uint b t.recur_admitted;
+  W.put_uint b t.fresh_wait;
+  W.put_uint b t.recur_wait;
+  W.put_uint b t.fresh_credit;
+  W.put_uint b t.recur_credit;
   W.put_uint b t.rounds;
   W.put_uint b t.slots;
   W.put_uint b t.peak_inflight;
@@ -269,22 +413,27 @@ let encode_state t =
   W.put_uint b t.divergences;
   W.put_bool b t.draining;
   W.put_uint b (Queue.length t.queue);
-  Queue.iter
-    (fun (id, sp) ->
-      W.put_uint b id;
-      W.put_string b sp.sp_name)
-    t.queue;
+  Queue.iter (put_pending b) t.queue;
+  W.put_uint b (Queue.length t.rqueue);
+  Queue.iter (put_pending b) t.rqueue;
   W.put_uint b (List.length t.active);
   List.iter
     (fun a ->
       W.put_uint b a.a_id;
       W.put_string b a.a_name;
+      W.put_uint b (match a.a_lane with Fresh_lane -> 0 | Recur_lane -> 1);
+      W.put_uint b a.a_fp;
       W.put_uint b a.a_admitted_round;
       W.put_uint b a.a_last_served;
       W.put_uint b a.a_slots;
       W.put_uint b a.a_strikes;
       W.put_string b (Session.snapshot a.a_session))
     t.active;
+  (match t.triage with
+   | None -> W.put_bool b false
+   | Some tri ->
+     W.put_bool b true;
+     Triage.encode b tri);
   Buffer.contents b
 
 (* ------------------------------------------------------------------ *)
@@ -293,7 +442,7 @@ let do_checkpoint t =
   match t.journal with
   | None -> false
   | Some j ->
-    if t.completions <> [] then false
+    if t.completions <> [] || t.sheds <> [] then false
     else begin
       t.checkpoints <- t.checkpoints + 1;
       Journal.append j
@@ -318,8 +467,16 @@ let create ?(sconfig = default) ?(journal = true) ?(pool = Parallel.Pool.sequent
       pool;
       journal = (if journal then Some (Journal.create ()) else None);
       queue = Queue.create ();
+      rqueue = Queue.create ();
+      triage =
+        (if cfg.triage then
+           Some
+             (Triage.create ~max_clusters:cfg.max_clusters
+                ~recency_rounds:cfg.recency_rounds)
+         else None);
       active = [];
       completions = [];
+      sheds = [];
       draining = false;
       expected = Hashtbl.create 16;
       submitted = 0;
@@ -327,6 +484,14 @@ let create ?(sconfig = default) ?(journal = true) ?(pool = Parallel.Pool.sequent
       rejected = 0;
       completed = 0;
       failed = 0;
+      coalesced = 0;
+      shed = 0;
+      fresh_admitted = 0;
+      recur_admitted = 0;
+      fresh_wait = 0;
+      recur_wait = 0;
+      fresh_credit = 0;
+      recur_credit = 0;
       rounds = 0;
       slots = 0;
       peak_inflight = 0;
@@ -348,40 +513,171 @@ let create ?(sconfig = default) ?(journal = true) ?(pool = Parallel.Pool.sequent
 let retry_hint cfg ~queued =
   max 1 (((queued * cfg.quantum) + cfg.round_budget - 1) / cfg.round_budget)
 
-(* Admission control: a submission is either ticketed into the queue
-   or refused with a typed [Busy] — backpressure the caller can act
-   on (retry after [step]) instead of unbounded buffering.  Every
-   submission, accepted or not, is booked and journaled, so the
-   ledger always balances — and replays exactly:
-   submitted = completed + rejected + queued + in-flight. *)
-let submit t spec =
-  t.submitted <- t.submitted + 1;
-  let refuse () =
-    t.rejected <- t.rejected + 1;
-    jrnl t
-      (Journal.Submitted
-         { id = t.submitted; name = spec.sp_name; rejected = true });
-    Error
-      (Busy
-         {
-           inflight = inflight t;
-           queued = queued t;
-           retry_after_rounds = retry_hint t.cfg ~queued:(queued t);
-         })
-  in
-  if t.draining then refuse ()
-  else if Queue.length t.queue >= t.cfg.max_queue && t.cfg.max_queue > 0 then
-    refuse ()
-  else if t.cfg.max_queue = 0 && inflight t >= t.cfg.max_inflight then
-    (* No queue at all: admission happens next [step]; refuse once the
-       in-flight cap alone is saturated. *)
-    refuse ()
+(* Drop the most recently queued recurrence ticket (FIFO fairness:
+   the oldest waiter keeps its place), booking it shed — with a typed
+   notice, never silently — and restoring its cluster.  [None] when
+   the recurrence lane is empty. *)
+let shed_newest_recurrence t =
+  if Queue.is_empty t.rqueue then None
   else begin
-    let id = t.submitted in
-    Queue.add (id, spec) t.queue;
-    jrnl t (Journal.Submitted { id; name = spec.sp_name; rejected = false });
-    Ok id
+    let keep = Queue.length t.rqueue - 1 in
+    let rec pop i =
+      let p = Queue.take t.rqueue in
+      if i < keep then begin
+        Queue.add p t.rqueue;
+        pop (i + 1)
+      end
+      else p
+    in
+    let victim = pop 0 in
+    t.shed <- t.shed + 1;
+    (match (t.triage, victim.p_revert) with
+     | Some tri, Some (canonical, done_round) ->
+       Triage.revert_reopen tri ~fp:victim.p_fp ~canonical ~done_round
+     | _ -> ());
+    t.sheds <-
+      {
+        sh_id = victim.p_id;
+        sh_name = victim.p_spec.sp_name;
+        sh_fp = victim.p_fp;
+        sh_round = t.rounds;
+        sh_retry_after_rounds = retry_hint t.cfg ~queued:(queued t);
+      }
+      :: t.sheds;
+    Some victim
   end
+
+(* Admission control: a submission is ticketed into its lane,
+   coalesced onto an existing cluster, or refused with typed
+   backpressure ([Busy]) or load shedding ([Shed]) — never buffered
+   unboundedly, never dropped silently.  Every submission, whatever
+   its fate, is booked and journaled, so the ledger always balances —
+   and replays exactly: submitted = completed + rejected + coalesced
+   + shed + queued + in-flight.
+
+   [submit_triaged] additionally returns the journal disposition code
+   so the recovery replay can audit re-derived decisions; the public
+   [submit] discards it. *)
+let submit_triaged t spec =
+  t.submitted <- t.submitted + 1;
+  let id = t.submitted in
+  let name = spec.sp_name in
+  match t.triage with
+  | None ->
+    (* Triage off: the original single-queue admission, journaled as
+       [Submitted]. *)
+    let refuse () =
+      t.rejected <- t.rejected + 1;
+      jrnl t (Journal.Submitted { id; name; rejected = true });
+      ( Error
+          (Busy
+             {
+               inflight = inflight t;
+               queued = queued t;
+               retry_after_rounds = retry_hint t.cfg ~queued:(queued t);
+             }),
+        disp_busy,
+        0 )
+    in
+    if t.draining then refuse ()
+    else if Queue.length t.queue >= t.cfg.max_queue && t.cfg.max_queue > 0 then
+      refuse ()
+    else if t.cfg.max_queue = 0 && inflight t >= t.cfg.max_inflight then
+      (* No queue at all: admission happens next [step]; refuse once
+         the in-flight cap alone is saturated. *)
+      refuse ()
+    else begin
+      Queue.add
+        { p_id = id; p_spec = spec; p_fp = 0; p_round = t.rounds; p_revert = None }
+        t.queue;
+      jrnl t (Journal.Submitted { id; name; rejected = false });
+      (Ok (Ticket id), disp_fresh, 0)
+    end
+  | Some tri ->
+    let fp = fingerprint_of_spec spec in
+    let record disp = jrnl t (Journal.Triaged { id; name; fp; disp }) in
+    let busy () =
+      t.rejected <- t.rejected + 1;
+      record disp_busy;
+      ( Error
+          (Busy
+             {
+               inflight = inflight t;
+               queued = queued t;
+               retry_after_rounds = retry_hint t.cfg ~queued:(queued t);
+             }),
+        disp_busy )
+    in
+    let shed () =
+      t.shed <- t.shed + 1;
+      record disp_shed;
+      ( Error
+          (Shed
+             {
+               queued = queued t;
+               retry_after_rounds = retry_hint t.cfg ~queued:(queued t);
+             }),
+        disp_shed )
+    in
+    (* Is there room for one more pending ticket?  [`Evict] when only
+       shedding a queued recurrence can make room. *)
+    let room =
+      if t.cfg.max_queue = 0 then
+        if inflight t >= t.cfg.max_inflight then `No else `Yes
+      else if queued t >= t.cfg.max_queue then
+        if Queue.is_empty t.rqueue then `No else `Evict
+      else `Yes
+    in
+    let res, disp =
+      if t.draining then busy ()
+      else
+        match Triage.classify tri ~round:t.rounds fp with
+        | Triage.Duplicate { canonical; count } ->
+          (* In flight or recently diagnosed: fold into the cluster.
+             Costs no capacity, so it succeeds even at the queue bound
+             — a storm of duplicates cannot saturate the service. *)
+          Triage.coalesce tri ~fp;
+          t.coalesced <- t.coalesced + 1;
+          record disp_coalesced;
+          (Ok (Coalesced { canonical; count = count + 1 }), disp_coalesced)
+        | Triage.New -> (
+          (* A fresh bug sheds a queued recurrence before it accepts
+             [Busy]: a recurrence storm must not starve first
+             diagnoses. *)
+          match room with
+          | `No -> busy ()
+          | `Evict | `Yes ->
+            (if room = `Evict then
+               match shed_newest_recurrence t with
+               | Some _ -> ()
+               | None -> assert false);
+            Triage.open_fresh tri ~fp ~name ~id;
+            Queue.add
+              { p_id = id; p_spec = spec; p_fp = fp; p_round = t.rounds;
+                p_revert = None }
+              t.queue;
+            record disp_fresh;
+            (Ok (Ticket id), disp_fresh))
+        | Triage.Recurrence { canonical; done_round } -> (
+          match room with
+          | `No | `Evict ->
+            (* Recurrences are the shed class: at the bound they are
+               refused with [Shed], never queued over fresh work. *)
+            shed ()
+          | `Yes ->
+            Triage.reopen tri ~fp ~name ~id;
+            Queue.add
+              { p_id = id; p_spec = spec; p_fp = fp; p_round = t.rounds;
+                p_revert = Some (canonical, done_round) }
+              t.rqueue;
+            record disp_recur;
+            (Ok (Ticket id), disp_recur))
+    in
+    (res, disp, fp)
+
+let submit t spec =
+  let res, _disp, _fp = submit_triaged t spec in
+  res
 
 (* Book one session's exit — diagnosis or typed failure — into the
    completion list, the ledger and the journal, auditing against any
@@ -393,6 +689,14 @@ let complete t round a result =
      Hashtbl.remove t.expected a.a_id;
      if d <> digest then t.divergences <- t.divergences + 1
    | None -> ());
+  (match t.triage with
+   | Some tri when a.a_fp <> 0 ->
+     (* Freeze the cluster (so near-future duplicates keep coalescing)
+        or drop it on a typed failure (duplicates of a failed
+        diagnosis deserve a fresh attempt). *)
+     Triage.completed tri ~fp:a.a_fp ~id:a.a_id ~round ~digest
+       ~ok:(Result.is_ok result)
+   | _ -> ());
   jrnl t (Journal.Completed { id = a.a_id; digest });
   t.completions <-
     {
@@ -429,8 +733,38 @@ let finalize t round a =
     fail t round a Crashed (Printexc.to_string e);
     false
 
+(* Deficit-round-robin lane pick, deterministic: while both lanes
+   contend, each refill grants [fresh_weight] admissions to the fresh
+   lane then [recur_weight] to the recurrence lane; when contention
+   ends the credits reset, so a storm arriving later cannot draw on
+   hoarded credit.  With triage off the recurrence lane is always
+   empty and this degenerates to the original single FIFO. *)
+let pick_lane t =
+  let f = not (Queue.is_empty t.queue) in
+  let r = not (Queue.is_empty t.rqueue) in
+  match (f, r) with
+  | false, false -> None
+  | true, false | false, true ->
+    t.fresh_credit <- 0;
+    t.recur_credit <- 0;
+    Some (if f then Fresh_lane else Recur_lane)
+  | true, true ->
+    if t.fresh_credit <= 0 && t.recur_credit <= 0 then begin
+      t.fresh_credit <- t.cfg.fresh_weight;
+      t.recur_credit <- t.cfg.recur_weight
+    end;
+    if t.fresh_credit > 0 then begin
+      t.fresh_credit <- t.fresh_credit - 1;
+      Some Fresh_lane
+    end
+    else begin
+      t.recur_credit <- t.recur_credit - 1;
+      Some Recur_lane
+    end
+
 let step t =
-  if t.active = [] && Queue.is_empty t.queue then false
+  if t.active = [] && Queue.is_empty t.queue && Queue.is_empty t.rqueue then
+    false
   else begin
     t.rounds <- t.rounds + 1;
     let round = t.rounds in
@@ -450,32 +784,54 @@ let step t =
         expired;
       t.active <- alive
     end;
-    (* 1. Admission, in submission order.  The session's offline phase
+    (* 1. Admission — submission order within a lane, deficit
+       round-robin across the two lanes, so a recurrence storm cannot
+       starve a fresh bug of admission.  The session's offline phase
        (slice, instrumentation cache) runs here, once, at admission. *)
-    while inflight t < t.cfg.max_inflight && not (Queue.is_empty t.queue) do
-      let id, sp = Queue.take t.queue in
-      let session =
-        Session.create ~config:sp.sp_config ~ingest:sp.sp_ingest
-          ?oracle:sp.sp_oracle ~id ~bug_name:sp.sp_name
-          ~failure_type:sp.sp_failure_type ~program:sp.sp_program
-          ~workload_of:sp.sp_workload_of ~failure:sp.sp_failure ()
-      in
-      t.admitted <- t.admitted + 1;
-      t.active <-
-        t.active
-        @ [
-            {
-              a_id = id;
-              a_name = sp.sp_name;
-              a_session = session;
-              a_admitted_round = round;
-              a_t0 = Unix.gettimeofday ();
-              a_last_served = round - 1;
-              a_slots = 0;
-              a_strikes = 0;
-            };
-          ]
-    done;
+    let rec admit () =
+      if inflight t < t.cfg.max_inflight then
+        match pick_lane t with
+        | None -> ()
+        | Some lane ->
+          let p =
+            Queue.take
+              (match lane with Fresh_lane -> t.queue | Recur_lane -> t.rqueue)
+          in
+          let sp = p.p_spec in
+          let session =
+            Session.create ~config:sp.sp_config ~ingest:sp.sp_ingest
+              ?oracle:sp.sp_oracle ~id:p.p_id ~bug_name:sp.sp_name
+              ~failure_type:sp.sp_failure_type ~program:sp.sp_program
+              ~workload_of:sp.sp_workload_of ~failure:sp.sp_failure ()
+          in
+          t.admitted <- t.admitted + 1;
+          let qwait = max 0 (round - 1 - p.p_round) in
+          (match lane with
+           | Fresh_lane ->
+             t.fresh_admitted <- t.fresh_admitted + 1;
+             t.fresh_wait <- max t.fresh_wait qwait
+           | Recur_lane ->
+             t.recur_admitted <- t.recur_admitted + 1;
+             t.recur_wait <- max t.recur_wait qwait);
+          t.active <-
+            t.active
+            @ [
+                {
+                  a_id = p.p_id;
+                  a_name = sp.sp_name;
+                  a_lane = lane;
+                  a_fp = p.p_fp;
+                  a_session = session;
+                  a_admitted_round = round;
+                  a_t0 = Unix.gettimeofday ();
+                  a_last_served = round - 1;
+                  a_slots = 0;
+                  a_strikes = 0;
+                };
+              ];
+          admit ()
+    in
+    admit ();
     t.peak_inflight <- max t.peak_inflight (inflight t);
     (* 2. Grant: walk the ring, [quantum] slots per session, stopping
        when the round budget is spent.  Each thunk is wrapped so a
@@ -495,7 +851,11 @@ let step t =
               else begin
                 let thunks = Session.grant a.a_session k in
                 budget := !budget - Array.length thunks;
-                t.max_wait <- max t.max_wait (round - a.a_last_served - 1);
+                let w = round - a.a_last_served - 1 in
+                t.max_wait <- max t.max_wait w;
+                (match a.a_lane with
+                 | Fresh_lane -> t.fresh_wait <- max t.fresh_wait w
+                 | Recur_lane -> t.recur_wait <- max t.recur_wait w);
                 a.a_last_served <- round;
                 Some (a, thunks)
               end
@@ -582,14 +942,7 @@ let step t =
     in
     t.last_round_digest <- digest;
     jrnl t (Journal.Round { round; digest });
-    (* 7. Checkpoint on cadence — only when no completion is waiting to
-       be harvested, so nothing the caller has not seen can be
-       checkpointed away. *)
-    if
-      t.cfg.checkpoint_every_rounds > 0
-      && round mod t.cfg.checkpoint_every_rounds = 0
-    then if not (do_checkpoint t) then t.ckpt_due <- true;
-    (* 8. Re-ring: sessions served this round go to the back, the rest
+    (* 7. Re-ring: sessions served this round go to the back, the rest
        keep their order at the front.  (Blindly rotating the head is
        not enough: when the served head finishes and is removed, the
        next — unserved — session would be the one rotated to the back,
@@ -602,6 +955,17 @@ let step t =
       List.partition (fun a -> a.a_last_served < round) t.active
     in
     t.active <- unserved @ served;
+    (* 8. Checkpoint on cadence — only when no completion is waiting to
+       be harvested, so nothing the caller has not seen can be
+       checkpointed away.  This must come AFTER the re-ring: the
+       checkpoint is the round-boundary state, and a restored service
+       that resumed with the pre-rotation ring would schedule the next
+       round differently from the live one — a silent, self-consistent
+       one-round skew the recovery audit can never see. *)
+    if
+      t.cfg.checkpoint_every_rounds > 0
+      && round mod t.cfg.checkpoint_every_rounds = 0
+    then if not (do_checkpoint t) then t.ckpt_due <- true;
     true
   end
 
@@ -614,8 +978,9 @@ let completions t = List.rev t.completions
 let take_completions t =
   let cs = List.rev t.completions in
   t.completions <- [];
-  (* The cadence checkpoint that was blocked on these completions. *)
-  if t.ckpt_due then begin
+  (* The cadence checkpoint that was blocked on these completions
+     (still deferred while shed notices wait for their own harvest). *)
+  if t.ckpt_due && t.sheds = [] then begin
     t.ckpt_due <- false;
     ignore (do_checkpoint t)
   end;
@@ -634,7 +999,28 @@ let stats t =
     st_max_wait_rounds = t.max_wait;
     st_checkpoints = t.checkpoints;
     st_divergences = t.divergences;
+    st_coalesced = t.coalesced;
+    st_shed = t.shed;
+    st_fresh_admitted = t.fresh_admitted;
+    st_recur_admitted = t.recur_admitted;
+    st_fresh_wait_rounds = t.fresh_wait;
+    st_recur_wait_rounds = t.recur_wait;
+    st_clusters = (match t.triage with None -> 0 | Some tri -> Triage.size tri);
+    st_evicted_clusters =
+      (match t.triage with None -> 0 | Some tri -> Triage.evicted tri);
   }
+
+(* Shed notices mirror completions: harvest-and-forget, and the
+   cadence checkpoint blocked on an unharvested notice is written at
+   the harvest. *)
+let take_shed t =
+  let ss = List.rev t.sheds in
+  t.sheds <- [];
+  if t.ckpt_due && t.completions = [] then begin
+    t.ckpt_due <- false;
+    ignore (do_checkpoint t)
+  end;
+  ss
 
 (* ------------------------------------------------------------------ *)
 (* Introspection *)
@@ -642,6 +1028,7 @@ let stats t =
 type session_view = {
   v_id : int;
   v_name : string;
+  v_lane : lane;
   v_admitted_round : int;
   v_rounds_waiting : int;
   v_slots : int;
@@ -655,6 +1042,7 @@ let status t =
       {
         v_id = a.a_id;
         v_name = a.a_name;
+        v_lane = a.a_lane;
         v_admitted_round = a.a_admitted_round;
         v_rounds_waiting = max 0 (t.rounds - a.a_last_served);
         v_slots = a.a_slots;
@@ -662,6 +1050,39 @@ let status t =
         v_progress = Session.progress a.a_session;
       })
     t.active
+
+(* Lane occupancy for status screens: queue depths, live credits, and
+   how many sessions each lane has admitted so far. *)
+type lane_view = {
+  lv_fresh_queued : int;
+  lv_recur_queued : int;
+  lv_fresh_credit : int;
+  lv_recur_credit : int;
+  lv_fresh_admitted : int;
+  lv_recur_admitted : int;
+}
+
+let lanes t =
+  {
+    lv_fresh_queued = Queue.length t.queue;
+    lv_recur_queued = Queue.length t.rqueue;
+    lv_fresh_credit = t.fresh_credit;
+    lv_recur_credit = t.recur_credit;
+    lv_fresh_admitted = t.fresh_admitted;
+    lv_recur_admitted = t.recur_admitted;
+  }
+
+(* The cluster table, most recently touched first; empty when triage
+   is off. *)
+let clusters t =
+  match t.triage with None -> [] | Some tri -> Triage.views tri
+
+(* The spec a completed cluster's canonical session ran under, for
+   artifact emission (reproducer shrinking needs the fuzz case).
+   Specs hold closures, so the service cannot retain them per
+   cluster; callers keep their own name->spec map instead — this
+   helper just names the lane the contract lives on. *)
+let triage_enabled t = t.triage <> None
 
 (* ------------------------------------------------------------------ *)
 (* Crash-only lifecycle *)
@@ -709,6 +1130,11 @@ let decode_state ~pool ~resolve state =
   let checkpoint_every_rounds = W.get_uint r in
   let session_deadline_rounds = W.get_uint r in
   let max_session_strikes = W.get_uint r in
+  let triage = W.get_bool r in
+  let max_clusters = W.get_uint r in
+  let fresh_weight = W.get_uint r in
+  let recur_weight = W.get_uint r in
+  let recency_rounds = W.get_uint r in
   let cfg =
     {
       max_inflight;
@@ -718,6 +1144,11 @@ let decode_state ~pool ~resolve state =
       checkpoint_every_rounds;
       session_deadline_rounds;
       max_session_strikes;
+      triage;
+      max_clusters;
+      fresh_weight;
+      recur_weight;
+      recency_rounds;
     }
   in
   let submitted = W.get_uint r in
@@ -725,6 +1156,14 @@ let decode_state ~pool ~resolve state =
   let rejected = W.get_uint r in
   let completed = W.get_uint r in
   let failed = W.get_uint r in
+  let coalesced = W.get_uint r in
+  let shed = W.get_uint r in
+  let fresh_admitted = W.get_uint r in
+  let recur_admitted = W.get_uint r in
+  let fresh_wait = W.get_uint r in
+  let recur_wait = W.get_uint r in
+  let fresh_credit = W.get_uint r in
+  let recur_credit = W.get_uint r in
   let rounds = W.get_uint r in
   let slots = W.get_uint r in
   let peak_inflight = W.get_uint r in
@@ -736,18 +1175,43 @@ let decode_state ~pool ~resolve state =
     | Some sp -> sp
     | None -> raise (Recover_failed (Unresolved_spec name))
   in
+  let get_pending r =
+    let p_id = W.get_uint r in
+    let name = W.get_string r in
+    let p_fp = W.get_uint r in
+    let p_round = W.get_uint r in
+    let p_revert =
+      if W.get_bool r then begin
+        let canonical = W.get_uint r in
+        let round = W.get_uint r in
+        Some (canonical, round)
+      end
+      else None
+    in
+    { p_id; p_spec = resolve_exn name; p_fp; p_round; p_revert }
+  in
   let queue = Queue.create () in
   let nq = W.get_uint r in
   for _ = 1 to nq do
-    let id = W.get_uint r in
-    let name = W.get_string r in
-    Queue.add (id, resolve_exn name) queue
+    Queue.add (get_pending r) queue
+  done;
+  let rqueue = Queue.create () in
+  let nrq = W.get_uint r in
+  for _ = 1 to nrq do
+    Queue.add (get_pending r) rqueue
   done;
   let na = W.get_uint r in
   let active = ref [] in
   for _ = 1 to na do
     let a_id = W.get_uint r in
     let a_name = W.get_string r in
+    let a_lane =
+      match W.get_uint r with
+      | 0 -> Fresh_lane
+      | 1 -> Recur_lane
+      | _ -> raise W.Short
+    in
+    let a_fp = W.get_uint r in
     let a_admitted_round = W.get_uint r in
     let a_last_served = W.get_uint r in
     let a_slots = W.get_uint r in
@@ -775,6 +1239,8 @@ let decode_state ~pool ~resolve state =
       {
         a_id;
         a_name;
+        a_lane;
+        a_fp;
         a_session = session;
         a_admitted_round;
         a_t0 = Unix.gettimeofday ();
@@ -784,6 +1250,7 @@ let decode_state ~pool ~resolve state =
       }
       :: !active
   done;
+  let tri = if W.get_bool r then Some (Triage.decode r) else None in
   if not (W.eof r) then raise W.Short;
   let t =
     {
@@ -791,8 +1258,11 @@ let decode_state ~pool ~resolve state =
       pool;
       journal = Some (Journal.create ());
       queue;
+      rqueue;
+      triage = tri;
       active = List.rev !active;
       completions = [];
+      sheds = [];
       draining;
       expected = Hashtbl.create 16;
       submitted;
@@ -800,6 +1270,14 @@ let decode_state ~pool ~resolve state =
       rejected;
       completed;
       failed;
+      coalesced;
+      shed;
+      fresh_admitted;
+      recur_admitted;
+      fresh_wait;
+      recur_wait;
+      fresh_credit;
+      recur_credit;
       rounds;
       slots;
       peak_inflight;
@@ -867,10 +1345,36 @@ let recover ?(pool = Parallel.Pool.sequential) ~resolve bytes =
             let was_draining = t.draining in
             t.draining <- false;
             (match submit t sp with
-             | Ok id' -> if id' <> id then t.divergences <- t.divergences + 1
-             | Error _ -> t.divergences <- t.divergences + 1);
+             | Ok (Ticket id') ->
+               if id' <> id then t.divergences <- t.divergences + 1
+             | Ok (Coalesced _) | Error _ ->
+               t.divergences <- t.divergences + 1);
             t.draining <- was_draining
           end
+        | Journal.Rec (Journal.Triaged { id; name; fp; disp }) ->
+          (* Triage decisions are pure functions of service state, so
+             replay re-derives them through the real [submit] and
+             audits the re-derived disposition (and fingerprint, and
+             ticket id) against the journaled one. *)
+          let sp =
+            match resolve name with
+            | Some sp -> sp
+            | None -> raise (Recover_failed (Unresolved_spec name))
+          in
+          let accepted =
+            disp = disp_fresh || disp = disp_recur || disp = disp_coalesced
+          in
+          let was_draining = t.draining in
+          if accepted then t.draining <- false;
+          let res, disp', fp' = submit_triaged t sp in
+          t.draining <- was_draining;
+          let id_ok =
+            match res with
+            | Ok (Ticket id') -> id' = id
+            | Ok (Coalesced _) | Error _ -> t.submitted = id
+          in
+          if disp' <> disp || fp' <> fp || not id_ok then
+            t.divergences <- t.divergences + 1
         | Journal.Rec (Journal.Completed { id; digest }) ->
           Hashtbl.replace t.expected id digest
         | Journal.Rec (Journal.Round { round; digest }) ->

@@ -24,7 +24,10 @@
     (strikes then quarantine for poisoned thunks, immediate [Crashed]
     for a broken state machine, [Timed_out] for deadline eviction). *)
 
-(** Everything needed to open one bug's diagnosis session. *)
+(** Everything needed to open one bug's diagnosis session.
+    [sp_case], when the bug came from the fuzzer, carries the
+    generated case so per-cluster artifacts can shrink a standalone
+    reproducer; it never influences scheduling or diagnosis. *)
 type spec = {
   sp_name : string;
   sp_failure_type : string;
@@ -34,6 +37,7 @@ type spec = {
   sp_program : Ir.Types.program;
   sp_workload_of : int -> Exec.Interp.workload;
   sp_failure : Exec.Failure.report;
+  sp_case : Fuzz.Gen.case option;
 }
 
 (** Scheduler shape.  [max_inflight]: concurrent admitted sessions.
@@ -50,7 +54,19 @@ type spec = {
     many rounds after admission ([0] = no deadline).
     [max_session_strikes]: rounds with raising thunks a session
     survives (each substitutes deterministic crash outcomes) before it
-    is quarantined. *)
+    is quarantined.
+
+    Triage (the duplicate-storm front-end; default off so a plain
+    service is byte-compatible with earlier journals and tests):
+    [triage] turns fingerprint-keyed coalescing, the two admission
+    lanes and recurrence shedding on.  [max_clusters] bounds the LRU
+    cluster table.  [fresh_weight]/[recur_weight] set the
+    deficit-round-robin admission ratio between never-seen
+    fingerprints and re-diagnoses of known ones.  [recency_rounds]:
+    a diagnosed cluster keeps coalescing duplicates for this many
+    rounds, after which a duplicate re-opens it as a recurrence-lane
+    session ([0] = coalesce for as long as the cluster stays
+    tabled). *)
 type sconfig = {
   max_inflight : int;
   max_queue : int;
@@ -59,6 +75,11 @@ type sconfig = {
   checkpoint_every_rounds : int;
   session_deadline_rounds : int;
   max_session_strikes : int;
+  triage : bool;
+  max_clusters : int;
+  fresh_weight : int;
+  recur_weight : int;
+  recency_rounds : int;
 }
 
 val default : sconfig
@@ -72,6 +93,9 @@ type cerror =
   | Bad_checkpoint_every of int
   | Bad_deadline of int
   | Bad_strikes of int
+  | Bad_clusters of int
+  | Bad_lane_weight of { fresh : int; recur : int }
+  | Bad_recency of int
 
 val cerror_to_string : cerror -> string
 
@@ -79,15 +103,36 @@ val cerror_to_string : cerror -> string
     as [Invalid_argument]. *)
 val validate : sconfig -> (sconfig, cerror) result
 
-(** Typed backpressure: the service is saturated (or draining); retry
-    after [retry_after_rounds] calls to {!step} — the backlog's depth
-    over the round budget, the deterministic earliest point admission
-    can plausibly succeed. *)
+(** Typed refusals.  [Busy]: the service is saturated (or draining);
+    retry after [retry_after_rounds] calls to {!step} — the backlog's
+    depth over the round budget, the deterministic earliest point
+    admission can plausibly succeed.  [Shed] (triage only): the queue
+    bound was hit and the submission is a recurrence of an
+    already-diagnosed fingerprint — the shed class under load; fresh
+    bugs are never shed. *)
 type sreject =
   | Busy of { inflight : int; queued : int; retry_after_rounds : int }
+  | Shed of { queued : int; retry_after_rounds : int }
 
 val sreject_label : sreject -> string
 val sreject_to_string : sreject -> string
+
+(** What {!submit} accepted: a ticketed session, or — with triage on —
+    a duplicate coalesced onto cluster [canonical] (the ticket id of
+    the session diagnosing, or that diagnosed, this fingerprint);
+    [count] is the cluster's recurrence count including this
+    arrival.  A coalesced submission opens no session and books no
+    queue capacity. *)
+type admission =
+  | Ticket of int
+  | Coalesced of { canonical : int; count : int }
+
+(** The two admission lanes: never-seen fingerprints (and every
+    session of a triage-less service) versus re-diagnoses of known
+    ones. *)
+type lane = Fresh_lane | Recur_lane
+
+val lane_label : lane -> string
 
 (** Why a session was failed rather than diagnosed. *)
 type failure_reason =
@@ -115,15 +160,18 @@ type completion = {
 }
 
 (** Service ledger.  Always balances: [st_submitted] =
-    [st_completed] + [st_rejected] + queued + in-flight (the last two
-    are zero after {!drain}) — and keeps balancing across {!recover},
-    eviction and quarantine, since every failed session still books a
-    completion ([st_failed] counts the [Error] subset of
-    [st_completed]).  [st_max_wait_rounds] is the fairness witness:
-    the worst gap, in scheduler rounds, any session waited between two
-    services.  [st_divergences] counts recovery audit mismatches
-    (journaled digest vs recomputed) — zero unless the journal was
-    damaged. *)
+    [st_completed] + [st_rejected] + [st_coalesced] + [st_shed] +
+    queued + in-flight (the last two are zero after {!drain}) — and
+    keeps balancing across {!recover}, eviction and quarantine, since
+    every failed session still books a completion ([st_failed] counts
+    the [Error] subset of [st_completed]).  [st_max_wait_rounds] is
+    the fairness witness: the worst gap, in scheduler rounds, any
+    session waited between two services; [st_fresh_wait_rounds] /
+    [st_recur_wait_rounds] split the same witness by lane, folding in
+    admission-queue waits — the fresh-lane bound is the
+    no-starvation-under-storm gate.  [st_divergences] counts recovery
+    audit mismatches (journaled digest vs recomputed) — zero unless
+    the journal was damaged. *)
 type stats = {
   st_submitted : int;
   st_admitted : int;
@@ -136,6 +184,14 @@ type stats = {
   st_max_wait_rounds : int;
   st_checkpoints : int;
   st_divergences : int;
+  st_coalesced : int;
+  st_shed : int;
+  st_fresh_admitted : int;
+  st_recur_admitted : int;
+  st_fresh_wait_rounds : int;
+  st_recur_wait_rounds : int;
+  st_clusters : int;          (** live cluster-table size *)
+  st_evicted_clusters : int;  (** Done clusters dropped by the LRU bound *)
 }
 
 type t
@@ -150,10 +206,13 @@ val create :
 val inflight : t -> int
 val queued : t -> int
 
-(** Ticket a session for admission, or refuse with typed
-    backpressure.  Ticket ids are unique and become the session's
-    wire-protocol session key.  Always refuses while draining. *)
-val submit : t -> spec -> (int, sreject) result
+(** Ticket a session for admission, coalesce a duplicate onto its
+    cluster (triage only), or refuse with typed backpressure/shedding.
+    Ticket ids are unique and become the session's wire-protocol
+    session key.  Always refuses while draining.  With triage on, the
+    fingerprint is computed here (one slice of an already-memoised
+    program) and the decision is journaled as a [Triaged] record. *)
+val submit : t -> spec -> (admission, sreject) result
 
 (** One scheduler round (evict expired, admit, grant, run, deliver —
     with containment — finalize, journal, maybe checkpoint, rotate);
@@ -172,6 +231,23 @@ val completions : t -> completion list
     written when no unharvested completion could be lost with it. *)
 val take_completions : t -> completion list
 
+(** A queued recurrence ticket dropped to make room for a fresh bug —
+    load shedding is typed and harvested, never silent.  (A {!submit}
+    refused outright gets its [Shed] synchronously; notices exist for
+    tickets shed {e after} acceptance.) *)
+type shed_notice = {
+  sh_id : int;
+  sh_name : string;
+  sh_fp : int;
+  sh_round : int;
+  sh_retry_after_rounds : int;
+}
+
+(** Harvest shed notices (oldest first), clearing them; like
+    {!take_completions}, harvesting re-arms the blocked cadence
+    checkpoint. *)
+val take_shed : t -> shed_notice list
+
 val stats : t -> stats
 
 (** {2 Introspection} *)
@@ -180,6 +256,7 @@ val stats : t -> stats
 type session_view = {
   v_id : int;
   v_name : string;
+  v_lane : lane;
   v_admitted_round : int;
   v_rounds_waiting : int;  (** rounds since last granted slots *)
   v_slots : int;
@@ -190,6 +267,25 @@ type session_view = {
 (** Every admitted session, in ring order.  Cheap; never perturbs the
     scheduler. *)
 val status : t -> session_view list
+
+(** Lane occupancy: queue depths, live DRR credits, per-lane
+    admissions. *)
+type lane_view = {
+  lv_fresh_queued : int;
+  lv_recur_queued : int;
+  lv_fresh_credit : int;
+  lv_recur_credit : int;
+  lv_fresh_admitted : int;
+  lv_recur_admitted : int;
+}
+
+val lanes : t -> lane_view
+
+(** The cluster table, most recently touched first; empty when triage
+    is off.  Cheap; never perturbs the scheduler. *)
+val clusters : t -> Triage.view list
+
+val triage_enabled : t -> bool
 
 (** {2 Crash-only lifecycle} *)
 

@@ -53,6 +53,7 @@ let bugbase_spec ?(early_exit = true) ?faults ?(tweak = Fun.id) ~name
         sp_program = bug.program;
         sp_workload_of = bug.workload_of;
         sp_failure = failure;
+        sp_case = None;
       }
 
 (* A fuzz case's spec: the campaign's bounded fleet configuration,
@@ -85,7 +86,20 @@ let fuzz_spec ?(early_exit = true) ?faults ?(tweak = Fun.id) ~name
            sp_program = case.Fuzz.Gen.c_program;
            sp_workload_of = Fuzz.Gen.workload_of case;
            sp_failure = failure;
+           sp_case = Some case;
          })
+
+(* The shared base population: all diagnosable Bugbase bugs plus
+   [fuzz_count] fuzz cases. *)
+let base_population ~early_exit ?faults ~tweak ~seed ~fuzz_count () =
+  List.filter_map
+    (fun (bug : Bugbase.Common.t) ->
+      bugbase_spec ~early_exit ?faults ~tweak ~name:bug.name bug)
+    Bugbase.Registry.all
+  @ List.filter_map
+      (fun (case : Fuzz.Gen.case) ->
+        fuzz_spec ~early_exit ?faults ~tweak ~name:case.Fuzz.Gen.c_name case)
+      (Fuzz.Runner.cases ~seed ~count:fuzz_count ())
 
 (* [mixed ~seed ~sessions ()] — [sessions] session specs drawn from a
    base population of all diagnosable Bugbase bugs plus [fuzz_count]
@@ -93,16 +107,7 @@ let fuzz_spec ?(early_exit = true) ?faults ?(tweak = Fun.id) ~name
    base bug [i] under the name "<bug>#<k>". *)
 let mixed ?(early_exit = true) ?faults ?(tweak = Fun.id) ?(fuzz_count = 8)
     ~seed ~sessions () =
-  let base =
-    List.filter_map
-      (fun (bug : Bugbase.Common.t) ->
-        bugbase_spec ~early_exit ?faults ~tweak ~name:bug.name bug)
-      Bugbase.Registry.all
-    @ List.filter_map
-        (fun (case : Fuzz.Gen.case) ->
-          fuzz_spec ~early_exit ?faults ~tweak ~name:case.Fuzz.Gen.c_name case)
-        (Fuzz.Runner.cases ~seed ~count:fuzz_count ())
-  in
+  let base = base_population ~early_exit ?faults ~tweak ~seed ~fuzz_count () in
   if base = [] then []
   else begin
     let arr = Array.of_list base in
@@ -110,4 +115,51 @@ let mixed ?(early_exit = true) ?faults ?(tweak = Fun.id) ?(fuzz_count = 8)
     List.init sessions (fun k ->
         let sp = arr.(Exec.Rng.int rng (Array.length arr)) in
         { sp with Service.sp_name = Printf.sprintf "%s#%d" sp.Service.sp_name k })
+  end
+
+(* [storm ~seed ~sessions ~dup_ratio ()] — a duplicate-heavy stream:
+   a seeded [hot] subset of the base population storms (each of its
+   sessions re-reports one hot bug under a fresh name), while the
+   remaining, never-repeated base bugs trickle in as the fresh
+   traffic.  Roughly [dup_ratio] of the sessions are storm
+   duplicates; the exact mix is a pure function of the seed.  When
+   the fresh population runs dry the stream falls back to hot
+   duplicates, so a long storm degrades to pure recurrence rather
+   than inventing new bugs. *)
+let storm ?(early_exit = true) ?faults ?(tweak = Fun.id) ?(fuzz_count = 24)
+    ?(hot = 4) ~seed ~sessions ~dup_ratio () =
+  let base = base_population ~early_exit ?faults ~tweak ~seed ~fuzz_count () in
+  if base = [] then []
+  else begin
+    let arr = Array.of_list base in
+    let n = Array.length arr in
+    let rng = Exec.Rng.create seed in
+    (* Seeded hot-set pick: [hot] distinct indices. *)
+    let hot_n = max 1 (min hot n) in
+    let hot_idx = Array.make hot_n 0 in
+    let taken = Hashtbl.create hot_n in
+    for i = 0 to hot_n - 1 do
+      let rec draw () =
+        let j = Exec.Rng.int rng n in
+        if Hashtbl.mem taken j then draw () else j
+      in
+      let j = draw () in
+      Hashtbl.replace taken j ();
+      hot_idx.(i) <- j
+    done;
+    let fresh = ref (List.filteri (fun j _ -> not (Hashtbl.mem taken j)) (Array.to_list arr)) in
+    List.init sessions (fun k ->
+        let dup = Exec.Rng.float rng < dup_ratio in
+        match (dup, !fresh) with
+        | false, sp :: rest ->
+          fresh := rest;
+          (* Fresh traffic keeps its own name: one session per distinct
+             bug, like a first report from the field. *)
+          sp
+        | true, _ | false, [] ->
+          let sp = arr.(hot_idx.(Exec.Rng.int rng hot_n)) in
+          {
+            sp with
+            Service.sp_name = Printf.sprintf "%s@%d" sp.Service.sp_name k;
+          })
   end

@@ -44,3 +44,23 @@ val mixed :
   sessions:int ->
   unit ->
   Service.spec list
+
+(** [storm ~seed ~sessions ~dup_ratio ()]: a duplicate-heavy stream —
+    a seeded [hot] (default 4) subset of the base population storms
+    (each storm session re-reports a hot bug under a fresh ["@k"]
+    name), the remaining base bugs arrive once each as fresh traffic.
+    About [dup_ratio] of the sessions are storm duplicates; the mix
+    is a pure function of the seed, so storms replay bit-identically
+    in tests, bench and recovery differentials.  [fuzz_count]
+    defaults to 24 to give the fresh side a real population. *)
+val storm :
+  ?early_exit:bool ->
+  ?faults:Faults.Fault.rates * int ->
+  ?tweak:(Gist.Config.t -> Gist.Config.t) ->
+  ?fuzz_count:int ->
+  ?hot:int ->
+  seed:int ->
+  sessions:int ->
+  dup_ratio:float ->
+  unit ->
+  Service.spec list

@@ -1,0 +1,120 @@
+(* Stable failure fingerprints for triage-time deduplication.
+
+   The fingerprint must identify "the same bug" across submissions
+   that differ in everything Gist does not care about: the session
+   name, which client observed the failure (tid), the free-text
+   message, and the pool size used to diagnose.  It therefore folds
+   only inputs that are pure functions of (program, failure site):
+
+   - the failure pattern: the coarse failure kind, the call stack
+     (function names), and the failing statement identified by its
+     source location and instruction shape — never by [iid], which is
+     a program-load artifact, and never by [tid] or [message];
+   - the normalized static slice: for every slice entry, its distance
+     from the failure and the statement's (source line, instruction
+     shape, source text).  The slice is deterministic (Slicer.compute
+     is a pure fixpoint) and independent of the pool, so the fold is
+     too;
+   - a caller-supplied salt, used by the service to keep differently
+     configured diagnoses of the same bug apart (a diagnosis under
+     different config is a different artifact).
+
+   Two helpers serve the collision audit: [predictor_pattern]
+   canonicalizes a ranked predictor list in source-line terms, so
+   tests can check that equal fingerprints imply equal diagnosis
+   patterns and that distinct injected bugs get distinct
+   fingerprints. *)
+
+type t = int
+
+(* Same splitmix64 finalizer the service digests use
+   (Faults.Fault.mix is out of reach from this library). *)
+let mix a b =
+  let open Int64 in
+  let z = add (of_int a) (mul (of_int b) 0x9E3779B97F4A7C15L) in
+  let z = mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
+  to_int (logand (logxor z (shift_right_logical z 31)) 0x3FFFFFFFFFFFFFFFL)
+
+(* Structural hash with a deep traversal limit: the default
+   [Hashtbl.hash] stops after 10 meaningful nodes, which would make
+   two long instruction kinds collide by truncation. *)
+let deep_hash v = Hashtbl.hash_param 128 256 v
+
+let hash_instr (i : Ir.Types.instr) =
+  (* [iid] deliberately excluded: it is renumbered when a program is
+     reloaded.  Everything else — the kind's operands and labels, the
+     source location, the source text — is load-order independent. *)
+  mix (deep_hash i.Ir.Types.kind)
+    (mix i.Ir.Types.loc.Ir.Types.line (deep_hash i.Ir.Types.text))
+
+let hash_failure (program : Ir.Types.program) (r : Exec.Failure.report) =
+  let site =
+    match Hashtbl.find_opt program.Ir.Types.by_iid r.Exec.Failure.pc with
+    | Some (i, _) -> hash_instr i
+    | None -> 0
+  in
+  let h = mix 0x51CE (deep_hash (Exec.Failure.kind_tag r.Exec.Failure.kind)) in
+  let h =
+    List.fold_left (fun acc f -> mix acc (deep_hash f)) h r.Exec.Failure.stack
+  in
+  mix h site
+
+let hash_slice (s : Slicing.Slicer.t) =
+  let program = s.Slicing.Slicer.program in
+  List.fold_left
+    (fun acc (e : Slicing.Slicer.entry) ->
+      let stmt =
+        match
+          Hashtbl.find_opt program.Ir.Types.by_iid e.Slicing.Slicer.e_iid
+        with
+        | Some (i, _) -> hash_instr i
+        | None -> 0
+      in
+      mix acc (mix e.Slicing.Slicer.e_dist stmt))
+    0x51CE5 s.Slicing.Slicer.entries
+
+let of_slice ?(salt = 0) program report slice =
+  mix (mix salt (hash_failure program report)) (hash_slice slice)
+
+let compute ?salt program report =
+  of_slice ?salt program report (Slicing.Slicer.compute program report)
+
+let to_int fp = fp
+let equal (a : t) b = a = b
+let compare (a : t) b = Int.compare a b
+let to_hex fp = Printf.sprintf "%012x" (fp land 0xFFFFFFFFFFFF)
+let pp ppf fp = Format.pp_print_string ppf (to_hex fp)
+
+(* ------------------------------------------------------------------ *)
+(* Predictor-pattern canonicalization, for the collision audit and
+   per-cluster artifacts.  Line-based (iids do not survive program
+   reload), order-insensitive (sorted), duplicate-free. *)
+
+let line_of (program : Ir.Types.program) iid =
+  match Hashtbl.find_opt program.Ir.Types.by_iid iid with
+  | Some (i, _) -> i.Ir.Types.loc.Ir.Types.line
+  | None -> -1
+
+let describe_predictor program (p : Predict.Predictor.t) =
+  match p with
+  | Predict.Predictor.Branch_taken (iid, taken) ->
+    Printf.sprintf "branch@%d=%b" (line_of program iid) taken
+  | Predict.Predictor.Data_value (iid, v) ->
+    Printf.sprintf "value@%d=%s" (line_of program iid) v
+  | Predict.Predictor.Value_range (iid, pred) ->
+    Printf.sprintf "range@%d%s" (line_of program iid) pred
+  | Predict.Predictor.Race (pat, a, b) ->
+    Printf.sprintf "race:%s@%d->%d" pat (line_of program a) (line_of program b)
+  | Predict.Predictor.Atomicity (pat, a, b, c) ->
+    Printf.sprintf "atom:%s@%d-%d-%d" pat (line_of program a)
+      (line_of program b) (line_of program c)
+
+let predictor_pattern program preds =
+  List.map (describe_predictor program) preds
+  |> List.sort_uniq String.compare
+  |> String.concat ";"
+
+let pattern_of_ranked program (ranked : Predict.Stats.ranked list) =
+  predictor_pattern program
+    (List.map (fun r -> r.Predict.Stats.predictor) ranked)

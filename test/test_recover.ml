@@ -87,6 +87,7 @@ let bugbase_spec ~faults (b : Bugbase.Common.t) =
     sp_program = b.program;
     sp_workload_of = b.workload_of;
     sp_failure = failure;
+    sp_case = None;
   }
 
 let fuzz_count = 50
@@ -119,6 +120,7 @@ let fuzz_specs ~faults =
             sp_program = case.Fuzz.Gen.c_program;
             sp_workload_of = Fuzz.Gen.workload_of case;
             sp_failure = failure;
+    sp_case = None;
           }
       | _ -> None)
     (Lazy.force fuzz_cases)
@@ -235,6 +237,7 @@ let corpus_spec (case : Fuzz.Gen.case) =
            sp_program = case.Fuzz.Gen.c_program;
            sp_workload_of = Fuzz.Gen.workload_of case;
            sp_failure = failure;
+    sp_case = None;
          })
 
 let corpus_through_recovery () =
@@ -532,6 +535,7 @@ let containment_tests =
              retry_after_rounds
          | Error (Svc.Busy { queued; _ }) ->
            Alcotest.failf "queued %d, expected 4" queued
+         | Error (Svc.Shed _) -> Alcotest.fail "shed without triage"
          | Ok _ -> Alcotest.fail "submit accepted past the cap");
         Svc.drain svc;
         ignore (Svc.take_completions svc));

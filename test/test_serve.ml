@@ -100,6 +100,7 @@ let bugbase_spec ~faults (b : Bugbase.Common.t) =
     sp_program = b.program;
     sp_workload_of = b.workload_of;
     sp_failure = failure;
+    sp_case = None;
   }
 
 let bugbase_differential ~faults () =
@@ -159,6 +160,7 @@ let fuzz_specs ~faults =
             sp_program = case.Fuzz.Gen.c_program;
             sp_workload_of = Fuzz.Gen.workload_of case;
             sp_failure = failure;
+    sp_case = None;
           }
       | _ -> None)
     (Lazy.force fuzz_cases)
@@ -208,8 +210,11 @@ let admission =
         in
         let svc = Serve.Service.create ~sconfig () in
         (match Serve.Service.submit svc (small_spec "a") with
-         | Ok 1 -> ()
-         | Ok id -> Alcotest.failf "first ticket %d, expected 1" id
+         | Ok (Serve.Service.Ticket 1) -> ()
+         | Ok (Serve.Service.Ticket id) ->
+           Alcotest.failf "first ticket %d, expected 1" id
+         | Ok (Serve.Service.Coalesced _) ->
+           Alcotest.fail "coalesced without triage"
          | Error _ -> Alcotest.fail "first submit rejected");
         (match Serve.Service.submit svc (small_spec "b") with
          | Ok _ -> ()
@@ -220,6 +225,8 @@ let admission =
              (retry_after_rounds >= 1)
          | Error (Serve.Service.Busy { inflight; queued; _ }) ->
            Alcotest.failf "busy payload inflight=%d queued=%d" inflight queued
+         | Error (Serve.Service.Shed _) ->
+           Alcotest.fail "shed without triage"
          | Ok _ -> Alcotest.fail "third submit accepted past the cap");
         (* A round admits one session, freeing a queue slot. *)
         ignore (Serve.Service.step svc);
@@ -256,7 +263,7 @@ let admission =
         for i = 1 to 9 do
           match Serve.Service.submit svc (small_spec (string_of_int i)) with
           | Ok _ -> ()
-          | Error (Serve.Service.Busy _) ->
+          | Error (Serve.Service.Busy _ | Serve.Service.Shed _) ->
             incr rejected;
             ignore (Serve.Service.step svc)
         done;
@@ -487,6 +494,7 @@ let corpus_spec (case : Fuzz.Gen.case) =
            sp_program = case.Fuzz.Gen.c_program;
            sp_workload_of = Fuzz.Gen.workload_of case;
            sp_failure = failure;
+    sp_case = None;
          })
 
 let corpus =
